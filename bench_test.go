@@ -1,0 +1,352 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md §4, and
+// EXPERIMENTS.md for paper-vs-measured). Benchmarks run at a scaled-down
+// topology so `go test -bench=.` finishes in minutes; cmd/figures -full
+// regenerates the same data at paper scale. Headline quantities are
+// attached to each benchmark via ReportMetric, so the bench output *is*
+// the reproduction record.
+package powertcp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/fluid"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func fluidSys(law fluid.Law) *fluid.System {
+	return &fluid.System{
+		B: 100 * units.Gbps, Tau: 20 * sim.Microsecond,
+		Gamma: 0.9, Dt: 10 * sim.Microsecond, Beta: 12_500, Law: law,
+	}
+}
+
+// BenchmarkFig2_ResponseCurves regenerates the multiplicative-decrease
+// response surfaces and the three-case table of Figure 2.
+func BenchmarkFig2_ResponseCurves(b *testing.B) {
+	s := fluidSys(fluid.Power)
+	bps := (100 * units.Gbps).BytesPerSec()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for r := 0.0; r <= 8; r += 0.25 {
+			sink += fluidSys(fluid.Voltage).MDResponse(25*1048, r*bps)
+			sink += fluidSys(fluid.Current).MDResponse(25*1048, r*bps)
+		}
+		for q := 0.0; q <= 60*1048; q += 1048 {
+			sink += fluidSys(fluid.Voltage).MDResponse(q, 2*bps)
+			sink += fluidSys(fluid.Current).MDResponse(q, 2*bps)
+		}
+	}
+	cases := s.Fig2cCases()
+	b.ReportMetric(cases[0].VoltageMD, "case1-voltageMD")
+	b.ReportMetric(cases[0].CurrentMD, "case1-currentMD")
+	b.ReportMetric(cases[1].CurrentMD, "case2-currentMD")
+	_ = sink
+}
+
+// BenchmarkFig3_PhasePlots integrates the phase-plot trajectories of all
+// three control-law families (Figure 3).
+func BenchmarkFig3_PhasePlots(b *testing.B) {
+	inits := []fluid.State{{W: 2e4, Q: 0}, {W: 5e5, Q: 1e5}, {W: 1.5e6, Q: 3e5}}
+	for i := 0; i < b.N; i++ {
+		for _, law := range []fluid.Law{fluid.Voltage, fluid.Current, fluid.Power} {
+			s := fluidSys(law)
+			for _, st := range inits {
+				s.Trajectory(st, 1e-6, 3000)
+			}
+		}
+	}
+	// Headline: the power law's equilibrium queue is β̂ (near zero).
+	eq, _ := fluidSys(fluid.Power).Equilibrium()
+	b.ReportMetric(eq.Q, "power-qe-bytes")
+}
+
+// BenchmarkFig4_Incast10 runs the 10:1 incast of Figure 4 (top row) for
+// each scheme and reports PowerTCP's post-incast queue and goodput.
+func BenchmarkFig4_Incast10(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.Homa} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncast(exp.IncastOptions{Scheme: scheme, FanIn: 10, Seed: 1})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkFig4_Incast255 runs the large-scale incast of Figure 4
+// (bottom row) on the full 256-server fat-tree.
+func BenchmarkFig4_Incast255(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncast(exp.IncastOptions{
+					Scheme: scheme, FanIn: 255, ServersPerTor: 32,
+					FlowSize: 100_000, Seed: 1,
+				})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkFig5_Fairness runs the staggered-arrival fairness scenario of
+// Figure 5 and reports the Jain index.
+func BenchmarkFig5_Fairness(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.Homa} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.FairnessResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunFairness(exp.FairnessOptions{Scheme: scheme, Seed: 1})
+			}
+			b.ReportMetric(r.JainAvg, "jain")
+		})
+	}
+}
+
+// BenchmarkFig6_FCTvsSize runs the websearch workload at 20% and 60%
+// load (Figure 6) and reports per-class 99.9p slowdowns.
+func BenchmarkFig6_FCTvsSize(b *testing.B) {
+	for _, load := range []float64{0.2, 0.6} {
+		for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.DCQCN} {
+			b.Run(fmt.Sprintf("%s/load%.0f", scheme, load*100), func(b *testing.B) {
+				var r exp.WebSearchResult
+				for i := 0; i < b.N; i++ {
+					r = exp.RunWebSearch(exp.WebSearchOptions{
+						Scheme: scheme, Load: load, Seed: 1,
+					})
+				}
+				b.ReportMetric(r.ShortP999, "short-p999-slowdown")
+				b.ReportMetric(r.MediumP999, "medium-p999-slowdown")
+				b.ReportMetric(r.LongP999, "long-p999-slowdown")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7ab_LoadSweep sweeps load for short/long flows (Fig. 7a/b).
+func BenchmarkFig7ab_LoadSweep(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
+		b.Run(scheme, func(b *testing.B) {
+			var rs []exp.WebSearchResult
+			for i := 0; i < b.N; i++ {
+				rs = exp.LoadSweep(scheme, []float64{0.2, 0.5, 0.8},
+					exp.WebSearchOptions{Seed: 1})
+			}
+			b.ReportMetric(rs[len(rs)-1].ShortP999, "short-p999@80")
+			b.ReportMetric(rs[len(rs)-1].LongP999, "long-p999@80")
+		})
+	}
+}
+
+// BenchmarkFig7cd_RequestRate sweeps incast request rate over websearch
+// background (Fig. 7c/d).
+func BenchmarkFig7cd_RequestRate(b *testing.B) {
+	for _, rate := range []float64{1000, 4000} {
+		b.Run(fmt.Sprintf("rate%.0f", rate), func(b *testing.B) {
+			var pt, hp exp.WebSearchResult
+			for i := 0; i < b.N; i++ {
+				pt = exp.RunWebSearch(exp.WebSearchOptions{
+					Scheme: exp.PowerTCP, Load: 0.8, Seed: 1,
+					IncastRate: rate, IncastSize: 2 << 20,
+				})
+				hp = exp.RunWebSearch(exp.WebSearchOptions{
+					Scheme: exp.HPCC, Load: 0.8, Seed: 1,
+					IncastRate: rate, IncastSize: 2 << 20,
+				})
+			}
+			b.ReportMetric(pt.ShortP999, "powertcp-short-p999")
+			b.ReportMetric(hp.ShortP999, "hpcc-short-p999")
+		})
+	}
+}
+
+// BenchmarkFig7ef_RequestSize sweeps incast request size (Fig. 7e/f).
+func BenchmarkFig7ef_RequestSize(b *testing.B) {
+	for _, mb := range []int64{1, 8} {
+		b.Run(fmt.Sprintf("size%dMB", mb), func(b *testing.B) {
+			var pt exp.WebSearchResult
+			for i := 0; i < b.N; i++ {
+				pt = exp.RunWebSearch(exp.WebSearchOptions{
+					Scheme: exp.PowerTCP, Load: 0.8, Seed: 1,
+					IncastRate: 1000, IncastSize: mb << 20,
+				})
+			}
+			b.ReportMetric(pt.ShortP999, "short-p999")
+			b.ReportMetric(pt.LongP999, "long-p999")
+		})
+	}
+}
+
+// BenchmarkFig7gh_BufferCDF collects the buffer-occupancy CDFs at 80%
+// load (Fig. 7g/h) and reports the p99 occupancy.
+func BenchmarkFig7gh_BufferCDF(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.WebSearchResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunWebSearch(exp.WebSearchOptions{
+					Scheme: scheme, Load: 0.8, Seed: 1, SampleBuffers: true,
+				})
+			}
+			b.ReportMetric(r.BufferP99/1024, "p99-buffer-KB")
+		})
+	}
+}
+
+// BenchmarkFig8a_RDCNTimeseries runs the RDCN case study's time series
+// (Fig. 8a) and reports circuit utilization — the 80–85% headline.
+func BenchmarkFig8a_RDCNTimeseries(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.RDCNResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunRDCN(exp.RDCNOptions{Scheme: scheme, Seed: 1})
+			}
+			b.ReportMetric(r.CircuitUtilization*100, "circuit-util-pct")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkFig8b_RDCNTail sweeps the packet-network bandwidth and
+// reports tail queuing latency (Fig. 8b).
+func BenchmarkFig8b_RDCNTail(b *testing.B) {
+	for _, pg := range []units.BitRate{25 * units.Gbps, 50 * units.Gbps} {
+		for _, scheme := range []string{exp.ReTCP1800, exp.PowerTCP} {
+			b.Run(fmt.Sprintf("%s/%v", scheme, pg), func(b *testing.B) {
+				var r exp.RDCNResult
+				for i := 0; i < b.N; i++ {
+					r = exp.RunRDCN(exp.RDCNOptions{
+						Scheme: scheme, PacketRate: pg, Seed: 1,
+					})
+				}
+				b.ReportMetric(r.TailQueuingUs, "tail-queuing-us")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9_HomaOvercommit sweeps HOMA's overcommitment level in the
+// fairness scenario (Figure 9 / Appendix D).
+func BenchmarkFig9_HomaOvercommit(b *testing.B) {
+	for oc := 1; oc <= 6; oc += 1 {
+		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
+			var r exp.FairnessResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunFairness(exp.FairnessOptions{
+					Scheme: fmt.Sprintf("homa-oc%d", oc), Seed: 1,
+				})
+			}
+			b.ReportMetric(r.JainAvg, "jain")
+		})
+	}
+}
+
+// BenchmarkFig10_11_HomaIncast runs HOMA's 10:1 incast across
+// overcommitment levels (Figures 10–11).
+func BenchmarkFig10_11_HomaIncast(b *testing.B) {
+	for _, oc := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncast(exp.IncastOptions{
+					Scheme: fmt.Sprintf("homa-oc%d", oc), FanIn: 10, Seed: 1,
+				})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkAblation_Gamma sweeps PowerTCP's EWMA weight γ in the incast
+// scenario — the design-choice ablation behind the paper's γ=0.9
+// recommendation (§3.3).
+func BenchmarkAblation_Gamma(b *testing.B) {
+	for _, gamma := range []float64{0.5, 0.7, 0.9, 1.0} {
+		b.Run(fmt.Sprintf("gamma%.1f", gamma), func(b *testing.B) {
+			scheme := exp.WithGamma(exp.PowerTCP, gamma)
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncastWith(scheme, exp.IncastOptions{FanIn: 10, Seed: 1})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkAblation_PerRTTUpdates compares per-ACK vs once-per-RTT
+// window updates (the RDCN configuration of §5) in the incast scenario.
+func BenchmarkAblation_PerRTTUpdates(b *testing.B) {
+	for _, perRTT := range []bool{false, true} {
+		b.Run(fmt.Sprintf("perRTT=%v", perRTT), func(b *testing.B) {
+			scheme := exp.SchemeByName(exp.PowerTCP)
+			scheme.Alg = core.Builder(core.Config{UpdatePerRTT: perRTT})
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncastWith(scheme, exp.IncastOptions{FanIn: 10, Seed: 1})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
+		})
+	}
+}
+
+// BenchmarkAblation_StandingQueue contrasts the standing queue of
+// loss/ECN-based CC (§2.2's critique of DCTCP and NewReno) with
+// PowerTCP's near-zero equilibrium: the end-of-run queue after the same
+// incast tells the story.
+func BenchmarkAblation_StandingQueue(b *testing.B) {
+	for _, scheme := range []string{exp.PowerTCP, exp.DCTCP, exp.Reno} {
+		b.Run(scheme, func(b *testing.B) {
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncast(exp.IncastOptions{Scheme: scheme, FanIn: 8, Seed: 1})
+			}
+			b.ReportMetric(r.TailMeanQueueKB, "standing-queue-KB")
+			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+		})
+	}
+}
+
+// BenchmarkAblation_DTAlpha sweeps the Dynamic Thresholds factor to show
+// buffer management's effect on the large incast.
+func BenchmarkAblation_DTAlpha(b *testing.B) {
+	for _, alpha := range []float64{0.25, 1, 4} {
+		b.Run(fmt.Sprintf("alpha%.2f", alpha), func(b *testing.B) {
+			scheme := exp.SchemeByName(exp.PowerTCP)
+			var r exp.IncastResult
+			for i := 0; i < b.N; i++ {
+				r = exp.RunIncastWith(scheme, exp.IncastOptions{
+					FanIn: 32, Seed: 1, DTAlpha: alpha,
+				})
+			}
+			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
+			b.ReportMetric(float64(r.Completed), "flows-done")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: events per
+// second pushing an unbounded PowerTCP flow across the fat-tree.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunIncast(exp.IncastOptions{
+			Scheme: exp.PowerTCP, FanIn: 4,
+			Window: sim.Millisecond, Seed: 1,
+		})
+		_ = r
+	}
+}

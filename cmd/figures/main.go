@@ -1,0 +1,327 @@
+// Command figures regenerates the data behind every figure of the
+// paper's evaluation. Output is tab-separated with '#' comment headers,
+// one block per figure panel, suitable for gnuplot/matplotlib.
+//
+// Usage:
+//
+//	figures -fig 4            # one figure (2,3,4,5,6,7,8,9,theory)
+//	figures -fig all          # everything (several minutes)
+//	figures -fig 6 -full      # paper-scale topology (much slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/fluid"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+var (
+	figFlag  = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,theory,all")
+	fullFlag = flag.Bool("full", false, "paper-scale topology (256 servers / 25 ToRs); slow")
+	seedFlag = flag.Int64("seed", 1, "base RNG seed")
+)
+
+func main() {
+	flag.Parse()
+	switch *figFlag {
+	case "2":
+		fig2()
+	case "3":
+		fig3()
+	case "4":
+		fig4()
+	case "5":
+		fig5()
+	case "6":
+		fig6()
+	case "7":
+		fig7()
+	case "8":
+		fig8()
+	case "9":
+		fig9()
+	case "theory":
+		theory()
+	case "all":
+		fig2()
+		fig3()
+		fig4()
+		fig5()
+		fig6()
+		fig7()
+		fig8()
+		fig9()
+		theory()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+// serversPerTor picks the fat-tree scale.
+func serversPerTor() int {
+	if *fullFlag {
+		return 32 // 256 servers, the paper's §4.1 fabric
+	}
+	return 8
+}
+
+func rdcnScale() (tors, servers, weeks int) {
+	if *fullFlag {
+		return 25, 10, 4
+	}
+	return 16, 4, 3
+}
+
+func sys(law fluid.Law) *fluid.System {
+	return &fluid.System{
+		B: 100 * units.Gbps, Tau: 20 * sim.Microsecond,
+		Gamma: 0.9, Dt: 10 * sim.Microsecond, Beta: 12_500, Law: law,
+	}
+}
+
+func fig2() {
+	s := sys(fluid.Voltage)
+	b := (100 * units.Gbps).BytesPerSec()
+	fmt.Println("# Figure 2a: multiplicative decrease vs queue buildup rate (q=25 pkts)")
+	fmt.Println("# rate_x_bandwidth\tvoltage_md\tcurrent_md\tpower_md")
+	q := 25.0 * 1048
+	for r := 0.0; r <= 8; r += 0.5 {
+		fmt.Printf("%.1f\t%.3f\t%.3f\t%.3f\n", r,
+			sys(fluid.Voltage).MDResponse(q, r*b),
+			sys(fluid.Current).MDResponse(q, r*b),
+			sys(fluid.Power).MDResponse(q, r*b))
+	}
+	fmt.Println("\n# Figure 2b: multiplicative decrease vs queue length (q̇ = 2b)")
+	fmt.Println("# queue_pkts\tvoltage_md\tcurrent_md\tpower_md")
+	for pkts := 0; pkts <= 60; pkts += 4 {
+		q := float64(pkts) * 1048
+		fmt.Printf("%d\t%.3f\t%.3f\t%.3f\n", pkts,
+			sys(fluid.Voltage).MDResponse(q, 2*b),
+			sys(fluid.Current).MDResponse(q, 2*b),
+			sys(fluid.Power).MDResponse(q, 2*b))
+	}
+	fmt.Println("\n# Figure 2c: the three indistinguishable cases")
+	fmt.Println("# case\tvoltage_md\tcurrent_md\tpower_md")
+	for _, c := range s.Fig2cCases() {
+		fmt.Printf("%s\t%.2f\t%.2f\t%.2f\n", c.Name, c.VoltageMD, c.CurrentMD, c.PowerMD)
+	}
+	fmt.Println()
+}
+
+func fig3() {
+	fmt.Println("# Figure 3: phase-plot trajectories (window vs inflight, packets)")
+	fmt.Println("# law\ttraj\tstep\twindow_pkts\tinflight_pkts")
+	inits := []fluid.State{
+		{W: 20 * 1048, Q: 0},
+		{W: 500 * 1048, Q: 100 * 1048},
+		{W: 1000 * 1048, Q: 300 * 1048},
+		{W: 2000 * 1048, Q: 0},
+	}
+	for _, law := range []fluid.Law{fluid.Voltage, fluid.Current, fluid.Power} {
+		s := sys(law)
+		for ti, st0 := range inits {
+			tr := s.Trajectory(st0, 2e-6, 1500)
+			for i := 0; i < len(tr); i += 25 {
+				fmt.Printf("%v\t%d\t%d\t%.1f\t%.1f\n", law, ti, i,
+					tr[i].W/1048, s.Inflight(tr[i])/1048)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func fig4() {
+	schemes := []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.Timely, exp.HPCC, exp.Homa}
+	for _, fanIn := range []int{10, 255} {
+		spt := serversPerTor()
+		if fanIn >= 255 {
+			spt = 32 // need 256 servers for the full-cluster incast
+		}
+		for _, sc := range schemes {
+			r := exp.RunIncast(exp.IncastOptions{
+				Scheme: sc, FanIn: fanIn, ServersPerTor: spt, Seed: *seedFlag,
+			})
+			fmt.Printf("# Figure 4 (%d:1) %s: peak=%.0fKB end=%.0fKB avg=%.1fGbps done=%d/%d\n",
+				fanIn, sc, r.PeakQueueKB, r.EndQueueKB, r.AvgGoodputGbps, r.Completed, r.FanIn)
+			fmt.Println("# time_ms\tthroughput_gbps\tqueue_kb")
+			for i, p := range r.Points {
+				if i%5 == 0 {
+					fmt.Printf("%.3f\t%.2f\t%.1f\n",
+						p.T.Seconds()*1e3, p.ThroughputGbps, p.QueueKB)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fig5() {
+	for _, sc := range []string{exp.PowerTCP, exp.Homa, exp.ThetaPowerTCP, exp.Timely} {
+		r := exp.RunFairness(exp.FairnessOptions{Scheme: sc, Seed: *seedFlag})
+		fmt.Printf("# Figure 5 %s: Jain=%.3f\n", sc, r.JainAvg)
+		fmt.Println("# time_ms\tflow1\tflow2\tflow3\tflow4 (Gbps)")
+		for k := 0; k < len(r.T); k += 4 {
+			fmt.Printf("%.3f", r.T[k].Seconds()*1e3)
+			for i := range r.Per {
+				fmt.Printf("\t%.2f", r.Per[i][k])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func fig6() {
+	for _, load := range []float64{0.2, 0.6} {
+		fmt.Printf("# Figure 6: 99.9p FCT slowdown by flow size, websearch at %.0f%% load\n", load*100)
+		fmt.Println("# scheme\t≤5K\t≤20K\t≤50K\t≤100K\t≤400K\t≤800K\t≤5M\t≤30M")
+		for _, sc := range exp.Schemes {
+			r := exp.RunWebSearch(exp.WebSearchOptions{
+				Scheme: sc, Load: load, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+			})
+			fmt.Printf("%s", sc)
+			for _, v := range r.Binned.Row(99.9) {
+				fmt.Printf("\t%.1f", v)
+			}
+			fmt.Printf("\t# completed=%d/%d\n", r.Completed, r.Started)
+		}
+		fmt.Println()
+	}
+}
+
+func fig7() {
+	schemes := []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC}
+	fmt.Println("# Figure 7a/7b: short & long flow 99.9p slowdown vs load")
+	fmt.Println("# load\tscheme\tshort_p999\tlong_p999")
+	for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
+		for _, sc := range schemes {
+			r := exp.RunWebSearch(exp.WebSearchOptions{
+				Scheme: sc, Load: load, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+			})
+			fmt.Printf("%.1f\t%s\t%.2f\t%.2f\n", load, sc, r.ShortP999, r.LongP999)
+		}
+	}
+	// Request-rate and request-size sweeps (7c–7f). At bench scale the
+	// simulated horizon is tens of ms, so the paper's 1–16 req/s maps to
+	// proportionally higher rates for the same incasts-per-experiment.
+	rates := []float64{250, 1000, 2000, 4000}
+	if *fullFlag {
+		rates = []float64{1, 4, 8, 16}
+	}
+	fmt.Println("\n# Figure 7c/7d: websearch@80% + incast, sweep request rate (2MB requests)")
+	fmt.Println("# req_per_s\tscheme\tshort_p999\tlong_p999")
+	for _, rate := range rates {
+		for _, sc := range schemes {
+			r := exp.RunWebSearch(exp.WebSearchOptions{
+				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+				IncastRate: rate, IncastSize: 2 << 20,
+			})
+			fmt.Printf("%.0f\t%s\t%.2f\t%.2f\n", rate, sc, r.ShortP999, r.LongP999)
+		}
+	}
+	fmt.Println("\n# Figure 7e/7f: sweep request size at fixed rate")
+	fmt.Println("# req_mb\tscheme\tshort_p999\tlong_p999")
+	for _, mb := range []int64{1, 2, 4, 8} {
+		for _, sc := range schemes {
+			r := exp.RunWebSearch(exp.WebSearchOptions{
+				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+				IncastRate: rates[1], IncastSize: mb << 20,
+			})
+			fmt.Printf("%d\t%s\t%.2f\t%.2f\n", mb, sc, r.ShortP999, r.LongP999)
+		}
+	}
+	fmt.Println("\n# Figure 7g/7h: buffer occupancy CDF at 80% load (+incast for 7h)")
+	for _, withIncast := range []bool{false, true} {
+		for _, sc := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC} {
+			o := exp.WebSearchOptions{
+				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+				SampleBuffers: true,
+			}
+			if withIncast {
+				o.IncastRate = rates[len(rates)-1]
+				o.IncastSize = 2 << 20
+			}
+			r := exp.RunWebSearch(o)
+			fmt.Printf("# %s incast=%v p99_buffer=%.0fB\n", sc, withIncast, r.BufferP99)
+			fmt.Println("# occupancy_kb\tcdf")
+			for _, p := range r.BufferCDF {
+				fmt.Printf("%.1f\t%.3f\n", p.V/1024, p.F)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fig8() {
+	tors, servers, weeks := rdcnScale()
+	fmt.Println("# Figure 8a: RDCN throughput & VOQ time series")
+	for _, sc := range []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800} {
+		r := exp.RunRDCN(exp.RDCNOptions{
+			Scheme: sc, Tors: tors, ServersPerTor: servers, Weeks: weeks, Seed: *seedFlag,
+		})
+		fmt.Printf("# %s: circuit_util=%.2f tail_queuing=%.1fus avg=%.1fGbps\n",
+			sc, r.CircuitUtilization, r.TailQueuingUs, r.AvgGoodputGbps)
+		fmt.Println("# time_ms\tthroughput_gbps\tvoq_kb")
+		for i := range r.T {
+			if i%10 == 0 {
+				fmt.Printf("%.3f\t%.2f\t%.1f\n",
+					r.T[i].Seconds()*1e3, r.Throughput[i], r.VOQKB[i])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("# Figure 8b: tail queuing latency vs packet bandwidth")
+	fmt.Println("# pkt_gbps\tscheme\ttail_queuing_us\tcircuit_util")
+	for _, pg := range []units.BitRate{25 * units.Gbps, 50 * units.Gbps} {
+		for _, sc := range []string{exp.ReTCP600, exp.ReTCP1800, exp.HPCC, exp.PowerTCP} {
+			r := exp.RunRDCN(exp.RDCNOptions{
+				Scheme: sc, Tors: tors, ServersPerTor: servers,
+				PacketRate: pg, Weeks: weeks, Seed: *seedFlag,
+			})
+			fmt.Printf("%d\t%s\t%.1f\t%.2f\n",
+				pg/units.Gbps, sc, r.TailQueuingUs, r.CircuitUtilization)
+		}
+	}
+	fmt.Println()
+}
+
+func fig9() {
+	fmt.Println("# Figures 9-11: HOMA overcommitment sweep")
+	fmt.Println("# oc\tjain\tincast10_peak_kb\tincast10_done\tincast255_peak_kb\tincast255_done")
+	for oc := 1; oc <= 6; oc++ {
+		sc := fmt.Sprintf("homa-oc%d", oc)
+		f := exp.RunFairness(exp.FairnessOptions{Scheme: sc, Seed: *seedFlag})
+		i10 := exp.RunIncast(exp.IncastOptions{
+			Scheme: sc, FanIn: 10, ServersPerTor: serversPerTor(), Seed: *seedFlag,
+		})
+		spt := serversPerTor()
+		if *fullFlag {
+			spt = 32
+		}
+		i255 := exp.RunIncast(exp.IncastOptions{
+			Scheme: sc, FanIn: spt*8 - 2, ServersPerTor: spt, Seed: *seedFlag,
+		})
+		fmt.Printf("%d\t%.3f\t%.0f\t%d\t%.0f\t%d\n",
+			oc, f.JainAvg, i10.PeakQueueKB, i10.Completed, i255.PeakQueueKB, i255.Completed)
+	}
+	fmt.Println()
+}
+
+func theory() {
+	s := sys(fluid.Power)
+	e1, e2 := s.Eigenvalues()
+	fmt.Println("# Theorem 1 (stability): eigenvalues of the linearized system")
+	fmt.Printf("lambda1=%.0f (−1/τ)\tlambda2=%.0f (−γ/δt)\tstable=%v\n",
+		e1, e2, e1 < 0 && e2 < 0)
+	tc := s.ConvergenceConstant(1e5)
+	fmt.Println("# Theorem 2 (convergence): numeric time constant vs δt/γ")
+	fmt.Printf("measured=%.3gs\tpredicted=%.3gs\n", tc, s.Dt.Seconds()/s.Gamma)
+	eq, _ := s.Equilibrium()
+	fmt.Printf("# Equilibrium: w_e=%.0fB (bτ+β̂), q_e=%.0fB (β̂)\n\n", eq.W, eq.Q)
+}

@@ -1,0 +1,40 @@
+// Incast: the paper's Figure 4 scenario at example scale.
+//
+// A receiver already sinking a long flow is hit by a 32:1 incast from
+// other racks of the fat-tree. The program runs the same scenario under
+// PowerTCP, θ-PowerTCP, HPCC, TIMELY and HOMA and prints the comparison
+// the figure makes visually: peak queue, post-incast queue, and receiver
+// goodput.
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+
+	powertcp "repro"
+)
+
+func main() {
+	fmt.Println("32:1 incast onto the receiver of a long flow (fat-tree, 25G hosts)")
+	fmt.Printf("%-16s %12s %12s %14s %10s\n",
+		"scheme", "peak queue", "end queue", "goodput", "done")
+	for _, scheme := range []string{
+		powertcp.SchemePowerTCP,
+		powertcp.SchemeThetaPowerTCP,
+		powertcp.SchemeHPCC,
+		powertcp.SchemeTimely,
+		powertcp.SchemeHoma,
+	} {
+		r := powertcp.RunIncast(powertcp.IncastOptions{
+			Scheme: scheme,
+			FanIn:  32,
+			Seed:   1,
+		})
+		fmt.Printf("%-16s %10.0fKB %10.0fKB %11.1fGbps %6d/%d\n",
+			r.Scheme, r.PeakQueueKB, r.EndQueueKB, r.AvgGoodputGbps,
+			r.Completed, r.FanIn)
+	}
+	fmt.Println("\nPowerTCP's takeaway: the queue drains back to ≈0 without the")
+	fmt.Println("receiver losing goodput — fast reaction *and* accurate inflight control.")
+}

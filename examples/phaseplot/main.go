@@ -1,0 +1,46 @@
+// Phaseplot: the paper's Figure 3 from the fluid model.
+//
+// Integrates the single-bottleneck fluid equations under the voltage-,
+// current- and power-based control laws from several initial states and
+// prints each trajectory in (window, inflight) coordinates — the phase
+// plots showing that only the power-based law combines a unique
+// equilibrium with no throughput loss. Output is CSV for plotting.
+//
+//	go run ./examples/phaseplot > fig3.csv
+package main
+
+import (
+	"fmt"
+
+	powertcp "repro"
+)
+
+func main() {
+	mss := 1048.0
+	inits := []powertcp.FluidState{
+		{W: 20 * mss, Q: 0},
+		{W: 500 * mss, Q: 100 * mss},
+		{W: 1500 * mss, Q: 300 * mss},
+	}
+	fmt.Println("law,trajectory,step,window_pkts,inflight_pkts,queue_pkts")
+	for _, law := range []powertcp.FluidLaw{
+		powertcp.LawVoltage, powertcp.LawCurrent, powertcp.LawPower,
+	} {
+		s := &powertcp.FluidSystem{
+			B:     100 * powertcp.Gbps,
+			Tau:   20 * powertcp.Microsecond,
+			Gamma: 0.9,
+			Dt:    10 * powertcp.Microsecond,
+			Beta:  12_500,
+			Law:   law,
+		}
+		for ti, st0 := range inits {
+			tr := s.Trajectory(st0, 2e-6, 1200)
+			for i := 0; i < len(tr); i += 20 {
+				fmt.Printf("%s,%d,%d,%.1f,%.1f,%.1f\n",
+					law, ti, i,
+					tr[i].W/mss, s.Inflight(tr[i])/mss, tr[i].Q/mss)
+			}
+		}
+	}
+}

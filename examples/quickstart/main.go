@@ -1,0 +1,56 @@
+// Quickstart: two hosts, one 25 Gbps bottleneck, one PowerTCP flow.
+//
+// Builds a dumbbell through the public API, transfers 4 MiB under
+// PowerTCP, and prints the flow completion time plus the bottleneck
+// queue observed along the way — the smallest possible end-to-end use of
+// the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	powertcp "repro"
+)
+
+func main() {
+	net := powertcp.Dumbbell(powertcp.DumbbellConfig{
+		Left: 1, Right: 1,
+		HostRate:       100 * powertcp.Gbps,
+		BottleneckRate: 25 * powertcp.Gbps,
+		Opts: powertcp.NetOptions{
+			Hosts: powertcp.Hosts(powertcp.HostConfig{BaseRTT: 16 * powertcp.Microsecond}),
+			INT:   true, // PowerTCP consumes in-band telemetry
+		},
+	})
+
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+
+	const size = 4 << 20
+	flow := src.StartFlow(net.NextFlowID(), dst.ID(), size, powertcp.New(powertcp.Config{}), 0)
+
+	// Sample the bottleneck queue every 100 µs while the flow runs.
+	var peakQueue int64
+	bottleneck := net.BottleneckPort()
+	var sample func()
+	sample = func() {
+		if q := bottleneck.QueueBytes(); q > peakQueue {
+			peakQueue = q
+		}
+		if !flow.Done {
+			net.Eng.After(100*powertcp.Microsecond, sample)
+		}
+	}
+	net.Eng.After(0, sample)
+
+	net.Eng.Run()
+
+	fmt.Printf("transferred  : %d bytes\n", dst.ReceivedTotal())
+	fmt.Printf("FCT          : %v\n", flow.FCT())
+	fmt.Printf("goodput      : %.2f Gbps\n",
+		float64(size)*8/flow.FCT().Seconds()/1e9)
+	fmt.Printf("peak queue   : %.1f KB (PowerTCP keeps it near β = bandwidth·τ/N)\n",
+		float64(peakQueue)/1024)
+	fmt.Printf("retransmits  : %d\n", flow.Retransmits)
+}

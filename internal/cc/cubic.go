@@ -1,0 +1,115 @@
+package cc
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Cubic implements TCP CUBIC (Ha, Rhee, Xu 2008), the wide-area default
+// the paper's taxonomy files under loss-based voltage CC (Fig. 1). The
+// congestion-avoidance window follows the cubic
+//
+//	W(t) = C·(t−K)³ + W_max,   K = ∛(W_max·β/C)
+//
+// anchored at the window where the last loss occurred: concave recovery
+// toward W_max, a plateau, then convex probing beyond it. Included as
+// the loss-based reference for ablations; datacenter figures use the
+// paper's comparison set.
+type Cubic struct {
+	// C is the cubic scaling constant in MSS/s³ (default 0.4).
+	C float64
+	// Beta is the multiplicative decrease, window fraction removed on
+	// loss (default 0.3, i.e. cwnd ← 0.7·cwnd).
+	Beta float64
+	// MinCwnd floors the window (default 2 MSS).
+	MinCwnd float64
+
+	lim Limits
+
+	cwnd     float64
+	ssthresh float64
+	wmax     float64 // in MSS units
+	k        float64 // seconds from epoch start to reach wmax
+	epoch    sim.Time
+	hasEpoch bool
+}
+
+// NewCubic returns a CUBIC instance with published defaults.
+func NewCubic() *Cubic { return &Cubic{} }
+
+// CubicBuilder adapts NewCubic to Builder.
+func CubicBuilder() Builder { return func() Algorithm { return NewCubic() } }
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements Algorithm.
+func (c *Cubic) Init(lim Limits) {
+	c.lim = lim
+	if c.C == 0 {
+		c.C = 0.4
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.3
+	}
+	if c.MinCwnd == 0 {
+		c.MinCwnd = 2 * float64(lim.MSS)
+	}
+	c.cwnd = 10 * float64(lim.MSS)
+	c.ssthresh = math.Inf(1)
+}
+
+// Cwnd implements Algorithm.
+func (c *Cubic) Cwnd() float64 { return c.cwnd }
+
+// Rate implements Algorithm: CUBIC is ACK-clocked.
+func (c *Cubic) Rate() units.BitRate { return 0 }
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(a Ack) {
+	if a.NewlyAcked <= 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += float64(a.NewlyAcked) // slow start
+		return
+	}
+	if !c.hasEpoch {
+		c.startEpoch(a.Now)
+	}
+	mss := float64(c.lim.MSS)
+	t := a.Now.Sub(c.epoch).Seconds()
+	target := (c.C*math.Pow(t-c.k, 3) + c.wmax) * mss
+	if target > c.cwnd {
+		// Approach the cubic target over roughly one RTT of ACKs.
+		c.cwnd += (target - c.cwnd) * float64(a.NewlyAcked) / math.Max(c.cwnd, mss)
+	} else {
+		// At or past the plateau with target below: gentle probing
+		// (CUBIC's TCP-friendliness floor, simplified).
+		c.cwnd += mss * float64(a.NewlyAcked) / (100 * math.Max(c.cwnd, mss))
+	}
+}
+
+// OnLoss implements Algorithm: anchor the cubic at the loss window.
+func (c *Cubic) OnLoss(now sim.Time) {
+	mss := float64(c.lim.MSS)
+	c.wmax = c.cwnd / mss
+	c.cwnd = math.Max(c.cwnd*(1-c.Beta), c.MinCwnd)
+	c.ssthresh = c.cwnd
+	c.startEpoch(now)
+}
+
+func (c *Cubic) startEpoch(now sim.Time) {
+	c.epoch = now
+	c.hasEpoch = true
+	if c.wmax > 0 {
+		c.k = math.Cbrt(c.wmax * c.Beta / c.C)
+	} else {
+		c.k = 0
+	}
+}
+
+// WMax exposes the anchor window in MSS units (tests).
+func (c *Cubic) WMax() float64 { return c.wmax }

@@ -1,0 +1,89 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCubicSlowStartThenAnchor(t *testing.T) {
+	c := NewCubic()
+	c.Init(lims())
+	if c.Rate() != 0 {
+		t.Fatal("CUBIC must be ACK-clocked")
+	}
+	w0 := c.Cwnd()
+	c.OnAck(Ack{Now: 0, NewlyAcked: int64(w0)})
+	if c.Cwnd() < 2*w0-1 {
+		t.Fatalf("slow start broken: %v", c.Cwnd())
+	}
+	// Loss anchors W_max at the loss window and cuts by β.
+	atLoss := c.Cwnd()
+	c.OnLoss(sim.Time(sim.Millisecond))
+	if got := c.WMax() * 1000; got != atLoss {
+		t.Fatalf("wmax = %v MSS, want anchor at %v bytes", c.WMax(), atLoss)
+	}
+	if c.Cwnd() >= atLoss || c.Cwnd() < atLoss*0.65 {
+		t.Fatalf("post-loss cwnd = %v of %v", c.Cwnd(), atLoss)
+	}
+}
+
+func TestCubicConcaveRecoveryTowardWMax(t *testing.T) {
+	c := NewCubic()
+	c.Init(lims())
+	// Put CUBIC in congestion avoidance with a known anchor.
+	c.cwnd = 100_000
+	c.OnLoss(0) // wmax = 100 MSS, cwnd = 70 MSS, K = ∛(100·0.3/0.4)
+	start := c.Cwnd()
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		now = now.Add(100 * sim.Microsecond)
+		c.OnAck(Ack{Now: now, NewlyAcked: 1000})
+	}
+	// After 200ms (≫ K ≈ 4.2s? no: K = cbrt(75)= 4.2s in MSS/s³ units —
+	// recovery is slow at CUBIC's WAN timescale), the window must have
+	// grown from the cut but not overshot far past W_max yet.
+	if c.Cwnd() <= start {
+		t.Fatalf("no recovery growth: %v", c.Cwnd())
+	}
+	if c.Cwnd() > 2*100_000 {
+		t.Fatalf("overshot anchor unreasonably: %v", c.Cwnd())
+	}
+}
+
+func TestCubicConvexBeyondWMax(t *testing.T) {
+	c := NewCubic()
+	c.Init(lims())
+	c.cwnd = 50_000
+	c.OnLoss(0)
+	// Integrate far past K: the cubic turns convex and growth accelerates.
+	now := sim.Time(0)
+	var atK, afterK float64
+	kTime := sim.Duration(c.k * float64(sim.Second))
+	for now < sim.Time(3*kTime) {
+		now = now.Add(sim.Millisecond)
+		c.OnAck(Ack{Now: now, NewlyAcked: 1000})
+		if now <= sim.Time(kTime) {
+			atK = c.Cwnd()
+		}
+	}
+	afterK = c.Cwnd()
+	if afterK <= atK {
+		t.Fatalf("no convex growth past K: %v then %v", atK, afterK)
+	}
+	// Around t=K the window should be near W_max (the plateau).
+	if atK < 45_000 || atK > 65_000 {
+		t.Fatalf("plateau window = %v, want ≈wmax 50000", atK)
+	}
+}
+
+func TestCubicRepeatedLossFloors(t *testing.T) {
+	c := NewCubic()
+	c.Init(lims())
+	for i := 0; i < 50; i++ {
+		c.OnLoss(sim.Time(i) * sim.Time(sim.Millisecond))
+	}
+	if c.Cwnd() < c.MinCwnd {
+		t.Fatalf("cwnd below floor: %v", c.Cwnd())
+	}
+}

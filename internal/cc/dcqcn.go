@@ -1,0 +1,187 @@
+package cc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// DCQCN implements the reaction-point side of DCQCN (Zhu et al., SIGCOMM
+// 2015), the ECN-based scheme deployed for large-scale RDMA. Switches
+// RED-mark ECN-capable packets; the receiver (notification point,
+// implemented in internal/transport) sends at most one CNP per flow per
+// 50 µs while marks arrive; and this sender (reaction point) cuts its
+// rate on CNPs and recovers through the fast-recovery / additive /
+// hyper-increase ladder driven by a timer and a byte counter.
+//
+// In the paper's classification DCQCN is voltage-based and coarse: the
+// mark tells the sender *that* a queue exceeded a threshold, not how fast
+// it is growing (§2, Fig. 2).
+type DCQCN struct {
+	// G is the α-update gain g (default 1/256).
+	G float64
+	// RateAI / RateHAI are the additive and hyper increase steps
+	// (defaults 40 Mbps / 400 Mbps).
+	RateAI, RateHAI units.BitRate
+	// AlphaTimer is the α-decay period without CNPs (default 55 µs).
+	AlphaTimer sim.Duration
+	// IncTimer is the rate-increase timer period (default 55 µs).
+	IncTimer sim.Duration
+	// IncBytes is the byte-counter stage size (default 10 MB).
+	IncBytes int64
+	// F is the fast-recovery stage count (default 5).
+	F int
+	// MinRate floors the sending rate (default 40 Mbps).
+	MinRate units.BitRate
+
+	lim Limits
+
+	rate   units.BitRate // RC
+	target units.BitRate // RT
+	alpha  float64
+
+	timerStage int
+	byteStage  int
+	byteAcc    int64
+
+	alphaTimer *sim.Event
+	incTimer   *sim.Event
+}
+
+// NewDCQCN returns a DCQCN reaction point with published defaults.
+func NewDCQCN() *DCQCN { return &DCQCN{} }
+
+// DCQCNBuilder adapts NewDCQCN to Builder.
+func DCQCNBuilder() Builder { return func() Algorithm { return NewDCQCN() } }
+
+// Name implements Algorithm.
+func (d *DCQCN) Name() string { return "dcqcn" }
+
+// ECT marks DCQCN data packets ECN-capable (see WantsECT).
+func (d *DCQCN) ECT() bool { return true }
+
+// Init implements Algorithm.
+func (d *DCQCN) Init(lim Limits) {
+	d.lim = lim
+	if d.G == 0 {
+		d.G = 1.0 / 256
+	}
+	if d.RateAI == 0 {
+		d.RateAI = 40 * units.Mbps
+	}
+	if d.RateHAI == 0 {
+		d.RateHAI = 400 * units.Mbps
+	}
+	if d.AlphaTimer == 0 {
+		d.AlphaTimer = 55 * sim.Microsecond
+	}
+	if d.IncTimer == 0 {
+		d.IncTimer = 55 * sim.Microsecond
+	}
+	if d.IncBytes == 0 {
+		d.IncBytes = 10 << 20
+	}
+	if d.F == 0 {
+		d.F = 5
+	}
+	if d.MinRate == 0 {
+		d.MinRate = 40 * units.Mbps
+	}
+	d.rate = lim.HostRate
+	d.target = lim.HostRate
+	d.alpha = 1
+	d.armAlphaTimer()
+	d.armIncTimer()
+}
+
+// Cwnd implements Algorithm: inflight cap proportional to the rate.
+func (d *DCQCN) Cwnd() float64 {
+	w := 2 * float64(d.rate.BDP(d.lim.BaseRTT))
+	if w < float64(d.lim.MSS) {
+		w = float64(d.lim.MSS)
+	}
+	return w
+}
+
+// Rate implements Algorithm.
+func (d *DCQCN) Rate() units.BitRate { return d.rate }
+
+// OnAck implements Algorithm: advances the byte counter.
+func (d *DCQCN) OnAck(a Ack) {
+	d.byteAcc += a.NewlyAcked
+	for d.byteAcc >= d.IncBytes {
+		d.byteAcc -= d.IncBytes
+		d.byteStage++
+		d.raise()
+	}
+}
+
+// OnLoss implements Algorithm: RDMA transports treat retransmission as a
+// serious event; halve like a CNP with α=1.
+func (d *DCQCN) OnLoss(sim.Time) {
+	d.target = d.rate
+	d.rate = units.MaxRate(d.rate/2, d.MinRate)
+	d.resetIncrease()
+}
+
+// OnCNP implements CNPHandler: the DCQCN rate cut.
+func (d *DCQCN) OnCNP(sim.Time) {
+	d.target = d.rate
+	d.rate = units.MaxRate(units.BitRate(float64(d.rate)*(1-d.alpha/2)), d.MinRate)
+	d.alpha = (1-d.G)*d.alpha + d.G
+	d.resetIncrease()
+	d.armAlphaTimer()
+}
+
+func (d *DCQCN) resetIncrease() {
+	d.timerStage = 0
+	d.byteStage = 0
+	d.byteAcc = 0
+	d.armIncTimer()
+}
+
+func (d *DCQCN) armAlphaTimer() {
+	if d.lim.Engine == nil {
+		return
+	}
+	d.lim.Engine.Cancel(d.alphaTimer)
+	d.alphaTimer = d.lim.Engine.After(d.AlphaTimer, func() {
+		d.alpha *= 1 - d.G
+		d.armAlphaTimer()
+	})
+}
+
+func (d *DCQCN) armIncTimer() {
+	if d.lim.Engine == nil {
+		return
+	}
+	d.lim.Engine.Cancel(d.incTimer)
+	d.incTimer = d.lim.Engine.After(d.IncTimer, func() {
+		d.timerStage++
+		d.raise()
+		d.armIncTimer()
+	})
+}
+
+// raise performs one increase event: fast recovery toward the target for
+// the first F stages, then additive increase of the target, and hyper
+// increase once both counters pass F.
+func (d *DCQCN) raise() {
+	switch {
+	case d.timerStage > d.F && d.byteStage > d.F:
+		d.target = units.MinRate(d.target+d.RateHAI, d.lim.HostRate)
+	case d.timerStage > d.F || d.byteStage > d.F:
+		d.target = units.MinRate(d.target+d.RateAI, d.lim.HostRate)
+	}
+	d.rate = units.MinRate((d.rate+d.target)/2, d.lim.HostRate)
+}
+
+// Alpha exposes α for tests.
+func (d *DCQCN) Alpha() float64 { return d.alpha }
+
+// Stop cancels the algorithm's timers (flow teardown in long sweeps).
+func (d *DCQCN) Stop() {
+	if d.lim.Engine != nil {
+		d.lim.Engine.Cancel(d.alphaTimer)
+		d.lim.Engine.Cancel(d.incTimer)
+	}
+}

@@ -1,0 +1,105 @@
+package cc
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Swift implements the essentials of Swift (Kumar et al., SIGCOMM 2020),
+// TIMELY's voltage-based successor referenced throughout §2: AIMD on a
+// delay target with per-RTT-bounded multiplicative decrease. Included as
+// an additional baseline and for the voltage/current taxonomy ablation;
+// the paper's figures use TIMELY.
+type Swift struct {
+	// TargetFactor sets the delay target as a multiple of τ (default 1.25).
+	TargetFactor float64
+	// AI is the additive increase in packets per RTT (default 1).
+	AI float64
+	// Beta is the multiplicative-decrease gain (default 0.8).
+	Beta float64
+	// MaxMDF bounds a single decrease (default 0.5).
+	MaxMDF float64
+	// MinCwnd floors the window in bytes (default 100).
+	MinCwnd float64
+
+	lim       Limits
+	cwnd      float64
+	lastDecAt sim.Time
+	canDec    bool
+	target    sim.Duration
+}
+
+// NewSwift returns a Swift instance with published defaults.
+func NewSwift() *Swift { return &Swift{} }
+
+// SwiftBuilder adapts NewSwift to Builder.
+func SwiftBuilder() Builder { return func() Algorithm { return NewSwift() } }
+
+// Name implements Algorithm.
+func (s *Swift) Name() string { return "swift" }
+
+// Init implements Algorithm.
+func (s *Swift) Init(lim Limits) {
+	s.lim = lim
+	if s.TargetFactor == 0 {
+		s.TargetFactor = 1.25
+	}
+	if s.AI == 0 {
+		s.AI = 1
+	}
+	if s.Beta == 0 {
+		s.Beta = 0.8
+	}
+	if s.MaxMDF == 0 {
+		s.MaxMDF = 0.5
+	}
+	if s.MinCwnd == 0 {
+		s.MinCwnd = 100
+	}
+	s.cwnd = lim.BDP()
+	s.target = sim.Duration(float64(lim.BaseRTT) * s.TargetFactor)
+	s.canDec = true
+}
+
+// Cwnd implements Algorithm.
+func (s *Swift) Cwnd() float64 { return s.cwnd }
+
+// Rate implements Algorithm: cwnd/τ pacing like the other window laws.
+func (s *Swift) Rate() units.BitRate {
+	r := units.BitRate(s.cwnd*8/s.lim.BaseRTT.Seconds() + 0.5)
+	if r < units.Mbps {
+		r = units.Mbps
+	}
+	return units.MinRate(r, s.lim.HostRate)
+}
+
+// OnLoss implements Algorithm.
+func (s *Swift) OnLoss(sim.Time) {
+	s.cwnd = math.Max(s.cwnd*(1-s.MaxMDF), s.MinCwnd)
+}
+
+// OnAck implements Algorithm.
+func (s *Swift) OnAck(a Ack) {
+	if a.RTT <= 0 {
+		return
+	}
+	pkts := math.Max(s.cwnd/float64(s.lim.MSS), 1)
+	ackedPkts := float64(a.NewlyAcked) / float64(s.lim.MSS)
+	if a.RTT < s.target {
+		// Additive increase scaled to deliver AI packets per RTT.
+		s.cwnd += s.AI * ackedPkts / pkts * float64(s.lim.MSS)
+	} else if a.Now.Sub(s.lastDecAt) > a.RTT || s.canDec {
+		// At most one multiplicative decrease per RTT.
+		over := float64(a.RTT-s.target) / float64(a.RTT)
+		f := math.Max(1-s.Beta*over, 1-s.MaxMDF)
+		s.cwnd *= f
+		s.lastDecAt = a.Now
+		s.canDec = false
+	}
+	if a.Now.Sub(s.lastDecAt) > a.RTT {
+		s.canDec = true
+	}
+	s.cwnd = clamp(s.cwnd, s.MinCwnd, s.lim.BDP())
+}

@@ -1,0 +1,142 @@
+package cc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Timely implements TIMELY (Mittal et al., SIGCOMM 2015), the paper's
+// representative current-based law: it reacts to the RTT *gradient*, with
+// low/high RTT thresholds as guard rails and hyperactive increase (HAI)
+// after repeated negative gradients. Rate-based; the window is only a cap
+// on inflight data. As §2.2 shows, the gradient signal reacts fast but
+// admits no unique equilibrium queue length.
+type Timely struct {
+	// EWMAAlpha weighs new RTT-difference samples (default 0.875).
+	EWMAAlpha float64
+	// Beta is the multiplicative-decrease factor (default 0.8).
+	Beta float64
+	// TLow/THigh are the RTT guard thresholds (defaults 50 µs / 500 µs,
+	// as in the TIMELY paper's datacenter configuration).
+	TLow, THigh sim.Duration
+	// AddStep δ is the additive rate increment (default 30 Mbps).
+	AddStep units.BitRate
+	// HAIThresh is the consecutive-negative-gradient count that triggers
+	// hyperactive increase (default 5).
+	HAIThresh int
+	// MinRate floors the sending rate (default 10 Mbps).
+	MinRate units.BitRate
+
+	lim Limits
+
+	rate      units.BitRate
+	rttDiff   float64 // EWMA of RTT differences, in seconds
+	prevRTT   sim.Duration
+	havePrev  bool
+	negStreak int
+	lastSeq   int64 // once-per-RTT update gate
+}
+
+// NewTimely returns a TIMELY instance with published defaults.
+func NewTimely() *Timely { return &Timely{} }
+
+// TimelyBuilder adapts NewTimely to Builder.
+func TimelyBuilder() Builder { return func() Algorithm { return NewTimely() } }
+
+// Name implements Algorithm.
+func (t *Timely) Name() string { return "timely" }
+
+// Init implements Algorithm.
+func (t *Timely) Init(lim Limits) {
+	t.lim = lim
+	if t.EWMAAlpha == 0 {
+		t.EWMAAlpha = 0.875
+	}
+	if t.Beta == 0 {
+		t.Beta = 0.8
+	}
+	if t.TLow == 0 {
+		t.TLow = 50 * sim.Microsecond
+	}
+	if t.THigh == 0 {
+		t.THigh = 500 * sim.Microsecond
+	}
+	if t.AddStep == 0 {
+		t.AddStep = 30 * units.Mbps
+	}
+	if t.HAIThresh == 0 {
+		t.HAIThresh = 5
+	}
+	if t.MinRate == 0 {
+		t.MinRate = 10 * units.Mbps
+	}
+	t.rate = lim.HostRate
+}
+
+// Cwnd implements Algorithm: a rate-proportional inflight cap (TIMELY
+// itself is windowless; the cap only prevents unbounded bursts).
+func (t *Timely) Cwnd() float64 {
+	w := 2 * float64(t.rate.BDP(t.lim.BaseRTT))
+	if w < float64(t.lim.MSS) {
+		w = float64(t.lim.MSS)
+	}
+	return w
+}
+
+// Rate implements Algorithm.
+func (t *Timely) Rate() units.BitRate { return t.rate }
+
+// OnLoss implements Algorithm.
+func (t *Timely) OnLoss(sim.Time) {
+	t.rate = units.MaxRate(t.rate/2, t.MinRate)
+}
+
+// OnAck implements Algorithm. Updates run once per RTT, matching the
+// TIMELY engine's completion-event granularity.
+func (t *Timely) OnAck(a Ack) {
+	if a.RTT <= 0 {
+		return
+	}
+	if !t.havePrev {
+		t.prevRTT = a.RTT
+		t.havePrev = true
+		return
+	}
+	if a.AckSeq < t.lastSeq {
+		return
+	}
+	t.lastSeq = a.SndNxt
+
+	newDiff := float64(a.RTT-t.prevRTT) / float64(sim.Second)
+	t.prevRTT = a.RTT
+	t.rttDiff = (1-t.EWMAAlpha)*t.rttDiff + t.EWMAAlpha*newDiff
+	normGrad := t.rttDiff / t.lim.BaseRTT.Seconds()
+
+	switch {
+	case a.RTT < t.TLow:
+		t.increase(1)
+	case a.RTT > t.THigh:
+		// Proportional decrease toward THigh.
+		f := 1 - t.Beta*(1-float64(t.THigh)/float64(a.RTT))
+		t.decreaseTo(float64(t.rate) * f)
+	case normGrad <= 0:
+		t.negStreak++
+		n := 1
+		if t.negStreak >= t.HAIThresh {
+			n = 5 // hyperactive increase
+		}
+		t.increase(n)
+	default:
+		t.negStreak = 0
+		t.decreaseTo(float64(t.rate) * (1 - t.Beta*normGrad))
+	}
+}
+
+func (t *Timely) increase(n int) {
+	t.rate = units.MinRate(t.rate+units.BitRate(n)*t.AddStep, t.lim.HostRate)
+}
+
+func (t *Timely) decreaseTo(r float64) {
+	t.negStreak = 0
+	t.rate = units.MaxRate(units.BitRate(r), t.MinRate)
+}

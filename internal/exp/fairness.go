@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// FairnessOptions configures Figure 5 (and Figure 9 for HOMA's
+// overcommitment levels): staggered flows share one 25 Gbps bottleneck;
+// the figure plots each flow's throughput as flows arrive and leave.
+type FairnessOptions struct {
+	Scheme       string
+	Flows        int          // default 4, as in Fig. 5
+	Stagger      sim.Duration // arrival spacing (default 1 ms)
+	Sizes        []int64      // transfer sizes; defaults make flows leave in order
+	Window       sim.Duration // observation window (default 8 ms)
+	SamplePeriod sim.Duration // default 50 µs
+	Seed         int64
+}
+
+func (o *FairnessOptions) fillDefaults() {
+	if o.Flows == 0 {
+		o.Flows = 4
+	}
+	if o.Stagger == 0 {
+		o.Stagger = sim.Millisecond
+	}
+	if o.Window == 0 {
+		o.Window = 8 * sim.Millisecond
+	}
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = 50 * sim.Microsecond
+	}
+	if len(o.Sizes) == 0 {
+		// Chosen so at 25G fair sharing the flows finish in arrival
+		// order, giving the arrive-and-leave staircase of Fig. 5.
+		o.Sizes = []int64{9 << 20, 6 << 20, 4 << 20, 2 << 20}[:min(o.Flows, 4)]
+		for len(o.Sizes) < o.Flows {
+			o.Sizes = append(o.Sizes, 2<<20)
+		}
+	}
+}
+
+// FairnessResult carries per-flow throughput series.
+type FairnessResult struct {
+	Scheme  string
+	T       []sim.Time
+	Per     [][]float64 // Per[i][k]: flow i's Gbps at sample k
+	JainAvg float64     // mean Jain index over samples with ≥2 active flows
+}
+
+// RunFairness reproduces Figure 5: Flows staggered senders to one
+// receiver over a single 25G bottleneck.
+func RunFairness(o FairnessOptions) FairnessResult {
+	o.fillDefaults()
+	scheme := SchemeByName(o.Scheme)
+	lab := NewStarLab(scheme, o.Flows+1, o.Seed)
+	net := lab.Net
+
+	const receiver = 0
+	flowIDs := make([]packet.FlowID, o.Flows)
+	for i := 0; i < o.Flows; i++ {
+		flowIDs[i] = lab.Launch(workload.Flow{
+			Start: sim.Time(sim.Duration(i) * o.Stagger),
+			Src:   i + 1, Dst: receiver, Size: o.Sizes[i],
+		})
+	}
+
+	res := FairnessResult{Scheme: o.Scheme, Per: make([][]float64, o.Flows)}
+	last := make([]int64, o.Flows)
+	var jainSum float64
+	var jainN int
+	SampleEvery(net.Eng, o.SamplePeriod, sim.Time(o.Window), func(now sim.Time) {
+		res.T = append(res.T, now)
+		var sum, sumSq float64
+		active := 0
+		for i := 0; i < o.Flows; i++ {
+			cur := lab.ReceivedBytes(receiver, flowIDs[i])
+			g := stats.Gbps(cur-last[i], o.SamplePeriod)
+			last[i] = cur
+			res.Per[i] = append(res.Per[i], g)
+			if g > 0.5 {
+				active++
+				sum += g
+				sumSq += g * g
+			}
+		}
+		if active >= 2 && sumSq > 0 {
+			jainSum += sum * sum / (float64(active) * sumSq)
+			jainN++
+		}
+	})
+	net.Eng.RunUntil(sim.Time(o.Window))
+	if jainN > 0 {
+		res.JainAvg = jainSum / float64(jainN)
+	}
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

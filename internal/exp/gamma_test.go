@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// §3.3: γ balances reaction time against sensitivity to noise. A very
+// small γ reacts sluggishly — during an incast the queue peak stays high
+// for longer — while the recommended γ=0.9 cuts within roughly an RTT.
+// We compare the tail-mean queue after the burst.
+func TestGammaTradeoff(t *testing.T) {
+	run := func(gamma float64) IncastResult {
+		return RunIncastWith(WithGamma(PowerTCP, gamma), IncastOptions{
+			FanIn: 10, Window: 2 * sim.Millisecond, Seed: 4,
+		})
+	}
+	slow := run(0.1)
+	rec := run(0.9)
+	if rec.TailMeanQueueKB > slow.TailMeanQueueKB+1 {
+		t.Fatalf("γ=0.9 resolved worse than γ=0.1: %.1fKB vs %.1fKB",
+			rec.TailMeanQueueKB, slow.TailMeanQueueKB)
+	}
+	// Both must still complete the incast and keep goodput.
+	if rec.AvgGoodputGbps < 15 {
+		t.Fatalf("γ=0.9 goodput = %v", rec.AvgGoodputGbps)
+	}
+}
+
+// WithGamma must override both PowerTCP variants' γ.
+func TestWithGammaBuilders(t *testing.T) {
+	for _, name := range []string{PowerTCP, ThetaPowerTCP} {
+		s := WithGamma(name, 0.5)
+		if s.Gamma != 0.5 || s.Alg == nil {
+			t.Fatalf("WithGamma(%s) = %+v", name, s)
+		}
+		alg := s.Alg()
+		if alg == nil {
+			t.Fatal("builder returned nil")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// IncastOptions configures the Figure 4 experiment (and Figures 10–11
+// for HOMA's overcommitment appendix): fanIn senders fire at a receiver
+// already sinking a long flow; the figure tracks receiver throughput and
+// the bottleneck queue.
+type IncastOptions struct {
+	Scheme        string
+	FanIn         int          // 10 (top row) or 255 (bottom row)
+	ServersPerTor int          // ≥ enough racks for FanIn cross-rack senders
+	FlowSize      int64        // bytes per responder (default 500 KB)
+	Window        sim.Duration // observation window (default 4 ms, as in Fig. 4)
+	Warmup        sim.Duration // long-flow head start (default 500 µs)
+	SamplePeriod  sim.Duration // default 20 µs
+	Seed          int64
+	DTAlpha       float64 // Dynamic Thresholds override (0 = default α=1)
+}
+
+func (o *IncastOptions) fillDefaults() {
+	if o.ServersPerTor == 0 {
+		o.ServersPerTor = 8
+	}
+	if o.FlowSize == 0 {
+		o.FlowSize = 500_000
+	}
+	if o.Window == 0 {
+		o.Window = 4 * sim.Millisecond
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500 * sim.Microsecond
+	}
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = 20 * sim.Microsecond
+	}
+}
+
+// TimePoint is one sample of the Figure 4 time series.
+type TimePoint struct {
+	T              sim.Time
+	ThroughputGbps float64
+	QueueKB        float64
+}
+
+// IncastResult is the data behind one Figure 4 panel.
+type IncastResult struct {
+	Scheme          string
+	FanIn           int
+	Points          []TimePoint
+	PeakQueueKB     float64
+	AvgGoodputGbps  float64 // receiver goodput over the window
+	EndQueueKB      float64 // queue at the end: did congestion resolve?
+	TailMeanQueueKB float64 // mean queue over the last quarter of the window
+	Completed       int     // incast flows finished inside the window
+}
+
+// RunIncast reproduces one panel of Figure 4: at Warmup a FanIn:1 incast
+// (senders in other racks) hits the receiver of a long flow.
+func RunIncast(o IncastOptions) IncastResult {
+	return RunIncastWith(SchemeByName(o.Scheme), o)
+}
+
+// RunIncastWith runs the incast under a custom Scheme (γ sweeps and other
+// ablations).
+func RunIncastWith(scheme Scheme, o IncastOptions) IncastResult {
+	o.fillDefaults()
+	if o.Scheme == "" {
+		o.Scheme = scheme.Name
+	}
+	lab := NewFatTreeLabAlpha(scheme, o.ServersPerTor, o.Seed, o.DTAlpha)
+	net := lab.Net
+
+	const receiver = 0
+	hosts := len(net.Hosts)
+	perRack := o.ServersPerTor
+
+	// Long flow from the last rack toward the receiver.
+	longSrc := hosts - 1
+	longSize := int64(1) << 33 // effectively unbounded for the window
+	if !scheme.IsHoma() {
+		longSize = transport.Unbounded
+	}
+	lab.Launch(workload.Flow{Start: 0, Src: longSrc, Dst: receiver, Size: longSize})
+
+	// FanIn cross-rack senders fire together at Warmup.
+	launched := 0
+	for i := perRack; launched < o.FanIn && i < hosts-1; i++ {
+		lab.Launch(workload.Flow{
+			Start: sim.Time(o.Warmup), Src: i, Dst: receiver, Size: o.FlowSize,
+		})
+		launched++
+	}
+
+	// The bottleneck is ToR 0's egress port to the receiver (ports are
+	// created per server in order, so port 0 faces host 0).
+	port := net.Switches[0].Ports()[receiver]
+
+	res := IncastResult{Scheme: o.Scheme, FanIn: launched}
+	var lastBytes int64
+	end := sim.Time(o.Warmup + o.Window)
+	SampleEvery(net.Eng, o.SamplePeriod, end, func(now sim.Time) {
+		cur := lab.ReceivedTotal(receiver)
+		tp := TimePoint{
+			T:              now,
+			ThroughputGbps: stats.Gbps(cur-lastBytes, o.SamplePeriod),
+			QueueKB:        float64(port.QueueBytes()) / 1024,
+		}
+		lastBytes = cur
+		res.Points = append(res.Points, tp)
+	})
+	net.Eng.RunUntil(end)
+
+	var sumTp float64
+	for _, p := range res.Points {
+		if p.QueueKB > res.PeakQueueKB {
+			res.PeakQueueKB = p.QueueKB
+		}
+		sumTp += p.ThroughputGbps
+	}
+	if n := len(res.Points); n > 0 {
+		res.AvgGoodputGbps = sumTp / float64(n)
+		res.EndQueueKB = res.Points[n-1].QueueKB
+		k := n / 4
+		if k == 0 {
+			k = 1
+		}
+		var tail float64
+		for _, p := range res.Points[n-k:] {
+			tail += p.QueueKB
+		}
+		res.TailMeanQueueKB = tail / float64(k)
+	}
+	for _, r := range lab.Records {
+		if r.Size == o.FlowSize {
+			res.Completed++
+		}
+	}
+	return res
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"repro/internal/homa"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// FlowRecord is one completed transfer.
+type FlowRecord struct {
+	Size     int64
+	FCT      sim.Duration
+	Slowdown float64
+}
+
+// Lab is a built network plus the scheme-appropriate launch/collect
+// plumbing shared by the experiment runners.
+type Lab struct {
+	Scheme  Scheme
+	Net     *topo.Network
+	FTCfg   topo.FatTreeConfig
+	Records []FlowRecord
+
+	started int
+}
+
+// NewFatTreeLab builds the paper's fat-tree (§4.1) scaled to
+// serversPerTor servers per rack and wires flow-completion collection.
+func NewFatTreeLab(scheme Scheme, serversPerTor int, seed int64) *Lab {
+	return NewFatTreeLabAlpha(scheme, serversPerTor, seed, 0)
+}
+
+// NewFatTreeLabAlpha additionally overrides the Dynamic Thresholds
+// factor (0 keeps the default α=1) for buffer-management ablations.
+func NewFatTreeLabAlpha(scheme Scheme, serversPerTor int, seed int64, alpha float64) *Lab {
+	l := &Lab{Scheme: scheme}
+	cfg := topo.FatTreeConfig{
+		ServersPerTor: serversPerTor,
+		Opts: topo.Options{
+			BufferPerGbps: topo.TofinoBufferPerGbps,
+			Alpha:         alpha,
+			INT:           scheme.INT,
+			ECN:           scheme.ECN,
+			Queues:        scheme.queueFactory(),
+			Seed:          seed,
+		},
+	}.WithDefaults()
+	cfg.Opts.Hosts = l.hostFactory(&cfg)
+	l.Net = topo.FatTree(cfg)
+	l.FTCfg = cfg
+	l.wireCollectors()
+	return l
+}
+
+// NewStarLab builds an n-host single-switch network at 25 Gbps.
+func NewStarLab(scheme Scheme, hosts int, seed int64) *Lab {
+	l := &Lab{Scheme: scheme}
+	cfg := topo.StarConfig{
+		Hosts:    hosts,
+		HostRate: 25 * units.Gbps,
+		Opts: topo.Options{
+			BufferPerGbps: topo.TofinoBufferPerGbps,
+			INT:           scheme.INT,
+			ECN:           scheme.ECN,
+			Queues:        scheme.queueFactory(),
+			Seed:          seed,
+		},
+	}
+	cfg.Opts.Hosts = l.starHostFactory()
+	l.Net = topo.Star(cfg)
+	l.wireCollectors()
+	return l
+}
+
+// hostFactory builds hosts for a fat-tree, deferring BaseRTT to the
+// built network (the paper configures τ as the topology's max RTT).
+func (l *Lab) hostFactory(cfg *topo.FatTreeConfig) topo.HostFactory {
+	return func(eng *sim.Engine, id packet.NodeID) topo.Node {
+		if l.Scheme.IsHoma() {
+			return homa.NewHost(eng, id, homa.Config{
+				BaseRTT:    30 * sim.Microsecond,
+				Overcommit: l.Scheme.Overcommit,
+			})
+		}
+		return transport.NewHost(eng, id, transport.Config{BaseRTT: 30 * sim.Microsecond})
+	}
+}
+
+func (l *Lab) starHostFactory() topo.HostFactory {
+	return func(eng *sim.Engine, id packet.NodeID) topo.Node {
+		if l.Scheme.IsHoma() {
+			return homa.NewHost(eng, id, homa.Config{
+				BaseRTT:    12 * sim.Microsecond,
+				Overcommit: l.Scheme.Overcommit,
+			})
+		}
+		return transport.NewHost(eng, id, transport.Config{BaseRTT: 12 * sim.Microsecond})
+	}
+}
+
+// wireCollectors attaches completion callbacks on every host.
+func (l *Lab) wireCollectors() {
+	for _, n := range l.Net.Hosts {
+		switch h := n.(type) {
+		case *transport.Host:
+			h.OnFlowDone = func(f *transport.Flow) { l.record(f.Size, f.FCT()) }
+		case *homa.Host:
+			h.OnMessageDone = func(_ uint64, size int64, fct sim.Duration) {
+				l.record(size, fct)
+			}
+		}
+	}
+}
+
+func (l *Lab) record(size int64, fct sim.Duration) {
+	l.Records = append(l.Records, FlowRecord{
+		Size:     size,
+		FCT:      fct,
+		Slowdown: stats.Slowdown(fct, size, l.Net.HostRate, l.Net.BaseRTT),
+	})
+}
+
+// Launch starts one workload flow (transport flow or HOMA message) and
+// returns the flow ID it was assigned.
+func (l *Lab) Launch(f workload.Flow) packet.FlowID {
+	l.started++
+	id := l.Net.NextFlowID()
+	dst := l.Net.HostID(f.Dst)
+	switch h := l.Net.Hosts[f.Src].(type) {
+	case *transport.Host:
+		h.StartFlow(id, dst, f.Size, l.Scheme.Alg(), f.Start)
+	case *homa.Host:
+		h.Send(id, dst, f.Size, f.Start)
+	}
+	return id
+}
+
+// LaunchAll starts a whole trace.
+func (l *Lab) LaunchAll(flows []workload.Flow) {
+	for _, f := range flows {
+		l.Launch(f)
+	}
+}
+
+// Started returns the number of launched flows.
+func (l *Lab) Started() int { return l.started }
+
+// ReceivedTotal returns the payload bytes received by host i.
+func (l *Lab) ReceivedTotal(i int) int64 {
+	switch h := l.Net.Hosts[i].(type) {
+	case *transport.Host:
+		return h.ReceivedTotal()
+	case *homa.Host:
+		return h.ReceivedTotal()
+	}
+	return 0
+}
+
+// ReceivedBytes returns the payload bytes host i received on one flow.
+func (l *Lab) ReceivedBytes(i int, id packet.FlowID) int64 {
+	switch h := l.Net.Hosts[i].(type) {
+	case *transport.Host:
+		return h.ReceivedBytes(id)
+	case *homa.Host:
+		return h.ReceivedBytes(id)
+	}
+	return 0
+}
+
+// SampleEvery invokes fn(now) at the given period until the horizon.
+func SampleEvery(eng *sim.Engine, period sim.Duration, until sim.Time, fn func(now sim.Time)) {
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		if now > until {
+			return
+		}
+		fn(now)
+		eng.After(period, tick)
+	}
+	eng.After(0, tick)
+}
+
+// Binned summarizes the lab's completed flows into the paper's size bins.
+func (l *Lab) Binned() *stats.BinnedSlowdowns {
+	b := stats.NewBinnedSlowdowns()
+	for _, r := range l.Records {
+		b.Add(r.Size, r.Slowdown)
+	}
+	return b
+}
+
+// ClassP returns the p-th percentile slowdown over flows in
+// (sizes limited by lo < size ≤ hi; hi ≤ 0 means unbounded).
+func (l *Lab) ClassP(p float64, lo, hi int64) float64 {
+	var d stats.Dist
+	for _, r := range l.Records {
+		if r.Size > lo && (hi <= 0 || r.Size <= hi) {
+			d.Add(r.Slowdown)
+		}
+	}
+	return d.Percentile(p)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWebSearchIncastOverlay(t *testing.T) {
+	base := WebSearchOptions{
+		Scheme: PowerTCP, Load: 0.1, ServersPerTor: 4,
+		Duration: 3 * sim.Millisecond, Drain: 2 * sim.Millisecond, Seed: 5,
+	}
+	plain := RunWebSearch(base)
+	withIncast := base
+	withIncast.IncastRate = 2000 // ≈6 requests in the horizon
+	withIncast.IncastSize = 1 << 20
+	withIncast.IncastFanIn = 8
+	burst := RunWebSearch(withIncast)
+	if burst.Started <= plain.Started {
+		t.Fatalf("incast overlay added no flows: %d vs %d", burst.Started, plain.Started)
+	}
+	// Each request fans out to IncastFanIn responders.
+	extra := burst.Started - plain.Started
+	if extra%withIncast.IncastFanIn != 0 {
+		t.Fatalf("overlay flows %d not a multiple of fan-in %d", extra, withIncast.IncastFanIn)
+	}
+}
+
+func TestLoadSweepShapes(t *testing.T) {
+	rs := LoadSweep(PowerTCP, []float64{0.1, 0.3}, WebSearchOptions{
+		ServersPerTor: 4, Duration: 3 * sim.Millisecond,
+		Drain: 2 * sim.Millisecond, Seed: 6,
+	})
+	if len(rs) != 2 || rs[0].Load != 0.1 || rs[1].Load != 0.3 {
+		t.Fatalf("sweep shape wrong: %+v", rs)
+	}
+	if rs[1].Started <= rs[0].Started {
+		t.Fatal("higher load generated fewer flows")
+	}
+}
+
+func TestFairnessHomaOvercommitRuns(t *testing.T) {
+	for _, oc := range []int{1, 4} {
+		r := RunFairness(FairnessOptions{
+			Scheme: SchemeByName(Homa).Name, Seed: 3,
+			Window: 4 * sim.Millisecond,
+		})
+		if len(r.T) == 0 {
+			t.Fatalf("oc %d: empty series", oc)
+		}
+	}
+}

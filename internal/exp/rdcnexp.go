@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/rdcn"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// RDCN scheme names (Fig. 8 legend). reTCP variants carry their
+// prebuffering in microseconds.
+const (
+	ReTCP600  = "retcp-600"
+	ReTCP1800 = "retcp-1800"
+)
+
+// RDCNOptions configures the reconfigurable-DCN case study (§5). All
+// servers of ToR 0 send long flows to the corresponding servers of ToR
+// 1; the monitored circuit is ToR 0's, which reaches ToR 1 once per
+// rotor week.
+type RDCNOptions struct {
+	Scheme        string        // powertcp | hpcc | retcp-600 | retcp-1800
+	Tors          int           // default 8 for benches (paper: 25)
+	ServersPerTor int           // default 4 (paper: 10)
+	PacketRate    units.BitRate // Fig. 8b sweeps 25/50 Gbps
+	Weeks         int           // rotor weeks to simulate (default 3)
+	SamplePeriod  sim.Duration  // default 10 µs
+	Seed          int64
+}
+
+func (o *RDCNOptions) fillDefaults() {
+	if o.Tors == 0 {
+		// 16 keeps the rotor week (3.7 ms) comfortably longer than
+		// reTCP's 1800 µs prebuffering, like the paper's 25-ToR setup.
+		o.Tors = 16
+	}
+	if o.ServersPerTor == 0 {
+		o.ServersPerTor = 4
+	}
+	if o.PacketRate == 0 {
+		o.PacketRate = 25 * units.Gbps
+	}
+	if o.Weeks == 0 {
+		o.Weeks = 3
+	}
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = 10 * sim.Microsecond
+	}
+}
+
+// RDCNResult is the data behind Figure 8.
+type RDCNResult struct {
+	Scheme string
+
+	// Fig. 8a series for the monitored ToR pair.
+	T          []sim.Time
+	Throughput []float64 // receiver-side Gbps
+	VOQKB      []float64 // ToR0's VOQ toward ToR1
+
+	// Circuit utilization of the monitored pair's days (the paper's
+	// 80–85% headline).
+	CircuitUtilization float64
+	// Fig. 8b metric: tail (p99) per-packet queuing latency in µs.
+	TailQueuingUs float64
+	// Mean goodput across the run.
+	AvgGoodputGbps float64
+}
+
+// RunRDCN reproduces Figure 8 for one scheme.
+func RunRDCN(o RDCNOptions) RDCNResult {
+	o.fillDefaults()
+	prebuffer := sim.Duration(0)
+	switch {
+	case strings.HasPrefix(o.Scheme, "retcp-"):
+		var us int
+		if _, err := fmt.Sscanf(o.Scheme, "retcp-%d", &us); err != nil {
+			panic("exp: bad reTCP scheme " + o.Scheme)
+		}
+		prebuffer = sim.Duration(us) * sim.Microsecond
+	case o.Scheme == PowerTCP, o.Scheme == HPCC:
+	default:
+		panic("exp: unsupported RDCN scheme " + o.Scheme)
+	}
+
+	net := rdcn.Build(rdcn.Config{
+		Tors:          o.Tors,
+		ServersPerTor: o.ServersPerTor,
+		PacketRate:    o.PacketRate,
+		Prebuffer:     prebuffer,
+		INT:           true,
+	})
+
+	// Per-packet latency collection at the receiving rack: queuing
+	// latency is one-way delay minus the minimum observed (propagation +
+	// serialization floor).
+	var delays stats.Dist
+	for _, h := range net.HostsOfTor(1) {
+		h := h
+		h.OnData = func(p *packet.Packet) {
+			delays.Add(net.Eng.Now().Sub(p.SentAt).Seconds())
+		}
+	}
+
+	// Long flows: server i of ToR0 → server i of ToR1.
+	srcs := net.HostsOfTor(0)
+	dsts := net.HostsOfTor(1)
+	nFlows := len(srcs)
+	for i, src := range srcs {
+		alg := rdcnAlg(o.Scheme, net, prebuffer, nFlows)
+		src.StartFlow(net.NextFlowID(), dsts[i].ID(), transport.Unbounded, alg, 0)
+	}
+
+	horizon := sim.Time(sim.Duration(o.Weeks) * net.Sched.Week())
+	res := RDCNResult{Scheme: o.Scheme}
+	var lastRx int64
+	rxTotal := func() int64 {
+		var n int64
+		for _, h := range dsts {
+			n += h.ReceivedTotal()
+		}
+		return n
+	}
+	SampleEvery(net.Eng, o.SamplePeriod, horizon, func(now sim.Time) {
+		cur := rxTotal()
+		res.T = append(res.T, now)
+		res.Throughput = append(res.Throughput, stats.Gbps(cur-lastRx, o.SamplePeriod))
+		res.VOQKB = append(res.VOQKB, float64(net.Tors[0].VOQBytes(1))/1024)
+		lastRx = cur
+	})
+
+	// Track circuit bytes of the monitored pair: snapshot the circuit
+	// port's counter at each day boundary of matching ToR0→ToR1.
+	var dayBytes []int64
+	for w := 0; w < o.Weeks; w++ {
+		start := net.Sched.NextDayStart(0, 1, sim.Time(sim.Duration(w)*net.Sched.Week()))
+		var atStart uint64
+		net.Eng.At(start, func() { atStart = net.Tors[0].CircuitPort().TxBytes() })
+		net.Eng.At(start.Add(net.Sched.Day), func() {
+			dayBytes = append(dayBytes, int64(net.Tors[0].CircuitPort().TxBytes()-atStart))
+		})
+	}
+
+	net.Eng.RunUntil(horizon)
+
+	// Circuit utilization across monitored days.
+	cap := net.Cfg.CircuitRate.Bytes(net.Sched.Day)
+	var used int64
+	for _, b := range dayBytes {
+		used += b
+	}
+	if len(dayBytes) > 0 {
+		res.CircuitUtilization = float64(used) / float64(cap*int64(len(dayBytes)))
+	}
+	// Tail queuing latency: p99 one-way delay above the observed floor.
+	if delays.Count() > 0 {
+		floor := delays.Percentile(0)
+		res.TailQueuingUs = (delays.Percentile(99) - floor) * 1e6
+	}
+	res.AvgGoodputGbps = stats.Gbps(rxTotal(), horizon.Duration())
+	return res
+}
+
+// rdcnAlg builds the per-flow algorithm for the RDCN run. PowerTCP and
+// HPCC limit window updates to once per RTT for the fair comparison with
+// reTCP (§5); both are capped at the 25G host BDP, which is all one NIC
+// can contribute toward filling the 100G circuit.
+func rdcnAlg(scheme string, net *rdcn.Network, prebuffer sim.Duration, flows int) cc.Algorithm {
+	switch scheme {
+	case PowerTCP:
+		return core.New(core.Config{UpdatePerRTT: true})
+	case HPCC:
+		return cc.NewHPCC()
+	default: // retcp-*
+		return &rdcn.ReTCP{
+			Sched:        net.Sched,
+			SrcTor:       0,
+			DstTor:       1,
+			Prebuffer:    prebuffer,
+			PacketRate:   net.Cfg.PacketRate,
+			CircuitRate:  net.Cfg.CircuitRate,
+			FlowsSharing: flows,
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package exp is the experiment harness: one runner per figure of the
+// paper's evaluation (§4–§5, Appendix D). Each runner builds the
+// topology, generates the workload, drives the simulation, and returns
+// the data series or table rows the corresponding figure plots.
+// cmd/figures renders them; bench_test.go regenerates them under
+// `go test -bench`; EXPERIMENTS.md records paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/swtch"
+)
+
+// Scheme names accepted by the runners (matching the paper's legends).
+const (
+	PowerTCP      = "powertcp"
+	ThetaPowerTCP = "theta-powertcp"
+	HPCC          = "hpcc"
+	Timely        = "timely"
+	DCQCN         = "dcqcn"
+	Swift         = "swift"
+	DCTCP         = "dctcp" // taxonomy reference (Fig. 1), ablations
+	Reno          = "reno"  // loss-based reference, ablations
+	Cubic         = "cubic" // loss-based WAN reference, ablations
+	Homa          = "homa"  // overcommitment 1; "homa-oc<N>" selects N
+)
+
+// Schemes lists every sender-based scheme, in the paper's legend order.
+var Schemes = []string{PowerTCP, ThetaPowerTCP, HPCC, Timely, DCQCN, Homa}
+
+// Scheme bundles a congestion-control choice with the switch features it
+// needs: INT stamping for the telemetry-driven laws, RED/ECN for DCQCN,
+// and strict-priority queues for HOMA.
+type Scheme struct {
+	Name string
+	// Alg builds a per-flow algorithm; nil for HOMA (its own transport).
+	Alg cc.Builder
+	// INT enables telemetry stamping on the switches.
+	INT bool
+	// ECN configures RED marking (DCQCN).
+	ECN swtch.ECNConfig
+	// PrioQueues replaces FIFO egress queues with 8-level strict
+	// priority (HOMA).
+	PrioQueues bool
+	// Overcommit is HOMA's concurrent-grant degree.
+	Overcommit int
+	// Gamma overrides PowerTCP's EWMA weight (ablations); 0 = default.
+	Gamma float64
+	// PerRTT limits PowerTCP updates to once per RTT (§5).
+	PerRTT bool
+}
+
+// IsHoma reports whether the scheme uses the receiver-driven transport.
+func (s Scheme) IsHoma() bool { return s.Alg == nil }
+
+// DCQCNECN is the marking profile used for DCQCN runs, following the
+// HPCC paper's configuration the authors adopt (§4.1).
+var DCQCNECN = swtch.ECNConfig{KMin: 100 << 10, KMax: 400 << 10, PMax: 0.2}
+
+// DCTCPECN is DCTCP's step marking at threshold K (the paper notes the
+// flows oscillate around K > b·τ/7, §2.2).
+var DCTCPECN = swtch.ECNConfig{KMin: 65 << 10, KMax: 65<<10 + 1, PMax: 1}
+
+// SchemeByName resolves a scheme name; it panics on unknown names so
+// misconfigured experiments fail loudly.
+func SchemeByName(name string) Scheme {
+	switch {
+	case name == PowerTCP:
+		return Scheme{Name: name, INT: true,
+			Alg: core.Builder(core.Config{})}
+	case name == ThetaPowerTCP:
+		return Scheme{Name: name,
+			Alg: core.ThetaBuilder(core.Config{})}
+	case name == HPCC:
+		return Scheme{Name: name, INT: true, Alg: cc.HPCCBuilder()}
+	case name == Timely:
+		return Scheme{Name: name, Alg: cc.TimelyBuilder()}
+	case name == DCQCN:
+		return Scheme{Name: name, ECN: DCQCNECN, Alg: cc.DCQCNBuilder()}
+	case name == Swift:
+		return Scheme{Name: name, Alg: cc.SwiftBuilder()}
+	case name == DCTCP:
+		return Scheme{Name: name, ECN: DCTCPECN, Alg: cc.DCTCPBuilder()}
+	case name == Reno:
+		return Scheme{Name: name, Alg: cc.RenoBuilder()}
+	case name == Cubic:
+		return Scheme{Name: name, Alg: cc.CubicBuilder()}
+	case name == Homa:
+		return Scheme{Name: name, PrioQueues: true, Overcommit: 1}
+	case strings.HasPrefix(name, "homa-oc"):
+		var oc int
+		if _, err := fmt.Sscanf(name, "homa-oc%d", &oc); err != nil || oc < 1 {
+			panic("exp: bad homa overcommit scheme " + name)
+		}
+		return Scheme{Name: name, PrioQueues: true, Overcommit: oc}
+	default:
+		panic("exp: unknown scheme " + name)
+	}
+}
+
+// WithGamma returns a PowerTCP-family scheme with a custom γ (ablation).
+func WithGamma(name string, gamma float64) Scheme {
+	s := SchemeByName(name)
+	s.Gamma = gamma
+	switch name {
+	case PowerTCP:
+		s.Alg = core.Builder(core.Config{Gamma: gamma})
+	case ThetaPowerTCP:
+		s.Alg = core.ThetaBuilder(core.Config{Gamma: gamma})
+	}
+	return s
+}
+
+// queueFactory returns the per-port queue constructor for the scheme.
+func (s Scheme) queueFactory() func() queue.Queue {
+	if s.PrioQueues {
+		return func() queue.Queue { return queue.NewPrio() }
+	}
+	return nil
+}

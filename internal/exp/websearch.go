@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// WebSearchOptions configures the workload experiments behind Figures 6
+// and 7: the web-search flow-size distribution offered as an open-loop
+// Poisson process at a target ToR-uplink load on the fat-tree, optionally
+// overlaid with the synthetic incast workload (Fig. 7c–f).
+type WebSearchOptions struct {
+	Scheme        string
+	Load          float64      // ToR-uplink load, 0.2–0.95 (§4.1)
+	ServersPerTor int          // 32 = paper scale; benches default to 8
+	Duration      sim.Duration // workload generation horizon (default 15 ms)
+	Drain         sim.Duration // extra time for in-flight flows (default 5 ms)
+	Seed          int64
+	// Incast overlays the request workload of Fig. 7c–f when RequestRate
+	// is nonzero.
+	IncastRate    float64 // requests per second across the cluster
+	IncastSize    int64   // bytes per request
+	IncastFanIn   int     // responders per request (default 16)
+	SampleBuffers bool    // collect the buffer-occupancy CDF (Fig. 7g/h)
+}
+
+func (o *WebSearchOptions) fillDefaults() {
+	if o.ServersPerTor == 0 {
+		o.ServersPerTor = 8
+	}
+	if o.Duration == 0 {
+		o.Duration = 15 * sim.Millisecond
+	}
+	if o.Drain == 0 {
+		o.Drain = 5 * sim.Millisecond
+	}
+	if o.IncastFanIn == 0 {
+		o.IncastFanIn = 16
+	}
+}
+
+// WebSearchResult is one scheme×load cell of Figures 6–7.
+type WebSearchResult struct {
+	Scheme string
+	Load   float64
+
+	Started   int
+	Completed int
+
+	// Binned is Figure 6's x-axis: p99.9 slowdown per flow-size bin.
+	Binned *stats.BinnedSlowdowns
+	// ShortP999 / MediumP999 / LongP999 are the class percentiles of
+	// Fig. 7a/7b (short <10 KB, medium 100 KB–1 MB, long >1 MB).
+	ShortP999  float64
+	MediumP999 float64
+	LongP999   float64
+
+	// BufferCDF is the distribution of ToR shared-buffer occupancy
+	// samples (Fig. 7g/h), in bytes.
+	BufferCDF []stats.CDFPoint
+	BufferP99 float64
+}
+
+// RunWebSearch reproduces one cell of Figures 6–7.
+func RunWebSearch(o WebSearchOptions) WebSearchResult {
+	return RunWebSearchWith(SchemeByName(o.Scheme), o)
+}
+
+// RunWebSearchWith runs the workload under a custom Scheme (ablations).
+func RunWebSearchWith(scheme Scheme, o WebSearchOptions) WebSearchResult {
+	o.fillDefaults()
+	if o.Scheme == "" {
+		o.Scheme = scheme.Name
+	}
+	lab := NewFatTreeLab(scheme, o.ServersPerTor, o.Seed)
+	net := lab.Net
+	ftCfg := lab.FTCfg
+
+	racks := ftCfg.Pods * ftCfg.TorsPerPod
+	uplinkCap := units.BitRate(ftCfg.AggsPerPod) * ftCfg.FabricRate
+
+	gen := &workload.Poisson{
+		Load:             o.Load,
+		UplinkCapPerRack: uplinkCap,
+		Racks:            racks,
+		HostsPerRack:     o.ServersPerTor,
+		Dist:             workload.WebSearch(),
+		Seed:             o.Seed,
+	}
+	lab.LaunchAll(gen.Generate(o.Duration))
+
+	if o.IncastRate > 0 {
+		ic := &workload.Incast{
+			RequestRate:  o.IncastRate,
+			RequestSize:  o.IncastSize,
+			FanIn:        o.IncastFanIn,
+			Racks:        racks,
+			HostsPerRack: o.ServersPerTor,
+			Seed:         o.Seed + 1,
+		}
+		lab.LaunchAll(ic.Generate(o.Duration))
+	}
+
+	var bufSamples stats.Dist
+	horizon := sim.Time(o.Duration + o.Drain)
+	if o.SampleBuffers {
+		tors := racks
+		SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(o.Duration), func(sim.Time) {
+			for t := 0; t < tors; t++ {
+				bufSamples.Add(float64(net.Switches[t].Shared().Used()))
+			}
+		})
+	}
+
+	net.Eng.RunUntil(horizon)
+
+	res := WebSearchResult{
+		Scheme:    o.Scheme,
+		Load:      o.Load,
+		Started:   lab.Started(),
+		Completed: len(lab.Records),
+		Binned:    lab.Binned(),
+	}
+	res.ShortP999 = lab.ClassP(99.9, 0, stats.ShortFlowMax)
+	res.MediumP999 = lab.ClassP(99.9, 100_000, stats.LongFlowMin)
+	res.LongP999 = lab.ClassP(99.9, stats.LongFlowMin, 0)
+	if o.SampleBuffers {
+		res.BufferCDF = bufSamples.CDF(50)
+		res.BufferP99 = bufSamples.Percentile(99)
+	}
+	return res
+}
+
+// LoadSweep runs RunWebSearch across loads (Fig. 7a/7b).
+func LoadSweep(scheme string, loads []float64, o WebSearchOptions) []WebSearchResult {
+	out := make([]WebSearchResult, 0, len(loads))
+	for _, ld := range loads {
+		oo := o
+		oo.Scheme = scheme
+		oo.Load = ld
+		out = append(out, RunWebSearch(oo))
+	}
+	return out
+}

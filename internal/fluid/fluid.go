@@ -1,0 +1,232 @@
+// Package fluid implements the paper's control-theoretic model (§2,
+// Appendix A/C): the single-bottleneck fluid equations for queue and
+// aggregate-window dynamics under the three control-law families
+// (voltage-based, current-based, power-based), integrated with RK4.
+//
+// It regenerates the analytic artifacts:
+//
+//   - Figure 2a/2b: multiplicative-decrease response surfaces of voltage-
+//     vs current-based laws against queue buildup rate and queue length.
+//   - Figure 2c: the three-case indistinguishability table.
+//   - Figure 3a–c: phase-plot trajectories (window vs inflight) from a
+//     grid of initial states to equilibrium.
+//   - Theorems 1–2: eigenvalues of the linearized PowerTCP system and the
+//     numeric convergence time constant δt/γ.
+package fluid
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Law identifies a control-law family of Eq. 19–21.
+type Law int
+
+// The three families of §2 plus the paper's law.
+const (
+	// Voltage reacts to q + bτ (queue-length/delay-based: HPCC, Swift).
+	Voltage Law = iota
+	// Current reacts to q̇/b + 1 (RTT-gradient-based: TIMELY).
+	Current
+	// Power reacts to the product (PowerTCP, Eq. 7).
+	Power
+)
+
+func (l Law) String() string {
+	switch l {
+	case Voltage:
+		return "voltage"
+	case Current:
+		return "current"
+	default:
+		return "power"
+	}
+}
+
+// System is the single-bottleneck fluid model.
+type System struct {
+	B     units.BitRate // bottleneck bandwidth b
+	Tau   sim.Duration  // base RTT τ
+	Gamma float64       // EWMA weight γ
+	Dt    sim.Duration  // window update interval δt
+	Beta  float64       // aggregate additive increase β̂ (bytes)
+	Law   Law
+}
+
+// bBytes returns b in bytes/second.
+func (s *System) bBytes() float64 { return s.B.BytesPerSec() }
+
+// BDP returns b·τ in bytes.
+func (s *System) BDP() float64 { return s.bBytes() * s.Tau.Seconds() }
+
+// State is (aggregate window, queue) in bytes.
+type State struct {
+	W float64
+	Q float64
+}
+
+// Inflight is the bytes actually in the network: the window, saturated at
+// BDP + queue (a window larger than that cannot put more bytes in
+// flight). Trajectories dipping below the BDP line lose throughput.
+func (s *System) Inflight(st State) float64 {
+	return math.Min(st.W, s.BDP()+st.Q)
+}
+
+// deriv computes (ẇ, q̇) at state st (Eq. 9 and Eq. 22, delays dropped).
+func (s *System) deriv(st State) (dw, dq float64) {
+	b := s.bBytes()
+	tau := s.Tau.Seconds()
+	theta := st.Q/b + tau
+	lambda := st.W / theta // arrival rate at the queue
+	dq = lambda - b
+	if st.Q <= 0 && dq < 0 {
+		dq = 0
+	}
+	gr := s.Gamma / s.Dt.Seconds()
+	var ef float64 // the ratio e/f of the law
+	switch s.Law {
+	case Voltage:
+		ef = (b * tau) / (st.Q + b*tau)
+	case Current:
+		ef = 1 / (dq/b + 1)
+	case Power:
+		// e/f = b²τ / ((q̇+µ)(q+bτ)) with µ = b under congestion.
+		ef = (b * b * tau) / ((dq + b) * (st.Q + b*tau))
+	}
+	dw = gr * (st.W*ef - st.W + s.Beta)
+	return dw, dq
+}
+
+// Step advances the state by h seconds with classic RK4, clamping the
+// queue at zero.
+func (s *System) Step(st State, h float64) State {
+	k1w, k1q := s.deriv(st)
+	k2w, k2q := s.deriv(State{st.W + h/2*k1w, math.Max(0, st.Q+h/2*k1q)})
+	k3w, k3q := s.deriv(State{st.W + h/2*k2w, math.Max(0, st.Q+h/2*k2q)})
+	k4w, k4q := s.deriv(State{st.W + h*k3w, math.Max(0, st.Q+h*k3q)})
+	st.W += h / 6 * (k1w + 2*k2w + 2*k3w + k4w)
+	st.Q = math.Max(0, st.Q+h/6*(k1q+2*k2q+2*k3q+k4q))
+	if st.W < 1 {
+		st.W = 1
+	}
+	return st
+}
+
+// Trajectory integrates from st0 for steps of h seconds, returning the
+// visited states (including the start).
+func (s *System) Trajectory(st0 State, h float64, steps int) []State {
+	out := make([]State, 0, steps+1)
+	st := st0
+	out = append(out, st)
+	for i := 0; i < steps; i++ {
+		st = s.Step(st, h)
+		out = append(out, st)
+	}
+	return out
+}
+
+// Equilibrium returns the analytic fixed point (wₑ, qₑ) for the law:
+// voltage and power share (bτ + β̂, β̂); current has none (it returns the
+// state-dependent resting point of whatever trajectory, signalled by
+// ok=false).
+func (s *System) Equilibrium() (State, bool) {
+	switch s.Law {
+	case Current:
+		return State{}, false
+	default:
+		return State{W: s.BDP() + s.Beta, Q: s.Beta}, true
+	}
+}
+
+// MDResponse returns the multiplicative-decrease factor f/e a law applies
+// given queue length q (bytes) and buildup rate qdot (bytes/s) — the
+// response surfaces of Figure 2. Values >1 shrink the window.
+func (s *System) MDResponse(q, qdot float64) float64 {
+	b := s.bBytes()
+	tau := s.Tau.Seconds()
+	switch s.Law {
+	case Voltage:
+		return (q + b*tau) / (b * tau)
+	case Current:
+		md := qdot/b + 1
+		if md < 1 {
+			md = 1 // gradient laws do not multiplicatively increase
+		}
+		return md
+	default:
+		v := (q + b*tau) / (b * tau)
+		c := qdot/b + 1
+		if c < 0 {
+			c = 0
+		}
+		return v * c
+	}
+}
+
+// Eigenvalues returns the eigenvalues (−1/τ, −γ/δt) of the linearized
+// PowerTCP system of Theorem 1; both negative ⇒ asymptotic stability.
+func (s *System) Eigenvalues() (float64, float64) {
+	return -1 / s.Tau.Seconds(), -s.Gamma / s.Dt.Seconds()
+}
+
+// ConvergenceConstant numerically fits the exponential decay constant of
+// the window error after a perturbation and returns it in seconds;
+// Theorem 2 predicts δt/γ.
+func (s *System) ConvergenceConstant(winit float64) float64 {
+	eq, ok := s.Equilibrium()
+	if !ok {
+		return math.NaN()
+	}
+	// Integrate the reduced window ODE ẇ = γr(wₑ − w) (Eq. 15).
+	gr := s.Gamma / s.Dt.Seconds()
+	h := s.Dt.Seconds() / 100
+	w := winit
+	t := 0.0
+	e0 := math.Abs(winit - eq.W)
+	for math.Abs(w-eq.W) > e0/math.E {
+		w += h * gr * (eq.W - w)
+		t += h
+		if t > 1 {
+			return math.Inf(1)
+		}
+	}
+	return t
+}
+
+// Fig2cCase describes one column of Figure 2c.
+type Fig2cCase struct {
+	Name      string
+	Q         float64 // queue length (bytes)
+	QDot      float64 // buildup rate (bytes/s)
+	VoltageMD float64
+	CurrentMD float64
+	PowerMD   float64
+}
+
+// Fig2cCases reproduces the three scenarios of Figure 2c: with q₁ =
+// 2.24·bτ and q₂ = 1.12·bτ, voltage-based CC cannot tell case 2 from
+// case 3 (both 2.12) and current-based CC cannot tell case 1 from case 3
+// (both 9).
+func (s *System) Fig2cCases() []Fig2cCase {
+	b := s.bBytes()
+	q1 := 2.24 * s.BDP()
+	q2 := 1.12 * s.BDP()
+	mk := func(name string, q, qdot float64) Fig2cCase {
+		volt := System{B: s.B, Tau: s.Tau, Law: Voltage}
+		curr := System{B: s.B, Tau: s.Tau, Law: Current}
+		pow := System{B: s.B, Tau: s.Tau, Law: Power}
+		return Fig2cCase{
+			Name: name, Q: q, QDot: qdot,
+			VoltageMD: volt.MDResponse(q, qdot),
+			CurrentMD: curr.MDResponse(q, qdot),
+			PowerMD:   pow.MDResponse(q, qdot),
+		}
+	}
+	return []Fig2cCase{
+		mk("case-1: q1 filling at 8x", q1, 8*b),
+		mk("case-2: q2 draining at max", q2, -b),
+		mk("case-3: q2 filling at 8x", q2, 8*b),
+	}
+}

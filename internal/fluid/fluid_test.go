@@ -1,0 +1,196 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// paperSystem is Figure 3's setup: 100 Gbps bottleneck, 20 µs base RTT.
+func paperSystem(law Law) *System {
+	return &System{
+		B:     100 * units.Gbps,
+		Tau:   20 * sim.Microsecond,
+		Gamma: 0.9,
+		Dt:    10 * sim.Microsecond,
+		Beta:  12_500, // β̂ = 5% of BDP
+		Law:   law,
+	}
+}
+
+func settle(s *System, st0 State) State {
+	tr := s.Trajectory(st0, 1e-6, 4000) // 4 ms
+	return tr[len(tr)-1]
+}
+
+func TestVoltageUniqueEquilibrium(t *testing.T) {
+	s := paperSystem(Voltage)
+	eq, ok := s.Equilibrium()
+	if !ok {
+		t.Fatal("voltage law must have an equilibrium")
+	}
+	for _, st0 := range []State{{1e4, 0}, {5e5, 2e5}, {2.5e5, 1e5}} {
+		end := settle(s, st0)
+		if math.Abs(end.W-eq.W) > 0.05*eq.W {
+			t.Fatalf("from %+v settled at W=%.0f, want %.0f", st0, end.W, eq.W)
+		}
+		if math.Abs(end.Q-eq.Q) > 0.2*eq.Q+1000 {
+			t.Fatalf("from %+v settled at Q=%.0f, want %.0f", st0, end.Q, eq.Q)
+		}
+	}
+}
+
+func TestPowerUniqueEquilibriumAndNoThroughputLoss(t *testing.T) {
+	s := paperSystem(Power)
+	eq, _ := s.Equilibrium()
+	bdp := s.BDP()
+	for _, st0 := range []State{{5e4, 0}, {5e5, 2e5}, {2.5e5, 0}, {4e5, 5e4}} {
+		tr := s.Trajectory(st0, 1e-6, 4000)
+		end := tr[len(tr)-1]
+		if math.Abs(end.W-eq.W) > 0.05*eq.W {
+			t.Fatalf("power law from %+v settled at W=%.0f, want %.0f", st0, end.W, eq.W)
+		}
+		// Fig. 3c: starting at/above the BDP, the power law's trajectory
+		// never dives below the BDP line (no throughput loss).
+		if st0.W >= bdp {
+			for i, st := range tr {
+				if s.Inflight(st) < 0.98*bdp {
+					t.Fatalf("power law lost throughput at step %d from %+v: inflight %.0f < BDP %.0f",
+						i, st0, s.Inflight(st), bdp)
+				}
+			}
+		}
+	}
+}
+
+func TestVoltageOverreacts(t *testing.T) {
+	// Fig. 3a: from a congested start, the voltage law overshoots below
+	// the BDP (throughput loss) somewhere along the trajectory.
+	s := paperSystem(Voltage)
+	tr := s.Trajectory(State{W: 5e5, Q: 2.5e5}, 1e-6, 4000)
+	bdp := s.BDP()
+	lost := false
+	for _, st := range tr {
+		if s.Inflight(st) < 0.98*bdp {
+			lost = true
+			break
+		}
+	}
+	if !lost {
+		t.Fatal("voltage law did not overshoot below the BDP (expected throughput loss)")
+	}
+}
+
+// Property (Fig. 3b): the current law has no unique equilibrium — two
+// different congested starting queues settle at visibly different queue
+// levels even though both stabilize.
+func TestCurrentNoUniqueEquilibrium(t *testing.T) {
+	s := paperSystem(Current)
+	if _, ok := s.Equilibrium(); ok {
+		t.Fatal("current law must report no unique equilibrium")
+	}
+	endA := settle(s, State{W: 4e5, Q: 1e5})
+	endB := settle(s, State{W: 4e5, Q: 2.4e5})
+	if math.Abs(endA.Q-endB.Q) < 20_000 {
+		t.Fatalf("current law forgot initial queues: %.0f vs %.0f", endA.Q, endB.Q)
+	}
+}
+
+func TestMDResponsesMatchFig2(t *testing.T) {
+	s := paperSystem(Voltage)
+	b := s.bBytes()
+	// Fig. 2a: voltage is flat in buildup rate; current is linear.
+	v0 := s.MDResponse(1e5, 0)
+	v8 := s.MDResponse(1e5, 8*b)
+	if v0 != v8 {
+		t.Fatal("voltage MD must ignore buildup rate")
+	}
+	c := paperSystem(Current)
+	if got := c.MDResponse(1e5, 8*b); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("current MD at 8x = %v, want 9", got)
+	}
+	// Fig. 2b: current is flat in queue length.
+	if c.MDResponse(0, 2*b) != c.MDResponse(1e6, 2*b) {
+		t.Fatal("current MD must ignore queue length")
+	}
+}
+
+func TestFig2cNumbers(t *testing.T) {
+	s := paperSystem(Power)
+	cases := s.Fig2cCases()
+	round := func(v float64) float64 { return math.Round(v*100) / 100 }
+	if got := round(cases[0].VoltageMD); got != 3.24 {
+		t.Fatalf("case-1 voltage MD = %v, want 3.24", got)
+	}
+	if got := cases[0].CurrentMD; got != 9 {
+		t.Fatalf("case-1 current MD = %v, want 9", got)
+	}
+	if got := round(cases[1].VoltageMD); got != 2.12 {
+		t.Fatalf("case-2 voltage MD = %v, want 2.12", got)
+	}
+	if got := cases[1].CurrentMD; got != 1 {
+		t.Fatalf("case-2 current MD = %v, want 1", got)
+	}
+	if got := round(cases[2].VoltageMD); got != 2.12 {
+		t.Fatalf("case-3 voltage MD = %v, want 2.12", got)
+	}
+	if got := cases[2].CurrentMD; got != 9 {
+		t.Fatalf("case-3 current MD = %v, want 9", got)
+	}
+	// Power distinguishes all three cases.
+	p1, p2, p3 := cases[0].PowerMD, cases[1].PowerMD, cases[2].PowerMD
+	if p1 == p3 || p2 == p3 || p1 == p2 {
+		t.Fatalf("power MD failed to separate the cases: %v %v %v", p1, p2, p3)
+	}
+}
+
+func TestTheorem1Eigenvalues(t *testing.T) {
+	s := paperSystem(Power)
+	e1, e2 := s.Eigenvalues()
+	if e1 >= 0 || e2 >= 0 {
+		t.Fatalf("eigenvalues (%v, %v) must both be negative", e1, e2)
+	}
+	if math.Abs(e1-(-1/20e-6)) > 1 {
+		t.Fatalf("e1 = %v, want −1/τ", e1)
+	}
+	if math.Abs(e2-(-0.9/10e-6)) > 1 {
+		t.Fatalf("e2 = %v, want −γ/δt", e2)
+	}
+}
+
+func TestTheorem2Convergence(t *testing.T) {
+	s := paperSystem(Power)
+	tc := s.ConvergenceConstant(1e5)
+	want := s.Dt.Seconds() / s.Gamma // δt/γ
+	if math.Abs(tc-want)/want > 0.02 {
+		t.Fatalf("convergence constant = %v s, want δt/γ = %v s", tc, want)
+	}
+}
+
+// Property: from any reasonable start, the power law's trajectory is
+// bounded and converges toward equilibrium (Lyapunov stability
+// numerically).
+func TestPowerStabilityProperty(t *testing.T) {
+	s := paperSystem(Power)
+	eq, _ := s.Equilibrium()
+	prop := func(wRaw, qRaw uint16) bool {
+		st := State{
+			W: 1e4 + float64(wRaw)*9, // up to ~6e5
+			Q: float64(qRaw) * 4,     // up to ~2.6e5
+		}
+		tr := s.Trajectory(st, 1e-6, 6000)
+		for _, x := range tr {
+			if math.IsNaN(x.W) || x.W > 2e6 || x.Q > 2e6 {
+				return false
+			}
+		}
+		end := tr[len(tr)-1]
+		return math.Abs(end.W-eq.W) < 0.1*eq.W
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

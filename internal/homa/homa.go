@@ -1,0 +1,411 @@
+// Package homa implements a receiver-driven, message-oriented transport
+// modelled on HOMA (Montazeri et al., SIGCOMM 2018), the receiver-driven
+// baseline of §4. The mechanisms the paper's evaluation exercises are all
+// present:
+//
+//   - Unscheduled data: the first RTTBytes of every message leave at line
+//     rate immediately, at a priority chosen from size cutoffs.
+//   - Scheduled data: the remainder waits for grants. The receiver ranks
+//     incomplete messages by remaining bytes (SRPT) and keeps the top
+//     `Overcommit` messages granted one RTTBytes window ahead of what it
+//     has received, mapping rank to the scheduled priority levels.
+//   - Network priorities: packets carry the 8-level class the switches'
+//     strict-priority queues (queue.Prio) serve.
+//   - Timeout-driven resends: the receiver requests the first hole of a
+//     stalled message; needed because the paper runs HOMA on switches
+//     with finite, Dynamic-Thresholds-managed buffers (§4.2).
+//
+// The paper's finding — HOMA cannot control congestion on the
+// oversubscribed ToR uplinks of a 4:1 fat-tree, and limited buffers hurt
+// its incast behaviour — is an emergent property of exactly these
+// mechanisms.
+package homa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Config carries host-wide HOMA parameters.
+type Config struct {
+	BaseRTT sim.Duration
+	// Overcommit is the number of messages granted concurrently (the
+	// paper sweeps 1–6; its main results use 1, Appendix D the rest).
+	Overcommit int
+	// RTTBytes is the unscheduled window; 0 derives HostBw·τ at runtime
+	// (the paper's RTTBytes configuration, §4.1).
+	RTTBytes int64
+	// MSS is the payload per packet (default packet.MSS).
+	MSS int64
+	// UnschedCutoffs maps message size to unscheduled priority: size ≤
+	// Cutoffs[i] → priority i. Defaults fit the web-search workload.
+	UnschedCutoffs []int64
+	// SchedBase is the first (best) priority level used for scheduled
+	// data; ranks map to SchedBase..packet.MaxPriority. Default: one past
+	// the unscheduled levels.
+	SchedBase uint8
+	// ResendTimeout triggers hole-repair requests (default 40×BaseRTT,
+	// min 1 ms, like the transport RTO).
+	ResendTimeout sim.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Overcommit == 0 {
+		c.Overcommit = 1
+	}
+	if c.MSS == 0 {
+		c.MSS = packet.MSS
+	}
+	if len(c.UnschedCutoffs) == 0 {
+		c.UnschedCutoffs = []int64{3_000, 30_000, 300_000, 1 << 62}
+	}
+	if c.SchedBase == 0 {
+		c.SchedBase = uint8(len(c.UnschedCutoffs))
+	}
+	if c.ResendTimeout == 0 {
+		c.ResendTimeout = 40 * c.BaseRTT
+		if c.ResendTimeout < sim.Millisecond {
+			c.ResendTimeout = sim.Millisecond
+		}
+	}
+}
+
+// Msg is one sender-side message.
+type Msg struct {
+	ID      uint64
+	Flow    packet.FlowID
+	Dst     packet.NodeID
+	Size    int64
+	StartAt sim.Time
+
+	sent      int64 // bytes handed to the NIC
+	granted   int64 // receiver permission boundary
+	schedPrio uint8 // priority assigned by the latest grant
+	done      bool
+}
+
+// Done reports sender-side completion (receiver confirmed all bytes).
+func (m *Msg) Done() bool { return m.done }
+
+type recvMsg struct {
+	id      uint64
+	flow    packet.FlowID
+	src     packet.NodeID
+	size    int64
+	prio    uint8 // current scheduled priority
+	got     transport.IntervalSet
+	granted int64
+	start   sim.Time // SentAt of the earliest packet seen
+	lastHit sim.Time
+	resend  *sim.Event
+	done    bool
+}
+
+func (m *recvMsg) received() int64  { return m.got.Bytes() }
+func (m *recvMsg) remaining() int64 { return m.size - m.received() }
+
+// Host is a HOMA endpoint. It satisfies the topo.Node interface.
+type Host struct {
+	id  packet.NodeID
+	eng *sim.Engine
+	cfg Config
+	nic *link.Port
+
+	sendQ  map[uint64]*Msg
+	recvQ  map[uint64]*recvMsg
+	nextID uint64
+
+	// OnMessageDone fires at the *receiver* when a message's last byte
+	// arrives (HOMA completion is receiver-observed).
+	OnMessageDone func(id uint64, size int64, fct sim.Duration)
+
+	rcvdTotal int64
+}
+
+// NewHost builds a HOMA host.
+func NewHost(eng *sim.Engine, id packet.NodeID, cfg Config) *Host {
+	cfg.fillDefaults()
+	return &Host{
+		id: id, eng: eng, cfg: cfg,
+		sendQ: map[uint64]*Msg{},
+		recvQ: map[uint64]*recvMsg{},
+	}
+}
+
+// ID implements topo.Node.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// SetUplink implements topo.Node.
+func (h *Host) SetUplink(p *link.Port) { h.nic = p }
+
+// NIC implements topo.Node.
+func (h *Host) NIC() *link.Port { return h.nic }
+
+// ReceivedTotal returns payload bytes received across all messages.
+func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
+
+// ReceivedBytes returns payload bytes received for one flow.
+func (h *Host) ReceivedBytes(flow packet.FlowID) int64 {
+	var n int64
+	for _, m := range h.recvQ {
+		if m.flow == flow {
+			n += m.received()
+		}
+	}
+	return n
+}
+
+func (h *Host) rttBytes() int64 {
+	if h.cfg.RTTBytes > 0 {
+		return h.cfg.RTTBytes
+	}
+	return h.nic.Rate.BDP(h.cfg.BaseRTT)
+}
+
+// UnschedPriority returns the unscheduled priority class for a message of
+// the given size (exposed for tests and experiment instrumentation).
+func (h *Host) UnschedPriority(size int64) uint8 { return h.unschedPrio(size) }
+
+func (h *Host) unschedPrio(size int64) uint8 {
+	for i, c := range h.cfg.UnschedCutoffs {
+		if size <= c {
+			return uint8(i)
+		}
+	}
+	return uint8(len(h.cfg.UnschedCutoffs) - 1)
+}
+
+// Send starts a new message of size bytes toward dst at time `at`.
+func (h *Host) Send(flow packet.FlowID, dst packet.NodeID, size int64, at sim.Time) *Msg {
+	h.nextID++
+	m := &Msg{ID: h.nextID<<16 | uint64(h.id&0xFFFF), Flow: flow, Dst: dst, Size: size}
+	h.sendQ[m.ID] = m
+	h.eng.At(at, func() {
+		m.StartAt = h.eng.Now()
+		m.granted = min64(size, h.rttBytes())
+		h.pump(m)
+	})
+	return m
+}
+
+// pump transmits every byte the message is currently allowed to send.
+// Unscheduled bytes ride at the size-based priority; scheduled bytes at
+// the priority the latest grant assigned (carried in m via grant packets).
+func (h *Host) pump(m *Msg) {
+	rtt := h.rttBytes()
+	for m.sent < m.granted {
+		n := min64(h.cfg.MSS, m.granted-m.sent)
+		unsched := m.sent < rtt
+		prio := h.unschedPrio(m.Size)
+		if !unsched {
+			prio = m.schedPrio
+		}
+		h.emit(m, m.sent, n, prio, unsched)
+		m.sent += n
+	}
+}
+
+func (h *Host) emit(m *Msg, seq, n int64, prio uint8, unsched bool) {
+	h.nic.Send(&packet.Packet{
+		ID:          h.pktID(),
+		Kind:        packet.Data,
+		Flow:        m.Flow,
+		Src:         h.id,
+		Dst:         m.Dst,
+		Seq:         seq,
+		PayloadLen:  int32(n),
+		MsgID:       m.ID,
+		MsgLen:      m.Size,
+		Priority:    prio,
+		Unscheduled: unsched,
+		SentAt:      h.eng.Now(),
+	})
+}
+
+var pktIDCounter uint64
+
+func (h *Host) pktID() uint64 {
+	pktIDCounter++
+	return pktIDCounter
+}
+
+// Receive implements link.Receiver.
+func (h *Host) Receive(p *packet.Packet) {
+	switch p.Kind {
+	case packet.Data:
+		h.onData(p)
+	case packet.Grant:
+		h.onGrant(p)
+	}
+}
+
+// grant Seq sentinels: -1 = plain grant, msgComplete = receiver got all
+// bytes and the sender may release its state.
+const (
+	plainGrant  int64 = -1
+	msgComplete int64 = -2
+)
+
+func (h *Host) onGrant(p *packet.Packet) {
+	m := h.sendQ[p.MsgID]
+	if m == nil || m.done {
+		return
+	}
+	if p.Seq == msgComplete {
+		m.done = true // completion notification
+		delete(h.sendQ, p.MsgID)
+		return
+	}
+	m.schedPrio = p.Priority
+	if p.Seq >= 0 && p.PayloadLen > 0 {
+		// Resend request for [Seq, Seq+PayloadLen).
+		h.emit(m, p.Seq, int64(p.PayloadLen), p.Priority, false)
+	}
+	if p.GrantOffset > m.granted {
+		m.granted = min64(p.GrantOffset, m.Size)
+		h.pump(m)
+	}
+}
+
+func (h *Host) onData(p *packet.Packet) {
+	m := h.recvQ[p.MsgID]
+	if m == nil {
+		m = &recvMsg{
+			id: p.MsgID, flow: p.Flow, src: p.Src, size: p.MsgLen,
+			granted: min64(p.MsgLen, h.rttBytes()),
+			start:   p.SentAt,
+		}
+		h.recvQ[p.MsgID] = m
+	}
+	if m.done {
+		return
+	}
+	if p.SentAt < m.start {
+		m.start = p.SentAt
+	}
+	before := m.received()
+	m.got.Add(p.Seq, p.Seq+int64(p.PayloadLen))
+	h.rcvdTotal += m.received() - before
+	m.lastHit = h.eng.Now()
+
+	if m.remaining() <= 0 {
+		m.done = true
+		h.eng.Cancel(m.resend)
+		fct := h.eng.Now().Sub(m.start)
+		// Completion notice releases sender state.
+		h.sendGrant(m, m.size, 0, msgComplete, 0)
+		if h.OnMessageDone != nil {
+			h.OnMessageDone(m.id, m.size, fct)
+		}
+	} else {
+		h.armResend(m)
+	}
+	h.schedule()
+}
+
+// schedule is the receiver's SRPT grant machinery.
+func (h *Host) schedule() {
+	var active []*recvMsg
+	for _, m := range h.recvQ {
+		if !m.done && m.size > m.granted {
+			active = append(active, m)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].remaining() != active[j].remaining() {
+			return active[i].remaining() < active[j].remaining()
+		}
+		return active[i].id < active[j].id
+	})
+	k := h.cfg.Overcommit
+	if k > len(active) {
+		k = len(active)
+	}
+	rtt := h.rttBytes()
+	for rank := 0; rank < k; rank++ {
+		m := active[rank]
+		prio := h.cfg.SchedBase + uint8(rank)
+		if prio > packet.MaxPriority {
+			prio = packet.MaxPriority
+		}
+		m.prio = prio
+		want := min64(m.received()+rtt, m.size)
+		if want > m.granted {
+			m.granted = want
+			h.sendGrant(m, want, prio, plainGrant, 0)
+		}
+	}
+}
+
+// sendGrant emits a grant/control packet. resendSeq ≥ 0 requests a
+// retransmission of [resendSeq, resendSeq+resendLen).
+func (h *Host) sendGrant(m *recvMsg, offset int64, prio uint8, resendSeq int64, resendLen int32) {
+	h.nic.Send(&packet.Packet{
+		ID:          h.pktID(),
+		Kind:        packet.Grant,
+		Flow:        m.flow,
+		Src:         h.id,
+		Dst:         m.src,
+		MsgID:       m.id,
+		GrantOffset: offset,
+		Priority:    prio,
+		Seq:         resendSeq,
+		PayloadLen:  resendLen,
+		SentAt:      h.eng.Now(),
+	})
+}
+
+func (h *Host) armResend(m *recvMsg) {
+	if m.resend != nil && !m.resend.Cancelled() {
+		return
+	}
+	m.resend = h.eng.After(h.cfg.ResendTimeout, func() {
+		m.resend = nil
+		if m.done {
+			return
+		}
+		if h.eng.Now().Sub(m.lastHit) < h.cfg.ResendTimeout {
+			h.armResend(m)
+			return
+		}
+		// Request the first hole below the granted boundary.
+		holeStart := m.got.CumulativeFrom(0)
+		n := min64(h.cfg.MSS, m.granted-holeStart)
+		if n > 0 {
+			h.sendGrant(m, m.granted, m.prio, holeStart, int32(n))
+		}
+		h.armResend(m)
+	})
+}
+
+// String implements fmt.Stringer.
+func (h *Host) String() string { return fmt.Sprintf("homa-%d", h.id) }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Verify interface compliance at compile time.
+var _ interface {
+	link.Receiver
+	ID() packet.NodeID
+	SetUplink(*link.Port)
+	NIC() *link.Port
+} = (*Host)(nil)
+
+// rttBytesFor is exported for experiments configuring RTTBytes.
+func RTTBytesFor(rate units.BitRate, baseRTT sim.Duration) int64 {
+	return rate.BDP(baseRTT)
+}

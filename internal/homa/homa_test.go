@@ -1,0 +1,140 @@
+package homa_test
+
+import (
+	"testing"
+
+	"repro/internal/homa"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+func homaStar(n, overcommit int, bufPerGbps int64) *topo.Network {
+	cfg := homa.Config{BaseRTT: 12 * sim.Microsecond, Overcommit: overcommit}
+	return topo.Star(topo.StarConfig{
+		Hosts:    n,
+		HostRate: 25 * units.Gbps,
+		Opts: topo.Options{
+			Hosts: func(eng *sim.Engine, id packet.NodeID) topo.Node {
+				return homa.NewHost(eng, id, cfg)
+			},
+			BufferPerGbps: bufPerGbps,
+			Queues:        func() queue.Queue { return queue.NewPrio() },
+		},
+	})
+}
+
+func hostAt(net *topo.Network, i int) *homa.Host { return net.Hosts[i].(*homa.Host) }
+
+func TestSmallMessageUnscheduledOnly(t *testing.T) {
+	net := homaStar(2, 1, 0)
+	src, dst := hostAt(net, 0), hostAt(net, 1)
+	var fct sim.Duration
+	done := 0
+	dst.OnMessageDone = func(_ uint64, size int64, d sim.Duration) { done++; fct = d }
+	src.Send(net.NextFlowID(), dst.ID(), 5_000, 0) // 5KB < RTTBytes: pure unscheduled
+	net.Eng.Run()
+	if done != 1 {
+		t.Fatal("small message did not complete")
+	}
+	// One-way delivery of 5KB at 25G plus propagation: well under an RTT.
+	if fct > 12*sim.Microsecond {
+		t.Fatalf("unscheduled FCT = %v, want < 1 base RTT", fct)
+	}
+}
+
+func TestLargeMessageUsesGrants(t *testing.T) {
+	net := homaStar(2, 1, 0)
+	src, dst := hostAt(net, 0), hostAt(net, 1)
+	size := int64(1 << 20) // 1MiB ≫ RTTBytes (37.5KB at 25G×12µs)
+	done := 0
+	dst.OnMessageDone = func(_ uint64, got int64, _ sim.Duration) {
+		done++
+		if got != size {
+			t.Errorf("completed size = %d", got)
+		}
+	}
+	m := src.Send(net.NextFlowID(), dst.ID(), size, 0)
+	net.Eng.Run()
+	if done != 1 {
+		t.Fatal("granted message did not complete")
+	}
+	if !m.Done() {
+		t.Fatal("sender state not released by completion notice")
+	}
+	if got := dst.ReceivedTotal(); got != size {
+		t.Fatalf("received %d", got)
+	}
+}
+
+func TestSRPTPreference(t *testing.T) {
+	// A short message arriving mid-transfer of a long one must finish
+	// far sooner than the long one (SRPT grants + priority queues).
+	net := homaStar(3, 1, 0)
+	long, short, dst := hostAt(net, 0), hostAt(net, 1), hostAt(net, 2)
+	finish := map[int64]sim.Time{}
+	dst.OnMessageDone = func(_ uint64, size int64, _ sim.Duration) {
+		finish[size] = net.Eng.Now()
+	}
+	long.Send(net.NextFlowID(), dst.ID(), 4<<20, 0)
+	short.Send(net.NextFlowID(), dst.ID(), 100_000, sim.Time(100*sim.Microsecond))
+	net.Eng.Run()
+	if len(finish) != 2 {
+		t.Fatalf("finished %d/2", len(finish))
+	}
+	if finish[100_000] >= finish[4<<20] {
+		t.Fatal("SRPT violated: short message finished after the long one")
+	}
+}
+
+func TestIncastWithOvercommit(t *testing.T) {
+	for _, oc := range []int{1, 3, 6} {
+		net := homaStar(9, oc, 0)
+		dst := hostAt(net, 0)
+		done := 0
+		dst.OnMessageDone = func(uint64, int64, sim.Duration) { done++ }
+		for i := 1; i < 9; i++ {
+			hostAt(net, i).Send(net.NextFlowID(), dst.ID(), 400_000, 0)
+		}
+		net.Eng.RunUntil(sim.Time(50 * sim.Millisecond))
+		if done != 8 {
+			t.Fatalf("overcommit %d: completed %d/8", oc, done)
+		}
+	}
+}
+
+func TestResendRepairsDrops(t *testing.T) {
+	// A tiny shared buffer forces drops of the unscheduled burst; the
+	// receiver's hole-repair requests must still complete every message.
+	net := homaStar(9, 2, 256) // 25G port → ~6.4KB shared buffer
+	dst := hostAt(net, 0)
+	done := 0
+	dst.OnMessageDone = func(uint64, int64, sim.Duration) { done++ }
+	for i := 1; i < 9; i++ {
+		hostAt(net, i).Send(net.NextFlowID(), dst.ID(), 200_000, 0)
+	}
+	net.Eng.RunUntil(sim.Time(500 * sim.Millisecond))
+	if drops := net.Switches[0].Dropped(); drops == 0 {
+		t.Fatal("expected drops under a tiny buffer")
+	}
+	if done != 8 {
+		t.Fatalf("completed %d/8 after drops", done)
+	}
+}
+
+func TestUnschedPriorityBySize(t *testing.T) {
+	// The size→class mapping must be monotone: smaller messages get a
+	// higher-preference (numerically lower) unscheduled priority.
+	h := homa.NewHost(sim.New(), 1, homa.Config{BaseRTT: 12 * sim.Microsecond})
+	tiny := h.UnschedPriority(1_000)
+	mid := h.UnschedPriority(100_000)
+	huge := h.UnschedPriority(10 << 20)
+	if !(tiny < mid && mid < huge) {
+		t.Fatalf("priorities not monotone: %d, %d, %d", tiny, mid, huge)
+	}
+	if huge > packet.MaxPriority {
+		t.Fatalf("priority %d out of range", huge)
+	}
+}

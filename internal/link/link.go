@@ -1,0 +1,119 @@
+// Package link models a switch or host egress port: an output queue
+// drained at line rate onto a point-to-point link with fixed propagation
+// delay (store-and-forward, as in ns-3's point-to-point model the paper
+// evaluates on).
+//
+// Ports expose hooks that the owning device uses to implement INT
+// stamping, ECN marking, and shared-buffer accounting at dequeue time,
+// mirroring where a real traffic manager takes those actions.
+package link
+
+import (
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Receive(p *packet.Packet)
+}
+
+// Port is one egress port: queue + serializer + wire.
+type Port struct {
+	Name  string
+	Eng   *sim.Engine
+	Rate  units.BitRate // line rate
+	Delay sim.Duration  // propagation delay to Peer
+	Peer  Receiver
+	Q     queue.Queue
+
+	// Admit is consulted before enqueueing; returning false drops the
+	// packet (shared-buffer admission). Nil admits everything.
+	Admit func(p *packet.Packet) bool
+	// OnDequeue runs when a packet is scheduled for transmission, before
+	// its serialization time is computed; devices use it to stamp INT,
+	// mark ECN, and release shared-buffer memory.
+	OnDequeue func(p *packet.Packet)
+	// OnDrop observes admission drops (for metrics).
+	OnDrop func(p *packet.Packet)
+
+	txBytes uint64 // cumulative wire bytes transmitted
+	txPkts  uint64
+	drops   uint64
+	busy    bool
+	paused  bool
+}
+
+// NewPort builds a port with a fresh FIFO queue.
+func NewPort(eng *sim.Engine, rate units.BitRate, delay sim.Duration, peer Receiver) *Port {
+	return &Port{Eng: eng, Rate: rate, Delay: delay, Peer: peer, Q: queue.NewFIFO()}
+}
+
+// TxBytes returns the cumulative bytes transmitted (the INT txBytes field).
+func (pt *Port) TxBytes() uint64 { return pt.txBytes }
+
+// TxPackets returns the cumulative packets transmitted.
+func (pt *Port) TxPackets() uint64 { return pt.txPkts }
+
+// Drops returns the number of packets dropped at admission.
+func (pt *Port) Drops() uint64 { return pt.drops }
+
+// QueueBytes returns the bytes currently queued.
+func (pt *Port) QueueBytes() int64 { return pt.Q.Bytes() }
+
+// Send enqueues p for transmission, subject to admission control, and
+// starts the serializer if idle.
+func (pt *Port) Send(p *packet.Packet) {
+	if pt.Admit != nil && !pt.Admit(p) {
+		pt.drops++
+		if pt.OnDrop != nil {
+			pt.OnDrop(p)
+		}
+		return
+	}
+	pt.Q.Push(p)
+	pt.kick()
+}
+
+// Pause stops the serializer after the in-flight packet completes; used
+// by the circuit switch model during reconfiguration nights.
+func (pt *Port) Pause() { pt.paused = true }
+
+// Resume restarts a paused serializer.
+func (pt *Port) Resume() {
+	if !pt.paused {
+		return
+	}
+	pt.paused = false
+	pt.kick()
+}
+
+// Kick re-evaluates the serializer; devices call it after making new
+// packets drainable (e.g. a VOQ class becoming active).
+func (pt *Port) Kick() { pt.kick() }
+
+func (pt *Port) kick() {
+	if pt.busy || pt.paused {
+		return
+	}
+	p := pt.Q.Pop()
+	if p == nil {
+		return
+	}
+	if pt.OnDequeue != nil {
+		pt.OnDequeue(p)
+	}
+	wire := p.WireLen() // after OnDequeue: includes any freshly stamped INT hop
+	pt.txBytes += uint64(wire)
+	pt.txPkts++
+	tx := pt.Rate.TxTime(wire)
+	pt.busy = true
+	pt.Eng.After(tx, func() {
+		pt.busy = false
+		pt.kick()
+	})
+	peer := pt.Peer
+	pt.Eng.After(tx+pt.Delay, func() { peer.Receive(p) })
+}

@@ -1,0 +1,129 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+type sink struct {
+	eng  *sim.Engine
+	pkts []*packet.Packet
+	at   []sim.Time
+}
+
+func (s *sink) Receive(p *packet.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func mk(id uint64, payload int32) *packet.Packet {
+	return &packet.Packet{ID: id, Kind: packet.Data, PayloadLen: payload}
+}
+
+func TestPortTiming(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 100*units.Gbps, 5*sim.Microsecond, dst)
+	p := mk(1, 1000) // wire = 1048B → 83.84ns at 100G
+	pt.Send(p)
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(dst.pkts))
+	}
+	want := sim.Time(83840*sim.Picosecond + 5*sim.Microsecond)
+	if dst.at[0] != want {
+		t.Fatalf("arrival at %v, want %v", dst.at[0], want)
+	}
+	if pt.TxBytes() != 1048 {
+		t.Fatalf("TxBytes = %d", pt.TxBytes())
+	}
+}
+
+func TestPortBackToBackSerialization(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 100*units.Gbps, 0, dst)
+	pt.Send(mk(1, 1000))
+	pt.Send(mk(2, 1000))
+	eng.Run()
+	if len(dst.pkts) != 2 {
+		t.Fatalf("delivered %d", len(dst.pkts))
+	}
+	gap := dst.at[1] - dst.at[0]
+	if sim.Duration(gap) != 83840*sim.Picosecond {
+		t.Fatalf("inter-arrival = %v, want one serialization time", sim.Duration(gap))
+	}
+}
+
+func TestPortAdmissionDrop(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 100*units.Gbps, 0, dst)
+	var dropped []*packet.Packet
+	pt.Admit = func(p *packet.Packet) bool { return p.ID != 2 }
+	pt.OnDrop = func(p *packet.Packet) { dropped = append(dropped, p) }
+	pt.Send(mk(1, 100))
+	pt.Send(mk(2, 100))
+	pt.Send(mk(3, 100))
+	eng.Run()
+	if len(dst.pkts) != 2 || pt.Drops() != 1 || len(dropped) != 1 || dropped[0].ID != 2 {
+		t.Fatalf("delivered=%d drops=%d", len(dst.pkts), pt.Drops())
+	}
+}
+
+func TestPortOnDequeueSeesQueueState(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 100*units.Gbps, 0, dst)
+	var qlens []int64
+	pt.OnDequeue = func(p *packet.Packet) { qlens = append(qlens, pt.QueueBytes()) }
+	pt.Send(mk(1, 1000))
+	pt.Send(mk(2, 1000))
+	pt.Send(mk(3, 1000))
+	eng.Run()
+	// The first Send dequeues immediately onto an idle serializer, so the
+	// hook sees an empty queue; packets 2 and 3 then queue behind it and
+	// the hook sees the bytes still waiting after each pop.
+	want := []int64{0, 1048, 0}
+	for i := range want {
+		if qlens[i] != want[i] {
+			t.Fatalf("qlen[%d] = %d, want %d", i, qlens[i], want[i])
+		}
+	}
+}
+
+func TestPortPauseResume(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 100*units.Gbps, 0, dst)
+	pt.Pause()
+	pt.Send(mk(1, 100))
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if len(dst.pkts) != 0 {
+		t.Fatal("paused port transmitted")
+	}
+	pt.Resume()
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatal("resumed port did not transmit")
+	}
+	pt.Resume() // resume when not paused is a no-op
+}
+
+func TestPortFIFOOrderPreserved(t *testing.T) {
+	eng := sim.New()
+	dst := &sink{eng: eng}
+	pt := NewPort(eng, 25*units.Gbps, sim.Microsecond, dst)
+	for i := uint64(0); i < 50; i++ {
+		pt.Send(mk(i, 500))
+	}
+	eng.Run()
+	for i, p := range dst.pkts {
+		if p.ID != uint64(i) {
+			t.Fatalf("reordered: pkt %d has ID %d", i, p.ID)
+		}
+	}
+}

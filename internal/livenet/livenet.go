@@ -1,0 +1,447 @@
+// Package livenet is the proof-of-concept deployment path: PowerTCP
+// running over real UDP sockets, with a userspace bottleneck process
+// standing in for the paper's Tofino switch — it rate-limits traffic
+// through an emulated egress queue and stamps the INT option
+// (internal/telemetry wire format inside internal/wire headers) exactly
+// where a hardware pipeline would, at dequeue.
+//
+// The paper's §3.6 implemented this split as a Linux kernel congestion-
+// control module plus a P4 program; here both ends are ordinary Go
+// processes exchanging wire-format packets over the loopback interface,
+// which keeps the whole control loop — measured power included — real:
+// timestamps come from the wall clock, queues from actual socket
+// backlog, and the algorithm consumes them through the same
+// cc.Algorithm interface the simulator uses.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// paceQuantum bounds how far ahead of the ideal pacing clock a loop may
+// run before sleeping. OS timers are tens of microseconds coarse, so
+// sleeping per packet would throttle everything to ~1 packet per tick;
+// instead packets go out in short bursts and the loop sleeps only once
+// the accumulated debt exceeds a quantum.
+const paceQuantum = time.Millisecond
+
+// clock maps the wall clock onto sim.Time so the algorithms' picosecond
+// arithmetic works unchanged.
+type clock struct{ start time.Time }
+
+func newClock() *clock { return &clock{start: time.Now()} }
+
+func (c *clock) now() sim.Time {
+	return sim.Time(sim.Duration(time.Since(c.start)) * sim.Nanosecond / sim.Duration(time.Nanosecond))
+}
+
+// Bottleneck is the userspace "switch": it receives datagrams on In,
+// queues them up to QueueCap bytes, drains at Rate, stamps INT at
+// dequeue, and forwards to Out.
+type Bottleneck struct {
+	Rate     units.BitRate
+	QueueCap int64
+
+	in       *net.UDPConn
+	out      *net.UDPConn
+	clk      *clock
+	queue    chan []byte
+	qBytes   atomic.Int64
+	txBytes  atomic.Uint64
+	drops    atomic.Uint64
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+// NewBottleneck listens on a fresh loopback port and forwards to dst.
+func NewBottleneck(rate units.BitRate, queueCap int64, dst *net.UDPAddr, clk *clock) (*Bottleneck, error) {
+	in, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	b := &Bottleneck{
+		Rate: rate, QueueCap: queueCap,
+		in: in, out: out, clk: clk,
+		queue:  make(chan []byte, 4096),
+		closed: make(chan struct{}),
+	}
+	go b.readLoop()
+	go b.drainLoop()
+	return b, nil
+}
+
+// Addr returns the address senders should target.
+func (b *Bottleneck) Addr() *net.UDPAddr { return b.in.LocalAddr().(*net.UDPAddr) }
+
+// Drops returns the number of tail-dropped datagrams.
+func (b *Bottleneck) Drops() uint64 { return b.drops.Load() }
+
+// Close stops the bottleneck.
+func (b *Bottleneck) Close() {
+	b.closeOne.Do(func() {
+		close(b.closed)
+		b.in.Close()
+		b.out.Close()
+	})
+}
+
+func (b *Bottleneck) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, err := b.in.Read(buf)
+		if err != nil {
+			return
+		}
+		if b.qBytes.Load()+int64(n) > b.QueueCap {
+			b.drops.Add(1)
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		select {
+		case b.queue <- pkt:
+			b.qBytes.Add(int64(n))
+		default:
+			b.drops.Add(1)
+		}
+	}
+}
+
+func (b *Bottleneck) drainLoop() {
+	// Ideal-clock pacing: `next` is when the current packet finishes
+	// serializing on the emulated link. Sleeping is allowed to overshoot
+	// (OS timers are tens of µs coarse); the ideal clock then lets the
+	// next packets go back-to-back until reality catches up, so the
+	// *average* drain rate is exact.
+	next := time.Now()
+	for {
+		var pkt []byte
+		select {
+		case pkt = <-b.queue:
+		case <-b.closed:
+			return
+		}
+		now := time.Now()
+		if next.Before(now) {
+			next = now
+		}
+		next = next.Add(b.Rate.TxTime(int64(len(pkt))).Std())
+		if d := time.Until(next); d > paceQuantum {
+			time.Sleep(d)
+		}
+		b.qBytes.Add(-int64(len(pkt)))
+		stamped := b.stamp(pkt)
+		b.txBytes.Add(uint64(len(pkt)))
+		if _, err := b.out.Write(stamped); err != nil {
+			return
+		}
+	}
+}
+
+// stamp decodes the wire packet, appends this hop's INT record, and
+// re-encodes — the dequeue-time telemetry of §3.6.
+func (b *Bottleneck) stamp(raw []byte) []byte {
+	p, err := wire.Unmarshal(raw)
+	if err != nil {
+		return raw // not ours; forward untouched
+	}
+	p.Hops = append(p.Hops, telemetry.HopRecord{
+		QLen:    b.qBytes.Load(),
+		TxBytes: b.txBytes.Load(),
+		TS:      b.clk.now(),
+		Rate:    b.Rate,
+	}.Quantize())
+	out, err := wire.Marshal(p)
+	if err != nil {
+		return raw
+	}
+	return out
+}
+
+// Receiver terminates transfers: it tracks received ranges per flow and
+// acknowledges every packet, echoing the INT stack to the sender.
+type Receiver struct {
+	conn  *net.UDPConn
+	ackTo *net.UDPConn
+	got   map[packet.FlowID]*transport.IntervalSet
+	bytes atomic.Int64
+	mu    sync.Mutex
+}
+
+// NewReceiver listens on a fresh loopback port and sends ACKs to ackDst
+// (the sender's listening socket; the reverse path is uncongested, as in
+// the paper's single-bottleneck experiments).
+func NewReceiver(ackDst *net.UDPAddr) (*Receiver, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	ackTo, err := net.DialUDP("udp", nil, ackDst)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	r := &Receiver{conn: conn, ackTo: ackTo, got: map[packet.FlowID]*transport.IntervalSet{}}
+	go r.run()
+	return r, nil
+}
+
+// Addr returns the receiver's data address.
+func (r *Receiver) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// Received returns total payload bytes received (including duplicates).
+func (r *Receiver) Received() int64 { return r.bytes.Load() }
+
+// Close stops the receiver.
+func (r *Receiver) Close() {
+	r.conn.Close()
+	r.ackTo.Close()
+}
+
+func (r *Receiver) run() {
+	buf := make([]byte, 65536)
+	for {
+		n, err := r.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		p, err := wire.Unmarshal(buf[:n])
+		if err != nil || p.Kind != packet.Data {
+			continue
+		}
+		r.mu.Lock()
+		iv := r.got[p.Flow]
+		if iv == nil {
+			iv = &transport.IntervalSet{}
+			r.got[p.Flow] = iv
+		}
+		iv.Add(p.Seq, p.End())
+		cum := iv.CumulativeFrom(0)
+		r.mu.Unlock()
+		r.bytes.Add(int64(p.PayloadLen))
+
+		ack := &packet.Packet{
+			Kind:     packet.Ack,
+			Flow:     p.Flow,
+			AckSeq:   cum,
+			EchoSent: p.EchoSent, // sender's send timestamp rides along
+			Hops:     p.Hops,
+		}
+		out, err := wire.Marshal(ack)
+		if err != nil {
+			continue
+		}
+		r.ackTo.Write(out)
+	}
+}
+
+// TransferStats summarizes a live transfer.
+type TransferStats struct {
+	Bytes       int64
+	Elapsed     time.Duration
+	Goodput     units.BitRate
+	Retransmits int
+	FinalCwnd   float64
+}
+
+// Sender drives one windowed, paced transfer using any cc.Algorithm.
+type Sender struct {
+	conn *net.UDPConn // receives ACKs
+	clk  *clock
+}
+
+// NewSender opens the sender's ACK socket.
+func NewSender(clk *clock) (*Sender, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{conn: conn, clk: clk}, nil
+}
+
+// Addr returns the socket ACKs must be sent to.
+func (s *Sender) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close releases the socket.
+func (s *Sender) Close() { s.conn.Close() }
+
+// Transfer sends size bytes of flow id to dst under alg and blocks until
+// fully acknowledged or timeout.
+func (s *Sender) Transfer(dst *net.UDPAddr, id packet.FlowID, size int64,
+	alg cc.Algorithm, baseRTT sim.Duration, rate units.BitRate, timeout time.Duration) (TransferStats, error) {
+
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	defer out.Close()
+
+	alg.Init(cc.Limits{BaseRTT: baseRTT, HostRate: rate, MSS: 1000})
+
+	const mss = 1000
+	var (
+		mu     sync.Mutex
+		sndUna int64
+		rtx    int
+	)
+	sndNxt := int64(0)
+
+	// ACK pump.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 65536)
+		for {
+			s.conn.SetReadDeadline(time.Now().Add(timeout))
+			n, err := s.conn.Read(buf)
+			if err != nil {
+				return
+			}
+			p, err := wire.Unmarshal(buf[:n])
+			if err != nil || p.Kind != packet.Ack {
+				continue
+			}
+			now := s.clk.now()
+			mu.Lock()
+			newly := int64(0)
+			if p.AckSeq > sndUna {
+				newly = p.AckSeq - sndUna
+				sndUna = p.AckSeq
+			}
+			una := sndUna
+			mu.Unlock()
+			alg.OnAck(cc.Ack{
+				Now:        now,
+				AckSeq:     p.AckSeq,
+				NewlyAcked: newly,
+				SndNxt:     sndNxt,
+				RTT:        now.Sub(p.EchoSent),
+				Hops:       p.Hops,
+			})
+			if una >= size {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	stall := time.Now()
+	nextSend := time.Now() // ideal pacing clock (see drainLoop)
+	for {
+		mu.Lock()
+		una := sndUna
+		mu.Unlock()
+		if una >= size {
+			break
+		}
+		if time.Since(start) > timeout {
+			return TransferStats{}, errors.New("livenet: transfer timed out")
+		}
+		// Retransmit on stall (coarse RTO).
+		if time.Since(stall) > 50*time.Millisecond {
+			mu.Lock()
+			sndNxt = sndUna
+			rtx++
+			mu.Unlock()
+			stall = time.Now()
+		}
+		inflight := sndNxt - una
+		if sndNxt >= size || float64(inflight) >= alg.Cwnd() {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		n := int64(mss)
+		if size-sndNxt < n {
+			n = size - sndNxt
+		}
+		p := &packet.Packet{
+			Kind:       packet.Data,
+			Flow:       id,
+			Seq:        sndNxt,
+			PayloadLen: int32(n),
+			EchoSent:   s.clk.now(), // echoed back for RTT measurement
+		}
+		raw, err := wire.Marshal(p)
+		if err != nil {
+			return TransferStats{}, err
+		}
+		// Pad to the full wire size so the bottleneck's rate limiting
+		// sees realistic packet lengths.
+		frame := make([]byte, int64(len(raw))+n)
+		copy(frame, raw)
+		if _, err := out.Write(frame); err != nil {
+			return TransferStats{}, err
+		}
+		sndNxt += n
+		stall = time.Now()
+		if r := alg.Rate(); r > 0 {
+			now := time.Now()
+			if nextSend.Before(now) {
+				nextSend = now
+			}
+			nextSend = nextSend.Add(r.TxTime(int64(len(frame))).Std())
+			if d := time.Until(nextSend); d > paceQuantum {
+				time.Sleep(d)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	<-done
+	return TransferStats{
+		Bytes:       size,
+		Elapsed:     elapsed,
+		Goodput:     units.BitRate(float64(size*8) / elapsed.Seconds()),
+		Retransmits: rtx,
+		FinalCwnd:   alg.Cwnd(),
+	}, nil
+}
+
+// Loopback wires a complete sender→bottleneck→receiver chain on
+// 127.0.0.1 and returns the pieces plus a cleanup function.
+func Loopback(rate units.BitRate, queueCap int64) (*Sender, *Bottleneck, *Receiver, func(), error) {
+	clk := newClock()
+	snd, err := NewSender(clk)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rcv, err := NewReceiver(snd.Addr())
+	if err != nil {
+		snd.Close()
+		return nil, nil, nil, nil, err
+	}
+	bn, err := NewBottleneck(rate, queueCap, rcv.Addr(), clk)
+	if err != nil {
+		snd.Close()
+		rcv.Close()
+		return nil, nil, nil, nil, err
+	}
+	cleanup := func() {
+		bn.Close()
+		rcv.Close()
+		snd.Close()
+	}
+	return snd, bn, rcv, cleanup, nil
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *Bottleneck) String() string {
+	return fmt.Sprintf("bottleneck %v q=%dB drops=%d", b.Rate, b.qBytes.Load(), b.drops.Load())
+}

@@ -1,0 +1,102 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// liveEnv builds a loopback chain or skips when the sandbox forbids
+// sockets.
+func liveEnv(t *testing.T, rate units.BitRate, queueCap int64) (*Sender, *Bottleneck, *Receiver, func()) {
+	t.Helper()
+	snd, bn, rcv, cleanup, err := Loopback(rate, queueCap)
+	if err != nil {
+		t.Skipf("loopback sockets unavailable: %v", err)
+	}
+	return snd, bn, rcv, cleanup
+}
+
+func TestLiveTransferPowerTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets in -short mode")
+	}
+	// 200 Mbps bottleneck: slow enough that wall-clock jitter is small
+	// relative to serialization, fast enough that 300KB finishes in ~12ms.
+	snd, bn, rcv, cleanup := liveEnv(t, 200*units.Mbps, 256<<10)
+	defer cleanup()
+
+	const size = 300_000
+	st, err := snd.Transfer(bn.Addr(), 1, size,
+		core.New(core.Config{}), 2*sim.Millisecond, 10*units.Gbps, 30*time.Second)
+	if err != nil {
+		t.Fatalf("transfer: %v (%v)", err, bn)
+	}
+	if rcv.Received() < size {
+		t.Fatalf("receiver saw %d bytes", rcv.Received())
+	}
+	// Goodput cannot exceed the bottleneck (plus generous jitter slack)
+	// and should reach a reasonable fraction of it.
+	if st.Goodput > 400*units.Mbps {
+		t.Fatalf("goodput %v exceeds the physical bottleneck", st.Goodput)
+	}
+	if st.Goodput < 20*units.Mbps {
+		t.Fatalf("goodput %v suspiciously low", st.Goodput)
+	}
+	t.Logf("live PowerTCP: %v over %v, cwnd=%.0fB rtx=%d drops=%d",
+		st.Goodput, st.Elapsed, st.FinalCwnd, st.Retransmits, bn.Drops())
+}
+
+func TestLiveWindowAdaptsToBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets in -short mode")
+	}
+	snd, bn, _, cleanup := liveEnv(t, 100*units.Mbps, 256<<10)
+	defer cleanup()
+
+	// The configured host rate (10G) wildly exceeds the 100 Mbps
+	// bottleneck: the power signal must pull cwnd far below the initial
+	// host BDP while the queue is standing (it recovers once the
+	// transfer's tail drains, so we check the in-flight minimum).
+	mon := monitor.Wrap(core.New(core.Config{}), 0)
+	baseRTT := 2 * sim.Millisecond
+	init := float64((10 * units.Gbps).BDP(baseRTT))
+	_, err := snd.Transfer(bn.Addr(), 2, 150_000, mon, baseRTT,
+		10*units.Gbps, 30*time.Second)
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	minCwnd := init
+	for _, s := range mon.Samples {
+		if s.Cwnd < minCwnd {
+			minCwnd = s.Cwnd
+		}
+	}
+	if minCwnd > init/2 {
+		t.Fatalf("cwnd never adapted below half the init window: min %.0f of %.0f", minCwnd, init)
+	}
+}
+
+func TestLiveBottleneckDropsWhenOverrun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets in -short mode")
+	}
+	// A tiny queue plus a fixed oversized window forces tail drops: the
+	// fixed window paces at cwnd/τ = 4 Gbps into a 50 Mbps bottleneck.
+	snd, bn, _, cleanup := liveEnv(t, 50*units.Mbps, 8<<10)
+	defer cleanup()
+	alg := &cc.FixedWindow{Window: 1 << 20}
+	_, err := snd.Transfer(bn.Addr(), 3, 100_000, alg, 2*sim.Millisecond,
+		10*units.Gbps, 30*time.Second)
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if bn.Drops() == 0 {
+		t.Fatal("expected tail drops with an oversized window")
+	}
+}

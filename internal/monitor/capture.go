@@ -1,0 +1,127 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Capture persists packets crossing a tap point as a stream of
+// timestamped wire-format frames — the repository's pcap equivalent.
+// Frame layout (big endian): u64 timestamp (ps), u32 length, then the
+// internal/wire encoding of the packet headers.
+//
+// CaptureTap streams live; ReadCapture replays a stream for offline
+// analysis. The format is pinned by round-trip tests.
+
+const captureMagic uint32 = 0x50545243 // "PTRC"
+
+// CaptureWriter appends frames to an io.Writer.
+type CaptureWriter struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewCaptureWriter writes the stream header and returns a writer.
+func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.BigEndian, captureMagic); err != nil {
+		return nil, err
+	}
+	return &CaptureWriter{w: bw}, nil
+}
+
+// Write appends one packet observed at time at.
+func (cw *CaptureWriter) Write(at sim.Time, p *packet.Packet) error {
+	raw, err := wire.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("monitor: capture encode: %w", err)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(at))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(raw)))
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(raw); err != nil {
+		return err
+	}
+	cw.count++
+	return nil
+}
+
+// Count returns the number of frames written.
+func (cw *CaptureWriter) Count() uint64 { return cw.count }
+
+// Flush drains buffered frames to the underlying writer.
+func (cw *CaptureWriter) Flush() error { return cw.w.Flush() }
+
+// CapturedPacket is one replayed frame.
+type CapturedPacket struct {
+	At  sim.Time
+	Pkt *packet.Packet
+}
+
+// ErrBadCapture reports a corrupt stream.
+var ErrBadCapture = errors.New("monitor: bad capture stream")
+
+// ReadCapture replays an entire capture stream.
+func ReadCapture(r io.Reader) ([]CapturedPacket, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.BigEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != captureMagic {
+		return nil, ErrBadCapture
+	}
+	var out []CapturedPacket
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		at := sim.Time(binary.BigEndian.Uint64(hdr[0:]))
+		n := binary.BigEndian.Uint32(hdr[8:])
+		if n > 1<<20 {
+			return nil, ErrBadCapture
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("monitor: truncated capture: %w", err)
+		}
+		p, err := wire.Unmarshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: capture decode: %w", err)
+		}
+		out = append(out, CapturedPacket{At: at, Pkt: p})
+	}
+}
+
+// CaptureTap records every packet crossing it into a CaptureWriter while
+// forwarding to the inner receiver.
+type CaptureTap struct {
+	Inner link.Receiver
+	W     *CaptureWriter
+	Now   func() sim.Time
+	// OnError observes write failures (captures never break forwarding).
+	OnError func(error)
+}
+
+// Receive implements link.Receiver.
+func (t *CaptureTap) Receive(p *packet.Packet) {
+	if err := t.W.Write(t.Now(), p); err != nil && t.OnError != nil {
+		t.OnError(err)
+	}
+	t.Inner.Receive(p)
+}

@@ -1,0 +1,119 @@
+package monitor_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := monitor.NewCaptureWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*packet.Packet{
+		{Kind: packet.Data, Flow: 1, Seq: 0, PayloadLen: 1000},
+		{Kind: packet.Ack, Flow: 1, AckSeq: 1000,
+			Hops: []telemetry.HopRecord{{QLen: 4096, Rate: 25 * units.Gbps}}},
+		{Kind: packet.Grant, Flow: 2, MsgID: 9, MsgLen: 1 << 20, GrantOffset: 5000, Seq: -1},
+	}
+	for i, p := range pkts {
+		if err := cw.Write(sim.Time(sim.Duration(i)*sim.Microsecond), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Count() != 3 {
+		t.Fatalf("count = %d", cw.Count())
+	}
+
+	got, err := monitor.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d frames", len(got))
+	}
+	for i, cp := range got {
+		if cp.At != sim.Time(sim.Duration(i)*sim.Microsecond) {
+			t.Fatalf("frame %d at %v", i, cp.At)
+		}
+		if cp.Pkt.Kind != pkts[i].Kind || cp.Pkt.Flow != pkts[i].Flow {
+			t.Fatalf("frame %d decoded to %+v", i, cp.Pkt)
+		}
+	}
+	if got[2].Pkt.GrantOffset != 5000 || got[2].Pkt.MsgID != 9 {
+		t.Fatalf("grant fields lost: %+v", got[2].Pkt)
+	}
+	if got[1].Pkt.Hops[0].QLen != 4096 {
+		t.Fatalf("INT lost: %+v", got[1].Pkt.Hops)
+	}
+}
+
+func TestCaptureRejectsGarbage(t *testing.T) {
+	if _, err := monitor.ReadCapture(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated frame body.
+	var buf bytes.Buffer
+	cw, _ := monitor.NewCaptureWriter(&buf)
+	cw.Write(0, &packet.Packet{Kind: packet.Data, PayloadLen: 100})
+	cw.Flush()
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := monitor.ReadCapture(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated capture accepted")
+	}
+}
+
+func TestCaptureTapOnLiveTraffic(t *testing.T) {
+	net := buildStar()
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	var buf bytes.Buffer
+	cw, err := monitor.NewCaptureWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &monitor.CaptureTap{Inner: dst, W: cw, Now: net.Eng.Now}
+	net.Switches[0].Ports()[1].Peer = tap
+
+	src.StartFlow(net.NextFlowID(), dst.ID(), 50_000, core.New(core.Config{}), 0)
+	net.Eng.Run()
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, err := monitor.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) < 50 {
+		t.Fatalf("captured %d frames, want ≥50 data packets", len(replay))
+	}
+	// Timestamps monotone, all frames decode to data with INT stamped.
+	var last sim.Time
+	var payload int64
+	for _, cp := range replay {
+		if cp.At < last {
+			t.Fatal("capture timestamps not monotone")
+		}
+		last = cp.At
+		if cp.Pkt.Kind == packet.Data {
+			payload += int64(cp.Pkt.PayloadLen)
+			if len(cp.Pkt.Hops) == 0 {
+				t.Fatal("data frame lost its INT stack")
+			}
+		}
+	}
+	if payload != 50_000 {
+		t.Fatalf("captured payload = %d", payload)
+	}
+}

@@ -1,0 +1,193 @@
+// Package monitor provides instrumentation wrappers: a congestion-
+// control interposer that records the window/rate/feedback trajectory of
+// a flow (the data behind cwnd-over-time plots), and a packet tap that
+// records traffic crossing any link.Receiver.
+//
+// Both wrappers are pass-through: experiments behave identically with or
+// without them, which the tests assert.
+package monitor
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// CCSample is one recorded control-law update.
+type CCSample struct {
+	At       sim.Time
+	Cwnd     float64
+	Rate     units.BitRate
+	RTT      sim.Duration
+	AckSeq   int64
+	Losses   uint64
+	HopCount int
+}
+
+// CC wraps an Algorithm and records a sample on every ACK.
+type CC struct {
+	Inner cc.Algorithm
+	// Every keeps one sample per period (0 records every ACK).
+	Every sim.Duration
+
+	Samples []CCSample
+	losses  uint64
+	lastAt  sim.Time
+	haveAny bool
+}
+
+// Wrap returns a recording wrapper around alg.
+func Wrap(alg cc.Algorithm, every sim.Duration) *CC {
+	return &CC{Inner: alg, Every: every}
+}
+
+// Name implements cc.Algorithm.
+func (m *CC) Name() string { return m.Inner.Name() + "+monitor" }
+
+// Init implements cc.Algorithm.
+func (m *CC) Init(lim cc.Limits) { m.Inner.Init(lim) }
+
+// Cwnd implements cc.Algorithm.
+func (m *CC) Cwnd() float64 { return m.Inner.Cwnd() }
+
+// Rate implements cc.Algorithm.
+func (m *CC) Rate() units.BitRate { return m.Inner.Rate() }
+
+// OnLoss implements cc.Algorithm.
+func (m *CC) OnLoss(now sim.Time) {
+	m.losses++
+	m.Inner.OnLoss(now)
+}
+
+// OnCNP forwards congestion notifications when the inner algorithm
+// consumes them.
+func (m *CC) OnCNP(now sim.Time) {
+	if h, ok := m.Inner.(cc.CNPHandler); ok {
+		h.OnCNP(now)
+	}
+}
+
+// ECT forwards the inner algorithm's ECN capability.
+func (m *CC) ECT() bool { return cc.WantsECT(m.Inner) }
+
+// Stop forwards teardown to timer-driven inner algorithms.
+func (m *CC) Stop() {
+	if s, ok := m.Inner.(interface{ Stop() }); ok {
+		s.Stop()
+	}
+}
+
+// OnAck implements cc.Algorithm.
+func (m *CC) OnAck(a cc.Ack) {
+	m.Inner.OnAck(a)
+	if m.haveAny && m.Every > 0 && a.Now.Sub(m.lastAt) < m.Every {
+		return
+	}
+	m.haveAny = true
+	m.lastAt = a.Now
+	m.Samples = append(m.Samples, CCSample{
+		At:       a.Now,
+		Cwnd:     m.Inner.Cwnd(),
+		Rate:     m.Inner.Rate(),
+		RTT:      a.RTT,
+		AckSeq:   a.AckSeq,
+		Losses:   m.losses,
+		HopCount: len(a.Hops),
+	})
+}
+
+// WriteCSV dumps the samples as CSV.
+func (m *CC) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_us,cwnd_bytes,rate_gbps,rtt_us,ack_seq,losses"); err != nil {
+		return err
+	}
+	for _, s := range m.Samples {
+		if _, err := fmt.Fprintf(w, "%.2f,%.0f,%.3f,%.2f,%d,%d\n",
+			float64(s.At)/float64(sim.Microsecond), s.Cwnd,
+			float64(s.Rate)/1e9, s.RTT.Micros(), s.AckSeq, s.Losses); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceEntry is one packet observation at a tap point.
+type TraceEntry struct {
+	At   sim.Time
+	Kind packet.Kind
+	Flow packet.FlowID
+	Seq  int64
+	Len  int64
+	CE   bool
+}
+
+// Tap records packets flowing into a link.Receiver, keeping the most
+// recent Cap entries in a ring.
+type Tap struct {
+	Inner link.Receiver
+	Cap   int
+	// Filter keeps only matching packets when non-nil.
+	Filter func(p *packet.Packet) bool
+
+	entries []TraceEntry
+	next    int
+	total   uint64
+	now     func() sim.Time
+}
+
+// NewTap wraps inner; now supplies timestamps (usually Engine.Now).
+func NewTap(inner link.Receiver, capacity int, now func() sim.Time) *Tap {
+	return &Tap{Inner: inner, Cap: capacity, now: now}
+}
+
+// Receive implements link.Receiver.
+func (t *Tap) Receive(p *packet.Packet) {
+	if t.Filter == nil || t.Filter(p) {
+		e := TraceEntry{
+			At: t.now(), Kind: p.Kind, Flow: p.Flow,
+			Seq: p.Seq, Len: p.WireLen(), CE: p.CE,
+		}
+		if t.Cap > 0 && len(t.entries) >= t.Cap {
+			t.entries[t.next] = e
+			t.next = (t.next + 1) % t.Cap
+		} else {
+			t.entries = append(t.entries, e)
+		}
+		t.total++
+	}
+	t.Inner.Receive(p)
+}
+
+// Total returns the number of packets observed (including evicted ones).
+func (t *Tap) Total() uint64 { return t.total }
+
+// Entries returns the retained observations in arrival order.
+func (t *Tap) Entries() []TraceEntry {
+	if t.Cap <= 0 || len(t.entries) < t.Cap {
+		return t.entries
+	}
+	out := make([]TraceEntry, 0, t.Cap)
+	out = append(out, t.entries[t.next:]...)
+	out = append(out, t.entries[:t.next]...)
+	return out
+}
+
+// WriteText dumps the retained entries in a tcpdump-ish line format.
+func (t *Tap) WriteText(w io.Writer) error {
+	for _, e := range t.Entries() {
+		ce := ""
+		if e.CE {
+			ce = " CE"
+		}
+		if _, err := fmt.Fprintf(w, "%12v %-5v flow=%d seq=%d len=%d%s\n",
+			e.At, e.Kind, e.Flow, e.Seq, e.Len, ce); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package monitor_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+func buildStar() *topo.Network {
+	return topo.Star(topo.StarConfig{
+		Hosts:    2,
+		HostRate: 25 * units.Gbps,
+		Opts: topo.Options{
+			Hosts: topo.TransportHosts(transport.Config{BaseRTT: 10 * sim.Microsecond}),
+			INT:   true,
+		},
+	})
+}
+
+func TestCCMonitorRecordsAndIsTransparent(t *testing.T) {
+	// Run the same flow with and without the monitor: identical FCT.
+	run := func(alg cc.Algorithm) (sim.Duration, int) {
+		net := buildStar()
+		src, dst := net.TransportHost(0), net.TransportHost(1)
+		f := src.StartFlow(net.NextFlowID(), dst.ID(), 500_000, alg, 0)
+		net.Eng.Run()
+		samples := 0
+		if m, ok := alg.(*monitor.CC); ok {
+			samples = len(m.Samples)
+		}
+		return f.FCT(), samples
+	}
+	plainFCT, _ := run(core.New(core.Config{}))
+	mon := monitor.Wrap(core.New(core.Config{}), 0)
+	monFCT, n := run(mon)
+	if plainFCT != monFCT {
+		t.Fatalf("monitor changed behaviour: %v vs %v", plainFCT, monFCT)
+	}
+	if n == 0 {
+		t.Fatal("no samples recorded")
+	}
+	// Per-ACK sampling: one sample per received ACK (500 packets).
+	if n < 400 {
+		t.Fatalf("only %d samples", n)
+	}
+	var buf bytes.Buffer
+	if err := mon.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "time_us,") || strings.Count(buf.String(), "\n") < n {
+		t.Fatal("CSV dump malformed")
+	}
+}
+
+func TestCCMonitorSamplingPeriod(t *testing.T) {
+	net := buildStar()
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	mon := monitor.Wrap(core.New(core.Config{}), 100*sim.Microsecond)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 2_000_000, mon, 0)
+	net.Eng.Run()
+	// 2MB at ≈25G lasts ≈700µs: expect single-digit samples, not ~2000.
+	if len(mon.Samples) > 30 {
+		t.Fatalf("period ignored: %d samples", len(mon.Samples))
+	}
+}
+
+func TestCCMonitorForwardsExtensions(t *testing.T) {
+	m := monitor.Wrap(cc.NewDCQCN(), 0)
+	if !m.ECT() {
+		t.Fatal("ECT not forwarded")
+	}
+	lim := cc.Limits{BaseRTT: 10 * sim.Microsecond, HostRate: 25 * units.Gbps, MSS: 1000}
+	m.Init(lim)
+	before := m.Rate()
+	m.OnCNP(0)
+	if m.Rate() >= before {
+		t.Fatal("CNP not forwarded to DCQCN")
+	}
+	m.Stop()
+	if got := m.Name(); !strings.Contains(got, "dcqcn") {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+type nullReceiver struct{ got []*packet.Packet }
+
+func (n *nullReceiver) Receive(p *packet.Packet) { n.got = append(n.got, p) }
+
+func TestTapRingAndFilter(t *testing.T) {
+	inner := &nullReceiver{}
+	now := sim.Time(0)
+	tap := monitor.NewTap(inner, 4, func() sim.Time { return now })
+	tap.Filter = func(p *packet.Packet) bool { return p.Kind == packet.Data }
+	for i := 0; i < 10; i++ {
+		now = sim.Time(sim.Duration(i) * sim.Microsecond)
+		kind := packet.Data
+		if i%3 == 0 {
+			kind = packet.Ack
+		}
+		tap.Receive(&packet.Packet{Kind: kind, Seq: int64(i), PayloadLen: 100})
+	}
+	if len(inner.got) != 10 {
+		t.Fatalf("tap swallowed packets: %d delivered", len(inner.got))
+	}
+	// 10 packets, 4 are Acks (0,3,6,9) → 6 data observed, ring keeps 4.
+	if tap.Total() != 6 {
+		t.Fatalf("total = %d", tap.Total())
+	}
+	entries := tap.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("retained %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].At < entries[i-1].At {
+			t.Fatal("ring order broken")
+		}
+	}
+	var buf bytes.Buffer
+	if err := tap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 4 {
+		t.Fatalf("text dump lines = %d", strings.Count(buf.String(), "\n"))
+	}
+}
+
+func TestTapOnLiveLink(t *testing.T) {
+	// Interpose a tap between the switch and the receiving host.
+	net := buildStar()
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	port := net.Switches[0].Ports()[1] // faces host 1
+	tap := monitor.NewTap(dst, 0, net.Eng.Now)
+	port.Peer = tap
+	src.StartFlow(net.NextFlowID(), dst.ID(), 100_000, core.New(core.Config{}), 0)
+	net.Eng.Run()
+	if dst.ReceivedTotal() != 100_000 {
+		t.Fatalf("tap broke delivery: %d", dst.ReceivedTotal())
+	}
+	if tap.Total() < 100 {
+		t.Fatalf("tap saw %d packets", tap.Total())
+	}
+}

@@ -1,0 +1,204 @@
+// Package queue provides the egress-queue disciplines used by switch
+// ports: a plain FIFO, an 8-level strict-priority queue (HOMA), and a
+// class queue with an externally selected active class (the
+// per-destination virtual output queues of the RDCN case study).
+package queue
+
+import "repro/internal/packet"
+
+// Queue is the interface a port drains. Push never fails; admission
+// control happens before Push (see internal/buffer).
+type Queue interface {
+	Push(p *packet.Packet)
+	Pop() *packet.Packet
+	Peek() *packet.Packet
+	Len() int
+	Bytes() int64
+}
+
+// FIFO is a first-in-first-out packet queue backed by a growable ring.
+// The zero value is an empty queue ready for use.
+type FIFO struct {
+	buf   []*packet.Packet
+	head  int
+	n     int
+	bytes int64
+}
+
+// NewFIFO returns an empty FIFO.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push appends p.
+func (q *FIFO) Push(p *packet.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+	q.bytes += p.WireLen()
+}
+
+func (q *FIFO) grow() {
+	next := make([]*packet.Packet, max(8, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+// Pop removes and returns the oldest packet, or nil if empty.
+func (q *FIFO) Pop() *packet.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.bytes -= p.WireLen()
+	return p
+}
+
+// Peek returns the oldest packet without removing it, or nil if empty.
+func (q *FIFO) Peek() *packet.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Len returns the number of queued packets.
+func (q *FIFO) Len() int { return q.n }
+
+// Bytes returns the total wire bytes queued.
+func (q *FIFO) Bytes() int64 { return q.bytes }
+
+// Prio is a strict-priority queue with packet.MaxPriority+1 levels;
+// level 0 drains first. Packets with out-of-range priorities are clamped.
+type Prio struct {
+	levels [packet.MaxPriority + 1]FIFO
+	n      int
+	bytes  int64
+}
+
+// NewPrio returns an empty strict-priority queue.
+func NewPrio() *Prio { return &Prio{} }
+
+// Push enqueues p at its priority level.
+func (q *Prio) Push(p *packet.Packet) {
+	lvl := p.Priority
+	if lvl > packet.MaxPriority {
+		lvl = packet.MaxPriority
+	}
+	q.levels[lvl].Push(p)
+	q.n++
+	q.bytes += p.WireLen()
+}
+
+// Pop removes the oldest packet of the highest non-empty priority.
+func (q *Prio) Pop() *packet.Packet {
+	for i := range q.levels {
+		if p := q.levels[i].Pop(); p != nil {
+			q.n--
+			q.bytes -= p.WireLen()
+			return p
+		}
+	}
+	return nil
+}
+
+// Peek returns the packet Pop would return.
+func (q *Prio) Peek() *packet.Packet {
+	for i := range q.levels {
+		if p := q.levels[i].Peek(); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// Len returns the number of queued packets across all levels.
+func (q *Prio) Len() int { return q.n }
+
+// Bytes returns the total wire bytes queued across all levels.
+func (q *Prio) Bytes() int64 { return q.bytes }
+
+// LevelBytes returns the bytes queued at one priority level.
+func (q *Prio) LevelBytes(lvl int) int64 { return q.levels[lvl].Bytes() }
+
+// Class is a queue partitioned into classes (e.g. per-destination VOQs)
+// of which exactly one — the active class — is drainable at a time.
+// Pushes go to the class chosen by the classifier; Pop serves only the
+// active class, modelling a circuit switch that connects one output.
+type Class struct {
+	Classify func(p *packet.Packet) int
+
+	classes map[int]*FIFO
+	active  int
+	n       int
+	bytes   int64
+}
+
+// NewClass returns an empty class queue. classify maps a packet to its
+// class (for VOQs: the destination ToR).
+func NewClass(classify func(p *packet.Packet) int) *Class {
+	return &Class{Classify: classify, classes: map[int]*FIFO{}, active: -1}
+}
+
+// SetActive selects which class Pop serves; -1 disables draining.
+func (q *Class) SetActive(class int) { q.active = class }
+
+// Active returns the currently drainable class.
+func (q *Class) Active() int { return q.active }
+
+// Push enqueues p in its class.
+func (q *Class) Push(p *packet.Packet) {
+	c := q.Classify(p)
+	f := q.classes[c]
+	if f == nil {
+		f = NewFIFO()
+		q.classes[c] = f
+	}
+	f.Push(p)
+	q.n++
+	q.bytes += p.WireLen()
+}
+
+// Pop removes the oldest packet of the active class, or returns nil when
+// the active class is empty or draining is disabled.
+func (q *Class) Pop() *packet.Packet {
+	f := q.classes[q.active]
+	if f == nil {
+		return nil
+	}
+	p := f.Pop()
+	if p != nil {
+		q.n--
+		q.bytes -= p.WireLen()
+	}
+	return p
+}
+
+// Peek returns the packet Pop would return.
+func (q *Class) Peek() *packet.Packet {
+	f := q.classes[q.active]
+	if f == nil {
+		return nil
+	}
+	return f.Peek()
+}
+
+// Len returns the number of packets queued across all classes.
+func (q *Class) Len() int { return q.n }
+
+// Bytes returns the wire bytes queued across all classes.
+func (q *Class) Bytes() int64 { return q.bytes }
+
+// ClassBytes returns the wire bytes queued for one class.
+func (q *Class) ClassBytes(class int) int64 {
+	if f := q.classes[class]; f != nil {
+		return f.Bytes()
+	}
+	return 0
+}

@@ -1,0 +1,247 @@
+package rdcn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+func TestScheduleBasics(t *testing.T) {
+	s := &Schedule{Tors: 25, Day: 225 * sim.Microsecond, Night: 20 * sim.Microsecond}
+	if s.Matchings() != 24 {
+		t.Fatalf("matchings = %d", s.Matchings())
+	}
+	if s.Slot() != 245*sim.Microsecond {
+		t.Fatalf("slot = %v", s.Slot())
+	}
+	if s.Week() != 24*245*sim.Microsecond {
+		t.Fatalf("week = %v", s.Week())
+	}
+	// Matching 0 connects i → i+1.
+	if s.DstOf(0, 0) != 1 || s.DstOf(24, 0) != 0 {
+		t.Fatal("DstOf matching 0 broken")
+	}
+	if m := s.MatchingFor(3, 4); m != 0 {
+		t.Fatalf("MatchingFor(3,4) = %d", m)
+	}
+	if m := s.MatchingFor(4, 3); m != 23 {
+		t.Fatalf("MatchingFor(4,3) = %d", m)
+	}
+	if s.MatchingFor(7, 7) != -1 {
+		t.Fatal("self matching must be -1")
+	}
+}
+
+// Property: every ordered ToR pair is connected exactly once per week,
+// and MatchingFor agrees with DstOf.
+func TestScheduleCoversAllPairs(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		s := &Schedule{Tors: n, Day: sim.Microsecond, Night: sim.Microsecond}
+		for src := 0; src < n; src++ {
+			seen := map[int]int{}
+			for m := 0; m < s.Matchings(); m++ {
+				d := s.DstOf(src, m)
+				if d == src {
+					return false
+				}
+				seen[d]++
+				if s.MatchingFor(src, d) != m {
+					return false
+				}
+			}
+			if len(seen) != n-1 {
+				return false
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleTimeDecomposition(t *testing.T) {
+	s := &Schedule{Tors: 4, Day: 100 * sim.Microsecond, Night: 10 * sim.Microsecond}
+	m, inDay, into := s.At(sim.Time(50 * sim.Microsecond))
+	if m != 0 || !inDay || into != 50*sim.Microsecond {
+		t.Fatalf("At(50µs) = %d %v %v", m, inDay, into)
+	}
+	m, inDay, _ = s.At(sim.Time(105 * sim.Microsecond))
+	if m != 0 || inDay {
+		t.Fatalf("At(105µs) in night: %d %v", m, inDay)
+	}
+	m, inDay, _ = s.At(sim.Time(115 * sim.Microsecond))
+	if m != 1 || !inDay {
+		t.Fatalf("At(115µs): %d %v", m, inDay)
+	}
+	// Wraps after a week (3 slots).
+	m, _, _ = s.At(sim.Time(3 * 110 * sim.Microsecond))
+	if m != 0 {
+		t.Fatalf("week wrap: m = %d", m)
+	}
+}
+
+func TestNextDayStart(t *testing.T) {
+	s := &Schedule{Tors: 4, Day: 100 * sim.Microsecond, Night: 10 * sim.Microsecond}
+	// src 0 → dst 2 is matching 1, whose day starts at 110µs.
+	if got := s.NextDayStart(0, 2, 0); got != sim.Time(110*sim.Microsecond) {
+		t.Fatalf("NextDayStart = %v", got)
+	}
+	// From inside that day, the next start is one week later.
+	if got := s.NextDayStart(0, 2, sim.Time(150*sim.Microsecond)); got != sim.Time((110+330)*sim.Microsecond) {
+		t.Fatalf("NextDayStart mid-day = %v", got)
+	}
+}
+
+func TestActiveOrUpcoming(t *testing.T) {
+	s := &Schedule{Tors: 4, Day: 100 * sim.Microsecond, Night: 10 * sim.Microsecond}
+	if !s.ActiveOrUpcoming(0, 1, sim.Time(10*sim.Microsecond), 0) {
+		t.Fatal("matching 0 active at t=10µs")
+	}
+	if s.ActiveOrUpcoming(0, 2, sim.Time(10*sim.Microsecond), 0) {
+		t.Fatal("matching 1 must not be active at t=10µs")
+	}
+	// With a 105µs lead, the day at 110µs is upcoming from t=10µs.
+	if !s.ActiveOrUpcoming(0, 2, sim.Time(10*sim.Microsecond), 105*sim.Microsecond) {
+		t.Fatal("prebuffer lead not honoured")
+	}
+}
+
+func small() Config {
+	return Config{
+		Tors:          4,
+		ServersPerTor: 2,
+		Day:           100 * sim.Microsecond,
+		Night:         10 * sim.Microsecond,
+		INT:           true,
+	}
+}
+
+func TestPrebufferClampedToSchedule(t *testing.T) {
+	// A prebuffer approaching the rotor week would steer everything
+	// (ACKs included) into dark VOQs; Build must clamp it.
+	cfg := small() // 4 ToRs → week 330µs, slot 110µs
+	cfg.Prebuffer = 10 * sim.Millisecond
+	net := Build(cfg)
+	maxLead := net.Sched.Week() - 2*net.Sched.Slot()
+	if net.Cfg.Prebuffer != maxLead {
+		t.Fatalf("prebuffer not clamped: %v, want %v", net.Cfg.Prebuffer, maxLead)
+	}
+	// A paper-scale prebuffer passes through untouched.
+	cfg2 := Config{Prebuffer: 1800 * sim.Microsecond}
+	net2 := Build(cfg2) // defaults: 25 ToRs, week 5.88ms
+	if net2.Cfg.Prebuffer != 1800*sim.Microsecond {
+		t.Fatalf("paper-scale prebuffer altered: %v", net2.Cfg.Prebuffer)
+	}
+}
+
+func TestRDCNDeliversOverCircuitAndPacket(t *testing.T) {
+	net := Build(small())
+	src := net.Hosts[0] // tor 0
+	dst := net.Hosts[6] // tor 3
+	var done bool
+	src.OnFlowDone = func(*transport.Flow) { done = true }
+	src.StartFlow(net.NextFlowID(), dst.ID(), 2<<20,
+		core.New(core.Config{}), 0)
+	net.Eng.RunUntil(sim.Time(20 * sim.Millisecond))
+	if !done {
+		t.Fatal("flow across the RDCN did not finish")
+	}
+	// Both paths must have carried traffic: the circuit during days for
+	// matching 2 (0→3), the packet core otherwise.
+	if net.Tors[0].CircuitPort().TxPackets() == 0 {
+		t.Fatal("circuit carried nothing")
+	}
+	if net.Tors[0].PacketPort().TxPackets() == 0 {
+		t.Fatal("packet path carried nothing")
+	}
+}
+
+func TestVOQHoldsOnlyActiveDestination(t *testing.T) {
+	net := Build(small())
+	// At t=0 matching 0 is up: tor0→tor1 rides the circuit; anything for
+	// tor2 goes to the packet path, so VOQ(2) stays empty.
+	net.Hosts[0].StartFlow(net.NextFlowID(), net.Hosts[2].ID(), transport.Unbounded,
+		core.New(core.Config{}), 0) // dst tor 1
+	net.Hosts[1].StartFlow(net.NextFlowID(), net.Hosts[4].ID(), transport.Unbounded,
+		core.New(core.Config{}), 0) // dst tor 2
+	net.Eng.RunUntil(sim.Time(50 * sim.Microsecond))
+	if net.Tors[0].VOQBytes(2) != 0 {
+		t.Fatalf("VOQ(2) filled while its circuit is down: %dB", net.Tors[0].VOQBytes(2))
+	}
+}
+
+func TestReTCPWindowFollowsCalendar(t *testing.T) {
+	net := Build(small())
+	sched := net.Sched
+	r := &ReTCP{
+		Sched: sched, SrcTor: 0, DstTor: 2,
+		Prebuffer:   30 * sim.Microsecond,
+		PacketRate:  net.Cfg.PacketRate,
+		CircuitRate: net.Cfg.CircuitRate,
+	}
+	net.Hosts[0].StartFlow(net.NextFlowID(), net.Hosts[4].ID(), transport.Unbounded, r, 0)
+	// Day for 0→2 is [110µs, 210µs); prebuffer from 80µs.
+	net.Eng.RunUntil(sim.Time(70 * sim.Microsecond))
+	pkt := r.Cwnd()
+	net.Eng.RunUntil(sim.Time(90 * sim.Microsecond))
+	boosted := r.Cwnd()
+	if boosted <= pkt {
+		t.Fatalf("window not boosted before the day: %v → %v", pkt, boosted)
+	}
+	net.Eng.RunUntil(sim.Time(230 * sim.Microsecond))
+	if got := r.Cwnd(); got != pkt {
+		t.Fatalf("window not restored after the day: %v", got)
+	}
+}
+
+func TestPrebufferFillsVOQBeforeDay(t *testing.T) {
+	cfg := small()
+	cfg.Prebuffer = 50 * sim.Microsecond
+	net := Build(cfg)
+	r := &ReTCP{
+		Sched: net.Sched, SrcTor: 0, DstTor: 2,
+		Prebuffer:   cfg.Prebuffer,
+		PacketRate:  net.Cfg.PacketRate,
+		CircuitRate: net.Cfg.CircuitRate,
+	}
+	net.Hosts[0].StartFlow(net.NextFlowID(), net.Hosts[4].ID(), transport.Unbounded, r, 0)
+	// Day for 0→2 starts at 110µs; from 60µs packets steer to the VOQ.
+	net.Eng.RunUntil(sim.Time(105 * sim.Microsecond))
+	if net.Tors[0].VOQBytes(2) == 0 {
+		t.Fatal("prebuffering put nothing in the VOQ before the day")
+	}
+}
+
+func TestCircuitCarriesAtCircuitRate(t *testing.T) {
+	// During a day, an unbounded flow between matched ToRs should push
+	// well above the packet rate.
+	cfg := small()
+	net := Build(cfg)
+	// tor0→tor1 matched at slot 0, then every 330µs.
+	for i := 0; i < 2; i++ {
+		net.Hosts[i].StartFlow(net.NextFlowID(), net.Hosts[2+i].ID(), transport.Unbounded,
+			core.New(core.Config{}), 0)
+	}
+	net.Eng.RunUntil(sim.Time(95 * sim.Microsecond))
+	circ := net.Tors[0].CircuitPort().TxBytes()
+	if circ == 0 {
+		t.Fatal("no circuit bytes during the day")
+	}
+	// Utilization of the 100µs day at 100G would be 1.25MB; hosts are
+	// 2×25G so the ceiling is 50G → ~600KB. Expect at least 30% of that.
+	if circ < 150_000 {
+		t.Fatalf("circuit moved only %dB during its day", circ)
+	}
+	_ = units.Gbps
+}

@@ -1,0 +1,152 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are created by the Engine and may
+// be cancelled until they fire. The zero Event is not useful; always use
+// Engine.At or Engine.After.
+type Event struct {
+	at        Time
+	seq       uint64 // tiebreaker: FIFO among events at the same instant
+	fn        func()
+	index     int // position in the heap, -1 once popped
+	cancelled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+//
+// All callbacks run on the goroutine that calls Run/RunUntil/Step; the
+// Engine itself is not safe for concurrent use, matching the deterministic
+// single-threaded execution model described in the package comment.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nSteps uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far (useful for
+// reporting simulator throughput in benchmarks).
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a model bug, and silently
+// reordering time would destroy determinism.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. A non-positive d fires at the
+// current instant, after all callbacks already queued for this instant.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents ev from firing. Cancelling a nil, fired, or already
+// cancelled event is a no-op, so callers can unconditionally cancel timers
+// they may or may not hold.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		ev.markCancelled()
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+func (ev *Event) markCancelled() {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.nSteps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to t. Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(3*Microsecond, func() { got = append(got, 3) })
+	e.After(1*Microsecond, func() { got = append(got, 1) })
+	e.After(2*Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*Microsecond) {
+		t.Fatalf("Now = %v, want 3µs", e.Now())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(5*Nanosecond), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(Microsecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.After(Duration(i+1)*Microsecond, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	e.After(1*Microsecond, func() { got = append(got, 1) })
+	e.After(5*Microsecond, func() { got = append(got, 5) })
+	e.RunUntil(Time(3 * Microsecond))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if e.Now() != Time(3*Microsecond) {
+		t.Fatalf("Now = %v after RunUntil, want 3µs", e.Now())
+	}
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("remaining event did not fire: %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.After(Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from inside callbacks at the current instant run
+	// in the same pass, after already-queued same-instant events.
+	e := New()
+	var got []string
+	e.After(0, func() {
+		got = append(got, "a")
+		e.After(0, func() { got = append(got, "c") })
+	})
+	e.After(0, func() { got = append(got, "b") })
+	e.Run()
+	if want := "abc"; got[0]+got[1]+got[2] != want {
+		t.Fatalf("got %v, want a,b,c", got)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if s := (2500 * Nanosecond).String(); s != "2.5µs" {
+		t.Errorf("2500ns = %q", s)
+	}
+	if s := (Duration(1500)).String(); s != "1ns+500ps" {
+		t.Errorf("1500ps = %q", s)
+	}
+	if got := Seconds(0.001); got != Millisecond {
+		t.Errorf("Seconds(0.001) = %v", got)
+	}
+	if got := Micros(20); got != 20*Microsecond {
+		t.Errorf("Micros(20) = %v", got)
+	}
+}
+
+// Property: for any schedule of events, execution order is sorted by
+// (time, insertion order).
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint32) bool {
+		e := New()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i := i
+			at := Time(Duration(d%1_000_000) * Nanosecond)
+			e.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].seq < fired[b].seq
+		})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of schedules and cancellations never
+// fires a cancelled event and fires every non-cancelled one.
+func TestEngineCancelProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		fired := map[int]bool{}
+		cancelled := map[int]bool{}
+		evs := map[int]*Event{}
+		for i := 0; i < int(n); i++ {
+			i := i
+			evs[i] = e.After(Duration(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
+		}
+		for i := range evs {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < int(n); i++ {
+			if cancelled[i] && fired[i] {
+				return false
+			}
+			if !cancelled[i] && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%1000)*Nanosecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,35 @@
+package swtch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestQuantizedINTStamps(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{INT: true, QuantizeINT: true})
+	dst := &sink{}
+	sw.AddPort(1*units.Gbps, 0, dst, nil) // slow: queue builds
+	sw.SetRoute(7, []int{0})
+	for i := 0; i < 10; i++ {
+		sw.Receive(data(1, 7, 997)) // odd size → unaligned raw qlen
+	}
+	eng.Run()
+	for _, p := range dst.pkts {
+		if len(p.Hops) != 1 {
+			t.Fatalf("hops = %d", len(p.Hops))
+		}
+		h := p.Hops[0]
+		if h.QLen%64 != 0 {
+			t.Fatalf("QLen %d not quantized to 64B units", h.QLen)
+		}
+		if h.TxBytes%256 != 0 {
+			t.Fatalf("TxBytes %d not quantized to 256B units", h.TxBytes)
+		}
+		if q := h.Quantize(); q != h {
+			t.Fatalf("stamp not a fixed point of Quantize: %+v vs %+v", h, q)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package swtch models an output-queued datacenter switch: ECMP
+// forwarding, a shared-memory buffer governed by Dynamic Thresholds
+// (§4.1), RED-style ECN marking for DCQCN, and INT stamping at dequeue —
+// the egress queue length, cumulative transmitted bytes, timestamp and
+// link bandwidth exactly as the paper's Tofino pipeline exports (§3.6).
+package swtch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/buffer"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// ECNConfig is RED-style marking: below KMin never mark, above KMax
+// always mark, linear probability PMax in between. The zero value
+// disables marking.
+type ECNConfig struct {
+	KMin int64
+	KMax int64
+	PMax float64
+}
+
+// Enabled reports whether marking is configured.
+func (e ECNConfig) Enabled() bool { return e.KMax > 0 }
+
+// Config carries per-switch settings.
+type Config struct {
+	// BufferBytes is the shared-memory pool size; 0 means unbounded.
+	BufferBytes int64
+	// Alpha is the Dynamic Thresholds factor (default 1).
+	Alpha float64
+	// INT enables telemetry stamping at dequeue.
+	INT bool
+	// QuantizeINT stamps records as they would survive the wire format
+	// (64 B queue units, wrapping counters — telemetry.Quantize), i.e.
+	// what a real Tofino pipeline exports rather than exact simulator
+	// state. Algorithms must tolerate it; tests assert they do.
+	QuantizeINT bool
+	// ECN configures RED marking of ECN-capable packets.
+	ECN ECNConfig
+	// Seed feeds the marking RNG so runs stay deterministic.
+	Seed int64
+}
+
+// Switch is one switch instance. It implements link.Receiver.
+type Switch struct {
+	id    packet.NodeID
+	eng   *sim.Engine
+	cfg   Config
+	share *buffer.Shared
+	ports []*link.Port
+	table map[packet.NodeID][]int
+	rng   *rand.Rand
+
+	marked  uint64
+	dropped uint64
+}
+
+// New creates a switch.
+func New(eng *sim.Engine, id packet.NodeID, cfg Config) *Switch {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	return &Switch{
+		id:    id,
+		eng:   eng,
+		cfg:   cfg,
+		share: buffer.NewShared(cfg.BufferBytes, cfg.Alpha),
+		table: map[packet.NodeID][]int{},
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<20 ^ 0x9E3779B9)),
+	}
+}
+
+// ID returns the switch's node ID.
+func (s *Switch) ID() packet.NodeID { return s.id }
+
+// Shared exposes the buffer pool (metrics).
+func (s *Switch) Shared() *buffer.Shared { return s.share }
+
+// Ports returns the egress ports in creation order.
+func (s *Switch) Ports() []*link.Port { return s.ports }
+
+// Marked returns the number of CE marks applied.
+func (s *Switch) Marked() uint64 { return s.marked }
+
+// Dropped returns the number of admission drops.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// AddPort creates an egress port toward peer with the given line rate,
+// propagation delay, and queue discipline (nil for a FIFO), and wires the
+// shared-buffer accounting, ECN, and INT hooks. It returns the port's
+// index for routing tables.
+func (s *Switch) AddPort(rate units.BitRate, delay sim.Duration, peer link.Receiver, q queue.Queue) int {
+	pt := link.NewPort(s.eng, rate, delay, peer)
+	pt.Name = fmt.Sprintf("sw%d.p%d", s.id, len(s.ports))
+	if q != nil {
+		pt.Q = q
+	}
+	pt.Admit = func(p *packet.Packet) bool {
+		return s.share.Admit(pt.Q.Bytes(), p.WireLen())
+	}
+	pt.OnDrop = func(*packet.Packet) { s.dropped++ }
+	pt.OnDequeue = func(p *packet.Packet) { s.onDequeue(pt, p) }
+	s.ports = append(s.ports, pt)
+	return len(s.ports) - 1
+}
+
+func (s *Switch) onDequeue(pt *link.Port, p *packet.Packet) {
+	// Release the memory reserved at admission before stamping grows the
+	// packet's wire size.
+	s.share.Release(p.WireLen())
+
+	qlen := pt.QueueBytes()
+	if p.ECT && s.cfg.ECN.Enabled() && s.shouldMark(qlen) {
+		if !p.CE {
+			s.marked++
+		}
+		p.CE = true
+	}
+	if s.cfg.INT {
+		h := telemetry.HopRecord{
+			QLen:    qlen,
+			TxBytes: pt.TxBytes(),
+			TS:      s.eng.Now(),
+			Rate:    pt.Rate,
+		}
+		if s.cfg.QuantizeINT {
+			h = h.Quantize()
+		}
+		p.Hops = append(p.Hops, h)
+	}
+}
+
+func (s *Switch) shouldMark(qlen int64) bool {
+	e := s.cfg.ECN
+	switch {
+	case qlen <= e.KMin:
+		return false
+	case qlen >= e.KMax:
+		return true
+	default:
+		prob := e.PMax * float64(qlen-e.KMin) / float64(e.KMax-e.KMin)
+		return s.rng.Float64() < prob
+	}
+}
+
+// SetRoute installs the ECMP candidate ports for a destination.
+func (s *Switch) SetRoute(dst packet.NodeID, portIdx []int) {
+	s.table[dst] = portIdx
+}
+
+// Route returns the candidate egress ports for dst (testing).
+func (s *Switch) Route(dst packet.NodeID) []int { return s.table[dst] }
+
+// Receive implements link.Receiver: forward the packet toward its
+// destination, hashing the flow ID over equal-cost ports.
+func (s *Switch) Receive(p *packet.Packet) {
+	cand := s.table[p.Dst]
+	if len(cand) == 0 {
+		panic(fmt.Sprintf("swtch: switch %d has no route to %d", s.id, p.Dst))
+	}
+	idx := cand[0]
+	if len(cand) > 1 {
+		idx = cand[ecmpHash(uint64(p.Flow))%uint64(len(cand))]
+	}
+	s.ports[idx].Send(p)
+}
+
+// ecmpHash is splitmix64: cheap, well-mixed, deterministic across runs.
+func ecmpHash(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,181 @@
+package swtch
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+type sink struct{ pkts []*packet.Packet }
+
+func (s *sink) Receive(p *packet.Packet) { s.pkts = append(s.pkts, p) }
+
+func data(flow packet.FlowID, dst packet.NodeID, n int32) *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, Flow: flow, Dst: dst, PayloadLen: n, ECT: true}
+}
+
+func TestForwardingAndINT(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{INT: true})
+	dst := &sink{}
+	sw.AddPort(100*units.Gbps, sim.Microsecond, dst, nil)
+	sw.SetRoute(7, []int{0})
+	sw.Receive(data(1, 7, 1000))
+	eng.Run()
+	if len(dst.pkts) != 1 {
+		t.Fatalf("forwarded %d packets", len(dst.pkts))
+	}
+	p := dst.pkts[0]
+	if len(p.Hops) != 1 {
+		t.Fatalf("INT hops = %d, want 1", len(p.Hops))
+	}
+	h := p.Hops[0]
+	if h.Rate != 100*units.Gbps || h.QLen != 0 {
+		t.Fatalf("hop = %+v", h)
+	}
+}
+
+func TestINTDisabled(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{})
+	dst := &sink{}
+	sw.AddPort(100*units.Gbps, 0, dst, nil)
+	sw.SetRoute(7, []int{0})
+	sw.Receive(data(1, 7, 1000))
+	eng.Run()
+	if len(dst.pkts[0].Hops) != 0 {
+		t.Fatal("INT stamped while disabled")
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{ECN: ECNConfig{KMin: 2000, KMax: 4000, PMax: 1.0}})
+	dst := &sink{}
+	sw.AddPort(1*units.Gbps, 0, dst, nil) // slow: queue builds
+	sw.SetRoute(7, []int{0})
+	for i := 0; i < 10; i++ {
+		sw.Receive(data(1, 7, 1000))
+	}
+	eng.Run()
+	var marked int
+	for _, p := range dst.pkts {
+		if p.CE {
+			marked++
+		}
+	}
+	// First dequeues see >4000B queued (always mark); the last see <2000B
+	// (never mark).
+	if marked == 0 || marked == len(dst.pkts) {
+		t.Fatalf("marked %d/%d, want partial marking", marked, len(dst.pkts))
+	}
+	if dst.pkts[len(dst.pkts)-1].CE {
+		t.Fatal("last packet (empty queue) marked")
+	}
+	if sw.Marked() != uint64(marked) {
+		t.Fatalf("Marked() = %d, counted %d", sw.Marked(), marked)
+	}
+}
+
+func TestNonECTNeverMarked(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{ECN: ECNConfig{KMin: 0, KMax: 1, PMax: 1}})
+	dst := &sink{}
+	sw.AddPort(1*units.Gbps, 0, dst, nil)
+	sw.SetRoute(7, []int{0})
+	for i := 0; i < 5; i++ {
+		p := data(1, 7, 1000)
+		p.ECT = false
+		sw.Receive(p)
+	}
+	eng.Run()
+	for _, p := range dst.pkts {
+		if p.CE {
+			t.Fatal("non-ECT packet marked")
+		}
+	}
+}
+
+func TestSharedBufferDropsAndReleases(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{BufferBytes: 5000, Alpha: 100})
+	dst := &sink{}
+	sw.AddPort(1*units.Gbps, 0, dst, nil)
+	sw.SetRoute(7, []int{0})
+	for i := 0; i < 10; i++ { // 10×1048B > 5000B
+		sw.Receive(data(1, 7, 1000))
+	}
+	if sw.Dropped() == 0 {
+		t.Fatal("no admission drops on a 5KB buffer")
+	}
+	eng.Run()
+	if sw.Shared().Used() != 0 {
+		t.Fatalf("buffer leak: %dB still used", sw.Shared().Used())
+	}
+	if len(dst.pkts)+int(sw.Dropped()) != 10 {
+		t.Fatalf("delivered %d + dropped %d != 10", len(dst.pkts), sw.Dropped())
+	}
+}
+
+func TestECMPIsPerFlowConsistent(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{})
+	a, b := &sink{}, &sink{}
+	sw.AddPort(100*units.Gbps, 0, a, nil)
+	sw.AddPort(100*units.Gbps, 0, b, nil)
+	sw.SetRoute(7, []int{0, 1})
+	for i := 0; i < 20; i++ {
+		sw.Receive(data(42, 7, 100))
+	}
+	for flow := packet.FlowID(0); flow < 50; flow++ {
+		sw.Receive(data(flow, 7, 100))
+	}
+	eng.Run()
+	// Flow 42's packets all went the same way.
+	count42 := 0
+	for _, p := range a.pkts {
+		if p.Flow == 42 {
+			count42++
+		}
+	}
+	if count42 != 0 && count42 != 20 {
+		t.Fatalf("flow 42 split across ports: %d on port A", count42)
+	}
+	// Across 50 flows, both ports see traffic.
+	if len(a.pkts) == 0 || len(b.pkts) == 0 {
+		t.Fatalf("ECMP skew: %d vs %d", len(a.pkts), len(b.pkts))
+	}
+}
+
+func TestNoRoutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing route did not panic")
+		}
+	}()
+	eng := sim.New()
+	sw := New(eng, 1, Config{})
+	sw.Receive(data(1, 99, 100))
+}
+
+func TestINTTxBytesMonotonic(t *testing.T) {
+	eng := sim.New()
+	sw := New(eng, 1, Config{INT: true})
+	dst := &sink{}
+	sw.AddPort(10*units.Gbps, 0, dst, nil)
+	sw.SetRoute(7, []int{0})
+	for i := 0; i < 8; i++ {
+		sw.Receive(data(1, 7, 500))
+	}
+	eng.Run()
+	var last uint64
+	for i, p := range dst.pkts {
+		tx := p.Hops[0].TxBytes
+		if i > 0 && tx <= last {
+			t.Fatalf("txBytes not increasing: %d then %d", last, tx)
+		}
+		last = tx
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func sampleHops() []HopRecord {
+	return []HopRecord{
+		{QLen: 4096, TxBytes: 123456, TS: sim.Time(500 * sim.Microsecond), Rate: 100 * units.Gbps},
+		{QLen: 0, TxBytes: 99, TS: sim.Time(3 * sim.Microsecond), Rate: 25 * units.Gbps},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	hops := sampleHops()
+	buf, err := Marshal(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != WireLen(len(hops)) {
+		t.Fatalf("wire len = %d, want %d", len(buf), WireLen(len(hops)))
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hops {
+		want := hops[i].Quantize()
+		if got[i] != want {
+			t.Errorf("hop %d: got %+v, want quantized %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestMarshalTooManyHops(t *testing.T) {
+	hops := make([]HopRecord, MaxHops+1)
+	for i := range hops {
+		hops[i].Rate = 25 * units.Gbps
+	}
+	if _, err := Marshal(hops); err != ErrTooManyHops {
+		t.Fatalf("err = %v, want ErrTooManyHops", err)
+	}
+}
+
+func TestMarshalUnknownRate(t *testing.T) {
+	if _, err := Marshal([]HopRecord{{Rate: 3}}); err == nil {
+		t.Fatal("unknown rate did not error")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrShortBuffer {
+		t.Errorf("nil buffer: err = %v", err)
+	}
+	buf, _ := Marshal(sampleHops())
+	buf[0] = 0
+	if _, err := Unmarshal(buf); err != ErrBadHeader {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	buf, _ = Marshal(sampleHops())
+	if _, err := Unmarshal(buf[:len(buf)-1]); err != ErrShortBuffer {
+		t.Errorf("truncated: err = %v", err)
+	}
+}
+
+func TestRateCodes(t *testing.T) {
+	for _, r := range []units.BitRate{25 * units.Gbps, 100 * units.Gbps} {
+		c, err := RateCode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := RateFromCode(c)
+		if err != nil || back != r {
+			t.Fatalf("code round-trip for %v: got %v, %v", r, back, err)
+		}
+	}
+	if _, err := RateFromCode(200); err == nil {
+		t.Fatal("bad code did not error")
+	}
+}
+
+// Property: wire round-trip equals Quantize, and quantization error is
+// bounded by the documented units.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(qRaw uint32, tx uint64, tsRaw uint32, rIdx uint8) bool {
+		rates := []units.BitRate{25 * units.Gbps, 100 * units.Gbps, 40 * units.Gbps}
+		h := HopRecord{
+			QLen:    int64(qRaw % 2_000_000),
+			TxBytes: tx,
+			TS:      sim.Time(sim.Duration(tsRaw) * sim.Nanosecond),
+			Rate:    rates[int(rIdx)%len(rates)],
+		}
+		buf, err := Marshal([]HopRecord{h})
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		want := h.Quantize()
+		if got[0] != want {
+			return false
+		}
+		// Error bounds on the lossy fields.
+		if h.QLen <= QLenMax && (h.QLen-got[0].QLen < 0 || h.QLen-got[0].QLen >= qlenUnit) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	hops := sampleHops()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(hops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf, _ := Marshal(sampleHops())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

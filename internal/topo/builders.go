@@ -1,0 +1,328 @@
+package topo
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// StarConfig is N hosts on a single switch — the minimal incast fabric
+// used by unit tests and the quickstart example.
+type StarConfig struct {
+	Hosts     int
+	HostRate  units.BitRate
+	LinkDelay sim.Duration
+	Opts      Options
+}
+
+// Star builds a single-switch topology.
+func Star(cfg StarConfig) *Network {
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 25 * units.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = sim.Microsecond
+	}
+	n := newNetwork(cfg.HostRate)
+	si := n.addSwitch(cfg.Opts)
+	for i := 0; i < cfg.Hosts; i++ {
+		hi := n.addHost(cfg.Opts.Hosts)
+		n.wireHost(hi, si, cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+	}
+	// RTT: host→switch→host and back = 4 link delays, plus serialization
+	// headroom of roughly two MSS packets at the host rate.
+	n.BaseRTT = 4*cfg.LinkDelay + 2*cfg.HostRate.TxTime(1048) + 2*sim.Microsecond
+	n.finish(cfg.Opts)
+	return n
+}
+
+// DumbbellConfig is the classic shared-bottleneck microbenchmark: Left
+// senders and Right receivers joined by one bottleneck link.
+type DumbbellConfig struct {
+	Left, Right     int
+	HostRate        units.BitRate
+	BottleneckRate  units.BitRate
+	HostDelay       sim.Duration
+	BottleneckDelay sim.Duration
+	Opts            Options
+}
+
+// Dumbbell builds a two-switch topology with a single bottleneck.
+func Dumbbell(cfg DumbbellConfig) *Network {
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 100 * units.Gbps
+	}
+	if cfg.BottleneckRate == 0 {
+		cfg.BottleneckRate = 100 * units.Gbps
+	}
+	if cfg.HostDelay == 0 {
+		cfg.HostDelay = sim.Microsecond
+	}
+	if cfg.BottleneckDelay == 0 {
+		cfg.BottleneckDelay = 4 * sim.Microsecond
+	}
+	n := newNetwork(cfg.HostRate)
+	l := n.addSwitch(cfg.Opts)
+	r := n.addSwitch(cfg.Opts)
+	n.wireSwitches(l, r, cfg.BottleneckRate, cfg.BottleneckDelay, cfg.Opts)
+	for i := 0; i < cfg.Left; i++ {
+		hi := n.addHost(cfg.Opts.Hosts)
+		n.wireHost(hi, l, cfg.HostRate, cfg.HostDelay, cfg.Opts)
+	}
+	for i := 0; i < cfg.Right; i++ {
+		hi := n.addHost(cfg.Opts.Hosts)
+		n.wireHost(hi, r, cfg.HostRate, cfg.HostDelay, cfg.Opts)
+	}
+	n.BaseRTT = 2*(2*cfg.HostDelay+cfg.BottleneckDelay) +
+		4*cfg.BottleneckRate.TxTime(1048) + 2*sim.Microsecond
+	n.finish(cfg.Opts)
+	return n
+}
+
+// BottleneckPort returns the left→right bottleneck port of a Dumbbell
+// (its egress queue is the one experiments monitor).
+func (n *Network) BottleneckPort() interface {
+	QueueBytes() int64
+	TxBytes() uint64
+} {
+	return n.Switches[0].Ports()[0]
+}
+
+// LeafSpineConfig is the two-tier Clos fabric of the incast literature
+// the paper's synthetic workload cites (Alizadeh & Edsall 2013): every
+// leaf connects to every spine. Unlike the pod-structured fat-tree, any
+// leaf pair is two hops apart with Spines-way ECMP.
+type LeafSpineConfig struct {
+	Leaves         int           // default 4
+	Spines         int           // default 2
+	ServersPerLeaf int           // default 8
+	HostRate       units.BitRate // default 25 Gbps
+	FabricRate     units.BitRate // default 100 Gbps
+	LinkDelay      sim.Duration  // default 1 µs
+	Opts           Options
+}
+
+// LeafSpine builds the fabric. Servers [l·ServersPerLeaf,
+// (l+1)·ServersPerLeaf) share leaf l; Switches lists leaves then spines.
+func LeafSpine(cfg LeafSpineConfig) *Network {
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 4
+	}
+	if cfg.Spines == 0 {
+		cfg.Spines = 2
+	}
+	if cfg.ServersPerLeaf == 0 {
+		cfg.ServersPerLeaf = 8
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 25 * units.Gbps
+	}
+	if cfg.FabricRate == 0 {
+		cfg.FabricRate = 100 * units.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = sim.Microsecond
+	}
+	n := newNetwork(cfg.HostRate)
+	leaves := make([]int, cfg.Leaves)
+	spines := make([]int, cfg.Spines)
+	for i := range leaves {
+		leaves[i] = n.addSwitch(cfg.Opts)
+	}
+	for i := range spines {
+		spines[i] = n.addSwitch(cfg.Opts)
+	}
+	for l := range leaves {
+		for s := 0; s < cfg.ServersPerLeaf; s++ {
+			hi := n.addHost(cfg.Opts.Hosts)
+			n.wireHost(hi, leaves[l], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+		}
+		for sp := range spines {
+			n.wireSwitches(leaves[l], spines[sp], cfg.FabricRate, cfg.LinkDelay, cfg.Opts)
+		}
+	}
+	// Cross-leaf path: host→leaf→spine→leaf→host.
+	n.BaseRTT = 8*cfg.LinkDelay + 2*cfg.HostRate.TxTime(1048) +
+		2*cfg.FabricRate.TxTime(1048) + 2*sim.Microsecond
+	n.finish(cfg.Opts)
+	return n
+}
+
+// ParkingLotConfig is the classic multi-bottleneck chain: Switches
+// switches in a line, one host on each, plus one "through" sender at the
+// head and receiver at the tail. The through flow crosses every link;
+// cross flows each load one link. §3.5 uses this structure to explain
+// why INT (which sees the *most* bottlenecked hop) beats RTT (which sees
+// the *sum* of queuing delays) on multi-bottleneck paths.
+type ParkingLotConfig struct {
+	Switches  int           // chain length (≥2)
+	HostRate  units.BitRate // default 100 Gbps
+	LinkRate  units.BitRate // switch-switch, default 25 Gbps
+	LinkDelay sim.Duration  // default 1 µs
+	Opts      Options
+}
+
+// ParkingLot builds the chain. Hosts: 0 = through sender, 1 = through
+// receiver (on the last switch), then one cross sender + receiver pair
+// per link: cross flow i runs host(2+2i) → host(3+2i) over link i
+// (switch i → switch i+1).
+func ParkingLot(cfg ParkingLotConfig) *Network {
+	if cfg.Switches < 2 {
+		cfg.Switches = 2
+	}
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 100 * units.Gbps
+	}
+	if cfg.LinkRate == 0 {
+		cfg.LinkRate = 25 * units.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = sim.Microsecond
+	}
+	n := newNetwork(cfg.HostRate)
+	sw := make([]int, cfg.Switches)
+	for i := range sw {
+		sw[i] = n.addSwitch(cfg.Opts)
+	}
+	for i := 0; i+1 < len(sw); i++ {
+		n.wireSwitches(sw[i], sw[i+1], cfg.LinkRate, cfg.LinkDelay, cfg.Opts)
+	}
+	// Through pair.
+	h := n.addHost(cfg.Opts.Hosts)
+	n.wireHost(h, sw[0], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+	h = n.addHost(cfg.Opts.Hosts)
+	n.wireHost(h, sw[len(sw)-1], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+	// Cross pairs, one per inter-switch link.
+	for i := 0; i+1 < len(sw); i++ {
+		h = n.addHost(cfg.Opts.Hosts)
+		n.wireHost(h, sw[i], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+		h = n.addHost(cfg.Opts.Hosts)
+		n.wireHost(h, sw[i+1], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
+	}
+	// Worst-case RTT: the through path.
+	oneWay := sim.Duration(cfg.Switches+1) * cfg.LinkDelay
+	n.BaseRTT = 2*oneWay + sim.Duration(cfg.Switches)*2*cfg.LinkRate.TxTime(1048) + 2*sim.Microsecond
+	n.finish(cfg.Opts)
+	return n
+}
+
+// FatTreeConfig describes the paper's evaluation topology (§4.1). The
+// zero value scaled by ServersPerTor reproduces it exactly; smaller
+// ServersPerTor values keep the same structure at lower cost for tests.
+type FatTreeConfig struct {
+	Pods          int           // default 4
+	TorsPerPod    int           // default 2
+	AggsPerPod    int           // default 2
+	Cores         int           // default 2
+	ServersPerTor int           // default 32 (gives 256 servers)
+	HostRate      units.BitRate // default 25 Gbps
+	FabricRate    units.BitRate // default 100 Gbps
+	EdgeDelay     sim.Duration  // default 1 µs (server and intra-pod links)
+	CoreDelay     sim.Duration  // default 5 µs (links to core)
+	Opts          Options
+}
+
+// WithDefaults returns the config with every zero field replaced by the
+// paper's §4.1 value, so callers can inspect the effective topology.
+func (c FatTreeConfig) WithDefaults() FatTreeConfig {
+	c.fillDefaults()
+	return c
+}
+
+func (c *FatTreeConfig) fillDefaults() {
+	if c.Pods == 0 {
+		c.Pods = 4
+	}
+	if c.TorsPerPod == 0 {
+		c.TorsPerPod = 2
+	}
+	if c.AggsPerPod == 0 {
+		c.AggsPerPod = 2
+	}
+	if c.Cores == 0 {
+		c.Cores = 2
+	}
+	if c.ServersPerTor == 0 {
+		c.ServersPerTor = 32
+	}
+	if c.HostRate == 0 {
+		c.HostRate = 25 * units.Gbps
+	}
+	if c.FabricRate == 0 {
+		c.FabricRate = 100 * units.Gbps
+	}
+	if c.EdgeDelay == 0 {
+		c.EdgeDelay = sim.Microsecond
+	}
+	if c.CoreDelay == 0 {
+		c.CoreDelay = 5 * sim.Microsecond
+	}
+}
+
+// FatTree builds the oversubscribed fat-tree. Hosts are numbered so that
+// servers [t·ServersPerTor, (t+1)·ServersPerTor) share ToR t; ToRs are
+// Switches[0..Pods·TorsPerPod), then aggregations, then cores.
+func FatTree(cfg FatTreeConfig) *Network {
+	cfg.fillDefaults()
+	n := newNetwork(cfg.HostRate)
+
+	nTors := cfg.Pods * cfg.TorsPerPod
+	nAggs := cfg.Pods * cfg.AggsPerPod
+	tors := make([]int, nTors)
+	aggs := make([]int, nAggs)
+	cores := make([]int, cfg.Cores)
+	for i := range tors {
+		tors[i] = n.addSwitch(cfg.Opts)
+	}
+	for i := range aggs {
+		aggs[i] = n.addSwitch(cfg.Opts)
+	}
+	for i := range cores {
+		cores[i] = n.addSwitch(cfg.Opts)
+	}
+
+	for t := 0; t < nTors; t++ {
+		for s := 0; s < cfg.ServersPerTor; s++ {
+			hi := n.addHost(cfg.Opts.Hosts)
+			n.wireHost(hi, tors[t], cfg.HostRate, cfg.EdgeDelay, cfg.Opts)
+		}
+	}
+	for p := 0; p < cfg.Pods; p++ {
+		for t := 0; t < cfg.TorsPerPod; t++ {
+			for a := 0; a < cfg.AggsPerPod; a++ {
+				n.wireSwitches(tors[p*cfg.TorsPerPod+t], aggs[p*cfg.AggsPerPod+a],
+					cfg.FabricRate, cfg.EdgeDelay, cfg.Opts)
+			}
+		}
+	}
+	for a := 0; a < nAggs; a++ {
+		for c := 0; c < cfg.Cores; c++ {
+			n.wireSwitches(aggs[a], cores[c], cfg.FabricRate, cfg.CoreDelay, cfg.Opts)
+		}
+	}
+
+	// Longest round trip: 2×(2·edge (host,tor-agg) + core + core + 2·edge)
+	// of propagation plus serialization headroom.
+	oneWay := 4*cfg.EdgeDelay + 2*cfg.CoreDelay
+	n.BaseRTT = 2*oneWay + 2*cfg.HostRate.TxTime(1048) + 4*cfg.FabricRate.TxTime(1048) + sim.Microsecond
+	n.finish(cfg.Opts)
+	return n
+}
+
+// TorOf returns the ToR switch index serving host hi in a FatTree built
+// with the given config.
+func TorOf(cfg FatTreeConfig, hi int) int {
+	cfg.fillDefaults()
+	return hi / cfg.ServersPerTor
+}
+
+// TorUplinkPorts returns the port indexes on ToR t that face the
+// aggregation layer (the load metric of §4.1 is offered on ToR uplinks).
+func (n *Network) TorUplinkPorts(t int, serversPerTor int) []int {
+	var up []int
+	for pi, ref := range n.swPeers[t] {
+		if !ref.isHost {
+			up = append(up, pi)
+		}
+	}
+	return up
+}

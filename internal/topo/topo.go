@@ -1,0 +1,225 @@
+// Package topo builds the networks the paper evaluates on: a star and a
+// dumbbell for microbenchmarks, and the 4:1-oversubscribed fat-tree of
+// §4.1 (2 cores, 4 pods with 2 aggregation and 2 ToR switches each, 256
+// servers, 100 Gbps fabric and 25 Gbps server links, 5 µs core and 1 µs
+// edge propagation). Routing tables are derived by per-destination BFS,
+// with equal-cost next hops hashed per flow (ECMP).
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/swtch"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Node is the endpoint interface topology builders wire up. Both the
+// window-transport host and the HOMA host implement it.
+type Node interface {
+	link.Receiver
+	ID() packet.NodeID
+	SetUplink(*link.Port)
+	NIC() *link.Port
+}
+
+// HostFactory constructs an endpoint for the given node ID.
+type HostFactory func(eng *sim.Engine, id packet.NodeID) Node
+
+// TransportHosts is a HostFactory for the standard window transport.
+func TransportHosts(cfg transport.Config) HostFactory {
+	return func(eng *sim.Engine, id packet.NodeID) Node {
+		return transport.NewHost(eng, id, cfg)
+	}
+}
+
+// Options are shared across topology builders.
+type Options struct {
+	// Hosts constructs endpoints; required.
+	Hosts HostFactory
+	// BufferPerGbps sizes each switch's shared buffer proportionally to
+	// its aggregate port bandwidth, following the paper's
+	// "bandwidth-buffer ratio of Intel Tofino switches" (§4.1).
+	// 0 keeps buffers unbounded. Tofino is ≈10 KB per Gbps.
+	BufferPerGbps int64
+	// Alpha is the Dynamic Thresholds factor (default 1).
+	Alpha float64
+	// INT enables telemetry stamping on every switch.
+	INT bool
+	// QuantizeINT stamps wire-accurate (quantized) records; see
+	// swtch.Config.QuantizeINT.
+	QuantizeINT bool
+	// ECN configures RED marking (DCQCN runs).
+	ECN swtch.ECNConfig
+	// Queues builds the per-port queue discipline; nil means FIFO.
+	Queues func() queue.Queue
+	// Seed feeds all deterministic randomness derived from the topology.
+	Seed int64
+}
+
+// TofinoBufferPerGbps is the default buffer/bandwidth ratio (§4.1).
+const TofinoBufferPerGbps int64 = 10 * 1024
+
+// Network is a wired topology ready to run experiments on.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []Node
+	Switches []*swtch.Switch
+	BaseRTT  sim.Duration
+	HostRate units.BitRate
+
+	nextFlow uint64
+	swPeers  [][]peerRef // per switch, per port: what the port points at
+}
+
+type peerRef struct {
+	isHost bool
+	idx    int // index into Hosts or Switches
+}
+
+// NextFlowID hands out unique flow IDs.
+func (n *Network) NextFlowID() packet.FlowID {
+	n.nextFlow++
+	return packet.FlowID(n.nextFlow)
+}
+
+// TransportHost returns host i as a *transport.Host, panicking if the
+// network was built with a different endpoint type.
+func (n *Network) TransportHost(i int) *transport.Host {
+	h, ok := n.Hosts[i].(*transport.Host)
+	if !ok {
+		panic(fmt.Sprintf("topo: host %d is %T, not *transport.Host", i, n.Hosts[i]))
+	}
+	return h
+}
+
+// HostID returns the node ID of host i.
+func (n *Network) HostID(i int) packet.NodeID { return n.Hosts[i].ID() }
+
+// newNetwork allocates the shell all builders fill in.
+func newNetwork(hostRate units.BitRate) *Network {
+	return &Network{Eng: sim.New(), HostRate: hostRate}
+}
+
+func (n *Network) addHost(f HostFactory) int {
+	id := packet.NodeID(len(n.Hosts))
+	n.Hosts = append(n.Hosts, f(n.Eng, id))
+	return len(n.Hosts) - 1
+}
+
+func (n *Network) addSwitch(opts Options) int {
+	// Switch node IDs live above host IDs; they only matter for debug
+	// output since routing is table-driven.
+	id := packet.NodeID(1<<16 + len(n.Switches))
+	s := swtch.New(n.Eng, id, swtch.Config{
+		Alpha:       opts.Alpha,
+		INT:         opts.INT,
+		QuantizeINT: opts.QuantizeINT,
+		ECN:         opts.ECN,
+		Seed:        opts.Seed,
+	})
+	n.Switches = append(n.Switches, s)
+	n.swPeers = append(n.swPeers, nil)
+	return len(n.Switches) - 1
+}
+
+func (n *Network) qFor(opts Options) queue.Queue {
+	if opts.Queues != nil {
+		return opts.Queues()
+	}
+	return nil
+}
+
+// wireHost connects host hi and switch si bidirectionally.
+func (n *Network) wireHost(hi, si int, rate units.BitRate, delay sim.Duration, opts Options) {
+	h := n.Hosts[hi]
+	s := n.Switches[si]
+	up := link.NewPort(n.Eng, rate, delay, s)
+	up.Name = fmt.Sprintf("host%d.nic", hi)
+	h.SetUplink(up)
+	s.AddPort(rate, delay, h, n.qFor(opts))
+	n.swPeers[si] = append(n.swPeers[si], peerRef{isHost: true, idx: hi})
+}
+
+// wireSwitches connects switches ai and bi bidirectionally.
+func (n *Network) wireSwitches(ai, bi int, rate units.BitRate, delay sim.Duration, opts Options) {
+	n.Switches[ai].AddPort(rate, delay, n.Switches[bi], n.qFor(opts))
+	n.swPeers[ai] = append(n.swPeers[ai], peerRef{idx: bi})
+	n.Switches[bi].AddPort(rate, delay, n.Switches[ai], n.qFor(opts))
+	n.swPeers[bi] = append(n.swPeers[bi], peerRef{idx: ai})
+}
+
+// finish sizes the shared buffers and computes routing tables.
+func (n *Network) finish(opts Options) {
+	if opts.BufferPerGbps > 0 {
+		for si, s := range n.Switches {
+			var gbps int64
+			for _, pt := range s.Ports() {
+				gbps += int64(pt.Rate / units.Gbps)
+			}
+			s.Shared().Total = opts.BufferPerGbps * gbps
+			_ = si
+		}
+	}
+	n.buildRoutes()
+}
+
+// buildRoutes runs a BFS over the switch graph per destination host and
+// installs every shortest-path next hop as an ECMP candidate.
+func (n *Network) buildRoutes() {
+	for hi := range n.Hosts {
+		dst := n.Hosts[hi].ID()
+		const inf = int(1e9)
+		dist := make([]int, len(n.Switches))
+		for i := range dist {
+			dist[i] = inf
+		}
+		var frontier []int
+		// Seed: switches directly attached to the host.
+		for si := range n.Switches {
+			for _, ref := range n.swPeers[si] {
+				if ref.isHost && ref.idx == hi {
+					dist[si] = 1
+					frontier = append(frontier, si)
+				}
+			}
+		}
+		for len(frontier) > 0 {
+			var next []int
+			for _, si := range frontier {
+				for _, ref := range n.swPeers[si] {
+					if ref.isHost {
+						continue
+					}
+					if dist[ref.idx] == inf {
+						dist[ref.idx] = dist[si] + 1
+						next = append(next, ref.idx)
+					}
+				}
+			}
+			frontier = next
+		}
+		for si, s := range n.Switches {
+			if dist[si] == inf {
+				continue
+			}
+			var cand []int
+			for pi, ref := range n.swPeers[si] {
+				if ref.isHost && ref.idx == hi {
+					cand = []int{pi} // direct delivery wins
+					break
+				}
+				if !ref.isHost && dist[ref.idx] == dist[si]-1 {
+					cand = append(cand, pi)
+				}
+			}
+			if len(cand) > 0 {
+				s.SetRoute(dst, cand)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package topo_test
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+func opts() topo.Options {
+	return topo.Options{
+		Hosts: topo.TransportHosts(transport.Config{BaseRTT: 30 * sim.Microsecond}),
+		INT:   true,
+	}
+}
+
+func smallFatTree() (*topo.Network, topo.FatTreeConfig) {
+	cfg := topo.FatTreeConfig{ServersPerTor: 4, Opts: opts()}
+	return topo.FatTree(cfg), cfg
+}
+
+func TestFatTreeShape(t *testing.T) {
+	net, _ := smallFatTree()
+	if len(net.Hosts) != 4*2*4 { // pods × tors × servers
+		t.Fatalf("hosts = %d", len(net.Hosts))
+	}
+	if len(net.Switches) != 8+8+2 { // tors + aggs + cores
+		t.Fatalf("switches = %d", len(net.Switches))
+	}
+	// ToR port count: servers + aggs-per-pod.
+	if got := len(net.Switches[0].Ports()); got != 4+2 {
+		t.Fatalf("ToR ports = %d", got)
+	}
+	// Core port count: one per agg.
+	if got := len(net.Switches[17].Ports()); got != 8 {
+		t.Fatalf("core ports = %d", got)
+	}
+}
+
+func TestFatTreeRoutesEverywhere(t *testing.T) {
+	net, _ := smallFatTree()
+	for si, sw := range net.Switches {
+		for hi := range net.Hosts {
+			if r := sw.Route(net.HostID(hi)); len(r) == 0 {
+				t.Fatalf("switch %d has no route to host %d", si, hi)
+			}
+		}
+	}
+	// A ToR must have multiple (ECMP) uplink candidates for a host in a
+	// different pod.
+	remote := net.HostID(len(net.Hosts) - 1)
+	if r := net.Switches[0].Route(remote); len(r) < 2 {
+		t.Fatalf("ToR 0 has %d uplink candidates for remote pod, want ≥2", len(r))
+	}
+	// ...and exactly one (the direct port) for its own server.
+	if r := net.Switches[0].Route(net.HostID(0)); len(r) != 1 {
+		t.Fatalf("ToR 0 direct route candidates = %d", len(r))
+	}
+}
+
+func TestFatTreeBuffersSized(t *testing.T) {
+	cfg := topo.FatTreeConfig{ServersPerTor: 4, Opts: opts()}
+	cfg.Opts.BufferPerGbps = topo.TofinoBufferPerGbps
+	net := topo.FatTree(cfg)
+	// ToR: 4×25G + 2×100G = 300G → 300 × 10KiB.
+	want := int64(300) * topo.TofinoBufferPerGbps
+	if got := net.Switches[0].Shared().Total; got != want {
+		t.Fatalf("ToR buffer = %d, want %d", got, want)
+	}
+}
+
+func TestFatTreeEndToEnd(t *testing.T) {
+	// Cross-pod transfer completes and traverses five switch hops of INT
+	// in the data direction.
+	net, cfg := smallFatTree()
+	src := net.TransportHost(0)
+	dstIdx := len(net.Hosts) - 1
+	dst := net.TransportHost(dstIdx)
+	if topo.TorOf(cfg, 0) == topo.TorOf(cfg, dstIdx) {
+		t.Fatal("test hosts share a rack")
+	}
+	var done bool
+	src.OnFlowDone = func(*transport.Flow) { done = true }
+	src.StartFlow(net.NextFlowID(), dst.ID(), 1<<20, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	if !done {
+		t.Fatal("cross-pod flow did not finish")
+	}
+	if got := dst.ReceivedBytes(1); got != 1<<20 {
+		t.Fatalf("received %d", got)
+	}
+}
+
+func TestSameRackStaysLocal(t *testing.T) {
+	net, _ := smallFatTree()
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 100_000, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	// Only the shared ToR may have transmitted; aggs and cores stay idle.
+	for si := 8; si < len(net.Switches); si++ {
+		for _, pt := range net.Switches[si].Ports() {
+			if pt.TxPackets() != 0 {
+				t.Fatalf("non-ToR switch %d transmitted", si)
+			}
+		}
+	}
+}
+
+func TestDumbbellBottleneck(t *testing.T) {
+	net := topo.Dumbbell(topo.DumbbellConfig{
+		Left: 2, Right: 2,
+		HostRate:       100 * units.Gbps,
+		BottleneckRate: 25 * units.Gbps,
+		Opts:           opts(),
+	})
+	if len(net.Hosts) != 4 || len(net.Switches) != 2 {
+		t.Fatalf("shape: %d hosts, %d switches", len(net.Hosts), len(net.Switches))
+	}
+	src, dst := net.TransportHost(0), net.TransportHost(2)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 500_000, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	if dst.ReceivedTotal() != 500_000 {
+		t.Fatalf("received %d", dst.ReceivedTotal())
+	}
+	if net.BottleneckPort().TxBytes() == 0 {
+		t.Fatal("bottleneck port unused")
+	}
+}
+
+func TestLeafSpineShapeAndECMP(t *testing.T) {
+	net := topo.LeafSpine(topo.LeafSpineConfig{
+		Leaves: 4, Spines: 3, ServersPerLeaf: 2, Opts: opts(),
+	})
+	if len(net.Hosts) != 8 || len(net.Switches) != 7 {
+		t.Fatalf("shape: %d hosts, %d switches", len(net.Hosts), len(net.Switches))
+	}
+	// Cross-leaf routes have one ECMP candidate per spine.
+	remote := net.HostID(7)
+	if r := net.Switches[0].Route(remote); len(r) != 3 {
+		t.Fatalf("leaf 0 ECMP candidates = %d, want 3", len(r))
+	}
+	// End to end across leaves.
+	src, dst := net.TransportHost(0), net.TransportHost(7)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 300_000, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	if dst.ReceivedTotal() != 300_000 {
+		t.Fatalf("delivered %d", dst.ReceivedTotal())
+	}
+}
+
+func TestParkingLotShape(t *testing.T) {
+	net := topo.ParkingLot(topo.ParkingLotConfig{Switches: 4, Opts: opts()})
+	// 4 switches, 2 through hosts + 3 cross pairs = 8 hosts.
+	if len(net.Switches) != 4 || len(net.Hosts) != 8 {
+		t.Fatalf("shape: %d switches, %d hosts", len(net.Switches), len(net.Hosts))
+	}
+	// Through flow must traverse every inter-switch link.
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 200_000, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	if dst.ReceivedTotal() != 200_000 {
+		t.Fatalf("through flow delivered %d", dst.ReceivedTotal())
+	}
+	for i := 0; i+1 < 4; i++ {
+		// Port 0 of each non-last switch faces the next switch.
+		if net.Switches[i].Ports()[0].TxPackets() == 0 && i > 0 {
+			t.Fatalf("link %d unused by through flow", i)
+		}
+	}
+}
+
+func TestBaseRTTSanity(t *testing.T) {
+	net, _ := smallFatTree()
+	// Propagation alone is 2×14µs; computed base RTT must exceed it but
+	// stay within ~2× (serialization headroom only).
+	lo := sim.Duration(28 * sim.Microsecond)
+	if net.BaseRTT < lo || net.BaseRTT > 2*lo {
+		t.Fatalf("BaseRTT = %v, want within [%v, %v]", net.BaseRTT, lo, 2*lo)
+	}
+}

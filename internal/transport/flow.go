@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Unbounded marks a flow with no end (long-running background traffic).
+const Unbounded int64 = -1
+
+// Flow is one sender-side transport connection.
+type Flow struct {
+	ID       packet.FlowID
+	Src      *Host
+	Dst      packet.NodeID
+	Size     int64 // bytes to transfer, or Unbounded
+	CC       cc.Algorithm
+	Priority uint8
+
+	StartAt  sim.Time
+	FinishAt sim.Time
+	Done     bool
+
+	sndNxt     int64
+	sndUna     int64
+	maxSent    int64 // highest sequence ever transmitted
+	dupAcks    int
+	inRecovery bool
+	recover    int64
+	nextSendAt sim.Time
+
+	sendTimer *sim.Event
+	rtoTimer  *sim.Event
+
+	Retransmits uint64
+	started     bool
+	ect         bool
+}
+
+// StartFlow registers a new flow on h toward dst and schedules its first
+// transmission at 'at'. alg becomes the flow's congestion controller.
+func (h *Host) StartFlow(id packet.FlowID, dst packet.NodeID, size int64, alg cc.Algorithm, at sim.Time) *Flow {
+	f := &Flow{
+		ID:      id,
+		Src:     h,
+		Dst:     dst,
+		Size:    size,
+		CC:      alg,
+		StartAt: at,
+	}
+	h.flows[id] = f
+	h.eng.At(at, f.start)
+	return f
+}
+
+func (f *Flow) start() {
+	f.started = true
+	f.CC.Init(cc.Limits{
+		BaseRTT:  f.Src.cfg.BaseRTT,
+		HostRate: f.Src.nic.Rate,
+		MSS:      f.Src.cfg.MSS,
+		Engine:   f.Src.eng,
+	})
+	f.ect = cc.WantsECT(f.CC)
+	f.nextSendAt = f.Src.eng.Now()
+	f.trySend()
+}
+
+// remaining returns bytes not yet handed to the network (MaxInt for
+// unbounded flows).
+func (f *Flow) remaining() int64 {
+	if f.Size == Unbounded {
+		return 1 << 62
+	}
+	return f.Size - f.sndNxt
+}
+
+// Inflight returns the bytes sent but not yet cumulatively acknowledged.
+func (f *Flow) Inflight() int64 { return f.sndNxt - f.sndUna }
+
+// SndUna returns the cumulative acknowledgment point.
+func (f *Flow) SndUna() int64 { return f.sndUna }
+
+// SndNxt returns the next sequence to send.
+func (f *Flow) SndNxt() int64 { return f.sndNxt }
+
+// FCT returns the flow completion time; valid once Done.
+func (f *Flow) FCT() sim.Duration { return f.FinishAt.Sub(f.StartAt) }
+
+func (f *Flow) trySend() {
+	if f.Done {
+		return
+	}
+	eng := f.Src.eng
+	now := eng.Now()
+	for f.remaining() > 0 && float64(f.Inflight()) < f.CC.Cwnd() && now >= f.nextSendAt {
+		n := f.Src.cfg.MSS
+		if r := f.remaining(); r < n {
+			n = r
+		}
+		f.emit(f.sndNxt, n, false)
+		f.sndNxt += n
+	}
+	// Blocked on pacing: wake up when the next credit arrives. Blocked on
+	// the window: the next ACK wakes us.
+	if f.remaining() > 0 && float64(f.Inflight()) < f.CC.Cwnd() && now < f.nextSendAt {
+		if f.sendTimer == nil || f.sendTimer.Cancelled() {
+			f.sendTimer = eng.At(f.nextSendAt, func() {
+				f.sendTimer = nil
+				f.trySend()
+			})
+		}
+	}
+	f.armRTO()
+}
+
+// emit transmits one data packet and charges the pacer. Any byte below
+// the high-water mark is a retransmission, whether it comes from fast
+// retransmit or from a go-back-N rewind after an RTO.
+func (f *Flow) emit(seq, n int64, rtx bool) {
+	if seq < f.maxSent {
+		rtx = true
+	}
+	if seq+n > f.maxSent {
+		f.maxSent = seq + n
+	}
+	p := &packet.Packet{
+		ID:         f.Src.pktID(),
+		Kind:       packet.Data,
+		Flow:       f.ID,
+		Src:        f.Src.id,
+		Dst:        f.Dst,
+		Seq:        seq,
+		PayloadLen: int32(n),
+		Rtx:        rtx,
+		Priority:   f.Priority,
+		ECT:        f.ect,
+	}
+	f.Src.send(p)
+	if rtx {
+		f.Retransmits++
+	}
+	if rate := f.CC.Rate(); rate > 0 {
+		gap := rate.TxTime(p.WireLen())
+		now := f.Src.eng.Now()
+		if f.nextSendAt < now {
+			f.nextSendAt = now
+		}
+		f.nextSendAt = f.nextSendAt.Add(gap)
+	}
+}
+
+func (f *Flow) onAck(p *packet.Packet) {
+	if f.Done {
+		return
+	}
+	now := f.Src.eng.Now()
+	newly := int64(0)
+	switch {
+	case p.AckSeq > f.sndUna:
+		newly = p.AckSeq - f.sndUna
+		f.sndUna = p.AckSeq
+		f.dupAcks = 0
+		f.resetRTO()
+		if f.inRecovery {
+			if f.sndUna >= f.recover {
+				f.inRecovery = false
+			} else {
+				// NewReno partial ACK: the next hole is lost too.
+				f.retransmitHead()
+			}
+		}
+	case p.AckSeq == f.sndUna && f.Inflight() > 0:
+		f.dupAcks++
+		thresh := f.Src.cfg.DupAckThreshold
+		if thresh > 0 && f.dupAcks == thresh && !f.inRecovery {
+			f.inRecovery = true
+			f.recover = f.sndNxt
+			f.CC.OnLoss(now)
+			f.retransmitHead()
+		}
+	}
+
+	f.CC.OnAck(cc.Ack{
+		Now:        now,
+		AckSeq:     p.AckSeq,
+		NewlyAcked: newly,
+		SndNxt:     f.sndNxt,
+		RTT:        now.Sub(p.EchoSent),
+		ECNEcho:    p.EchoECN,
+		Hops:       p.Hops,
+	})
+
+	if f.Size != Unbounded && f.sndUna >= f.Size {
+		f.finish(now)
+		return
+	}
+	f.trySend()
+}
+
+func (f *Flow) retransmitHead() {
+	n := f.Src.cfg.MSS
+	if f.Size != Unbounded && f.Size-f.sndUna < n {
+		n = f.Size - f.sndUna
+	}
+	if n <= 0 {
+		return
+	}
+	f.emit(f.sndUna, n, true)
+}
+
+func (f *Flow) finish(now sim.Time) {
+	f.Done = true
+	f.FinishAt = now
+	eng := f.Src.eng
+	eng.Cancel(f.sendTimer)
+	eng.Cancel(f.rtoTimer)
+	f.sendTimer, f.rtoTimer = nil, nil
+	if s, ok := f.CC.(interface{ Stop() }); ok {
+		s.Stop() // timer-driven algorithms must release their timers
+	}
+	if f.Src.OnFlowDone != nil {
+		f.Src.OnFlowDone(f)
+	}
+}
+
+func (f *Flow) armRTO() {
+	if f.Inflight() == 0 || f.Done {
+		return
+	}
+	if f.rtoTimer == nil || f.rtoTimer.Cancelled() {
+		f.rtoTimer = f.Src.eng.After(f.Src.cfg.RTO, f.onRTO)
+	}
+}
+
+func (f *Flow) resetRTO() {
+	f.Src.eng.Cancel(f.rtoTimer)
+	f.rtoTimer = nil
+	f.armRTO()
+}
+
+func (f *Flow) onRTO() {
+	f.rtoTimer = nil
+	if f.Done || f.Inflight() == 0 {
+		return
+	}
+	// Go-back-N: rewind to the cumulative ACK point and let the window
+	// algorithm react to the loss.
+	f.sndNxt = f.sndUna
+	f.dupAcks = 0
+	f.inRecovery = false
+	f.CC.OnLoss(f.Src.eng.Now())
+	f.nextSendAt = f.Src.eng.Now()
+	f.trySend()
+}
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow-%d %d→%d size=%d", f.ID, f.Src.id, f.Dst, f.Size)
+}

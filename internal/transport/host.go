@@ -1,0 +1,204 @@
+// Package transport implements the sender-based reliable transport the
+// congestion-control algorithms ride on: window-limited, rate-paced
+// senders (rate = cwnd/τ, §3.3), per-packet cumulative ACKs that echo the
+// INT stack and ECN marks, NewReno-style fast retransmit, and a
+// retransmission timeout. Receivers additionally generate DCQCN CNPs.
+//
+// A transport Host is one server NIC: it terminates flows in both
+// directions and owns the egress port toward its ToR.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Config carries host-wide transport parameters.
+type Config struct {
+	BaseRTT     sim.Duration // τ: maximum base RTT of the topology (§4.1)
+	MSS         int64        // payload bytes per packet; defaults to packet.MSS
+	RTO         sim.Duration // retransmission timeout; defaults to 40×BaseRTT, min 1 ms
+	CNPInterval sim.Duration // min gap between DCQCN CNPs per flow; defaults to 50 µs
+	AckPriority uint8        // priority class for ACKs
+	// DupAckThreshold triggers fast retransmit (default 3). Negative
+	// disables fast retransmit entirely — used on circuit networks where
+	// day/night path switches reorder packets routinely.
+	DupAckThreshold int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS == 0 {
+		c.MSS = packet.MSS
+	}
+	if c.RTO == 0 {
+		c.RTO = 40 * c.BaseRTT
+		if c.RTO < sim.Millisecond {
+			c.RTO = sim.Millisecond
+		}
+	}
+	if c.CNPInterval == 0 {
+		c.CNPInterval = 50 * sim.Microsecond
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = 3
+	}
+}
+
+// Host is a server endpoint running the window transport.
+type Host struct {
+	id  packet.NodeID
+	eng *sim.Engine
+	cfg Config
+	nic *link.Port
+
+	flows  map[packet.FlowID]*Flow
+	rcv    map[packet.FlowID]*rcvState
+	nextID uint64
+
+	// OnFlowDone is invoked when a sized flow is fully acknowledged.
+	OnFlowDone func(*Flow)
+	// OnData observes every data packet delivered to this host, after
+	// receiver bookkeeping (experiment instrumentation: per-packet
+	// latency, CE fractions, ...).
+	OnData func(p *packet.Packet)
+
+	rcvdTotal int64 // payload bytes received across all flows
+}
+
+// rcvState is per-flow receiver bookkeeping.
+type rcvState struct {
+	got     IntervalSet
+	bytes   int64 // payload bytes received (including retransmits)
+	lastCNP sim.Time
+	sawCNP  bool
+}
+
+// NewHost creates a transport host. The NIC uplink is attached later by
+// the topology builder via SetUplink.
+func NewHost(eng *sim.Engine, id packet.NodeID, cfg Config) *Host {
+	cfg.fillDefaults()
+	return &Host{
+		id:    id,
+		eng:   eng,
+		cfg:   cfg,
+		flows: map[packet.FlowID]*Flow{},
+		rcv:   map[packet.FlowID]*rcvState{},
+	}
+}
+
+// ID returns the host's node ID.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// SetUplink attaches the NIC egress port.
+func (h *Host) SetUplink(p *link.Port) { h.nic = p }
+
+// NIC returns the host's egress port.
+func (h *Host) NIC() *link.Port { return h.nic }
+
+// Engine returns the simulation engine the host runs on.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// Config returns the host transport configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// ReceivedBytes returns the payload bytes received for one flow.
+func (h *Host) ReceivedBytes(id packet.FlowID) int64 {
+	if rs := h.rcv[id]; rs != nil {
+		return rs.bytes
+	}
+	return 0
+}
+
+// ReceivedTotal returns payload bytes received across all flows.
+func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
+
+// Receive implements link.Receiver.
+func (h *Host) Receive(p *packet.Packet) {
+	switch p.Kind {
+	case packet.Data:
+		h.onData(p)
+	case packet.Ack:
+		if f := h.flows[p.Flow]; f != nil {
+			f.onAck(p)
+		}
+	case packet.CNP:
+		if f := h.flows[p.Flow]; f != nil {
+			if n, ok := f.CC.(cc.CNPHandler); ok {
+				n.OnCNP(h.eng.Now())
+			}
+		}
+	}
+}
+
+func (h *Host) onData(p *packet.Packet) {
+	rs := h.rcv[p.Flow]
+	if rs == nil {
+		rs = &rcvState{}
+		h.rcv[p.Flow] = rs
+	}
+	rs.got.Add(p.Seq, p.End())
+	rs.bytes += int64(p.PayloadLen)
+	h.rcvdTotal += int64(p.PayloadLen)
+
+	// DCQCN NP side: at most one CNP per flow per CNPInterval while CE
+	// marks keep arriving.
+	if p.CE && p.ECT {
+		now := h.eng.Now()
+		if !rs.sawCNP || now.Sub(rs.lastCNP) >= h.cfg.CNPInterval {
+			rs.lastCNP = now
+			rs.sawCNP = true
+			h.send(&packet.Packet{
+				ID:       h.pktID(),
+				Kind:     packet.CNP,
+				Flow:     p.Flow,
+				Src:      h.id,
+				Dst:      p.Src,
+				Priority: h.cfg.AckPriority,
+			})
+		}
+	}
+
+	ack := &packet.Packet{
+		ID:       h.pktID(),
+		Kind:     packet.Ack,
+		Flow:     p.Flow,
+		Src:      h.id,
+		Dst:      p.Src,
+		AckSeq:   rs.got.CumulativeFrom(0),
+		EchoSent: p.SentAt,
+		EchoECN:  p.CE,
+		Priority: h.cfg.AckPriority,
+	}
+	// The ACK carries the INT records collected on the data path and
+	// keeps collecting on the return path (§3.3: the sender receives
+	// metadata from all switches along the round trip).
+	if len(p.Hops) > 0 {
+		ack.Hops = append([]telemetry.HopRecord(nil), p.Hops...)
+	}
+	h.send(ack)
+	if h.OnData != nil {
+		h.OnData(p)
+	}
+}
+
+func (h *Host) send(p *packet.Packet) {
+	p.SentAt = h.eng.Now()
+	h.nic.Send(p)
+}
+
+func (h *Host) pktID() uint64 {
+	h.nextID++
+	return h.nextID
+}
+
+// Flows returns the host's sending flows (stable iteration not needed by
+// the simulator; experiment code indexes by ID).
+func (h *Host) Flow(id packet.FlowID) *Flow { return h.flows[id] }
+
+// String implements fmt.Stringer.
+func (h *Host) String() string { return fmt.Sprintf("host-%d", h.id) }

@@ -1,0 +1,190 @@
+// Package wire serializes packets to bytes — the deployment path of the
+// paper's §3.6/§5: a fixed 48-byte base header (the header budget the
+// RDMA simulations account per MSS) followed, when telemetry is present,
+// by the INT option of internal/telemetry (32-bit base + 64 bits per
+// hop, TCP option kind 36).
+//
+// The simulator itself passes packets as Go structs for speed; this
+// codec exists for the proof-of-concept interop path (kernel module /
+// Tofino pipeline), for trace files, and to pin the header layout with
+// tests. Payload bytes are not carried — like the paper's simulations,
+// only sizes matter — so Unmarshal reconstructs a packet whose
+// PayloadLen is set but whose contents are implicit.
+//
+// Base header layout (big endian):
+//
+//	off  size  field
+//	 0    1    magic (0x50 'P')
+//	 1    1    kind
+//	 2    1    flags: bit0 ECT, bit1 CE, bit2 Rtx, bit3 Unscheduled,
+//	           bit4 msg-extension present, bit5 INT option present
+//	 3    1    priority
+//	 4    4    src node
+//	 8    4    dst node
+//	12    8    flow id
+//	20    8    seq (Data) / resend seq (Grant)
+//	28    8    ack seq (Ack) / grant offset (Grant)
+//	36    4    payload length
+//	40    8    echoed send timestamp, nanoseconds
+//
+// The optional 16-byte message extension (HOMA) carries MsgID and MsgLen.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// BaseLen is the fixed header length; it equals packet.HeaderSize so the
+// simulated wire sizes match the codec's.
+const BaseLen = packet.HeaderSize
+
+// MsgExtLen is the optional HOMA extension length.
+const MsgExtLen = 16
+
+const wireMagic = 0x50
+
+// Flag bits.
+const (
+	flagECT byte = 1 << iota
+	flagCE
+	flagRtx
+	flagUnscheduled
+	flagMsgExt
+	flagINT
+)
+
+// Errors returned by the codec.
+var (
+	ErrShort    = errors.New("wire: buffer too short")
+	ErrBadMagic = errors.New("wire: bad magic")
+)
+
+// needsExt reports whether the packet carries HOMA message state.
+func needsExt(p *packet.Packet) bool {
+	return p.MsgID != 0 || p.MsgLen != 0 || p.GrantOffset != 0
+}
+
+// Len returns the encoded size of p's headers (excluding payload bytes).
+func Len(p *packet.Packet) int {
+	n := BaseLen
+	if needsExt(p) {
+		n += MsgExtLen
+	}
+	if len(p.Hops) > 0 {
+		n += telemetry.WireLen(len(p.Hops))
+	}
+	return n
+}
+
+// Marshal encodes p's headers.
+func Marshal(p *packet.Packet) ([]byte, error) {
+	buf := make([]byte, BaseLen, Len(p))
+	buf[0] = wireMagic
+	buf[1] = byte(p.Kind)
+	var flags byte
+	if p.ECT {
+		flags |= flagECT
+	}
+	if p.CE {
+		flags |= flagCE
+	}
+	if p.Rtx {
+		flags |= flagRtx
+	}
+	if p.Unscheduled {
+		flags |= flagUnscheduled
+	}
+	if needsExt(p) {
+		flags |= flagMsgExt
+	}
+	if len(p.Hops) > 0 {
+		flags |= flagINT
+	}
+	buf[2] = flags
+	buf[3] = p.Priority
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Dst))
+	binary.BigEndian.PutUint64(buf[12:], uint64(p.Flow))
+	binary.BigEndian.PutUint64(buf[20:], uint64(p.Seq))
+	binary.BigEndian.PutUint64(buf[28:], uint64(ackField(p)))
+	binary.BigEndian.PutUint32(buf[36:], uint32(p.PayloadLen))
+	binary.BigEndian.PutUint64(buf[40:], uint64(sim.Duration(p.EchoSent)/sim.Nanosecond))
+
+	if needsExt(p) {
+		var ext [MsgExtLen]byte
+		binary.BigEndian.PutUint64(ext[0:], p.MsgID)
+		binary.BigEndian.PutUint64(ext[8:], uint64(p.MsgLen))
+		buf = append(buf, ext[:]...)
+	}
+	if len(p.Hops) > 0 {
+		intOpt, err := telemetry.Marshal(p.Hops)
+		if err != nil {
+			return nil, fmt.Errorf("wire: INT option: %w", err)
+		}
+		buf = append(buf, intOpt...)
+	}
+	return buf, nil
+}
+
+// ackField multiplexes the 28..35 slot: grant offset for grants,
+// cumulative ack otherwise.
+func ackField(p *packet.Packet) int64 {
+	if p.Kind == packet.Grant {
+		return p.GrantOffset
+	}
+	return p.AckSeq
+}
+
+// Unmarshal decodes a header produced by Marshal.
+func Unmarshal(buf []byte) (*packet.Packet, error) {
+	if len(buf) < BaseLen {
+		return nil, ErrShort
+	}
+	if buf[0] != wireMagic {
+		return nil, ErrBadMagic
+	}
+	flags := buf[2]
+	p := &packet.Packet{
+		Kind:        packet.Kind(buf[1]),
+		Priority:    buf[3],
+		ECT:         flags&flagECT != 0,
+		CE:          flags&flagCE != 0,
+		Rtx:         flags&flagRtx != 0,
+		Unscheduled: flags&flagUnscheduled != 0,
+		Src:         packet.NodeID(binary.BigEndian.Uint32(buf[4:])),
+		Dst:         packet.NodeID(binary.BigEndian.Uint32(buf[8:])),
+		Flow:        packet.FlowID(binary.BigEndian.Uint64(buf[12:])),
+		Seq:         int64(binary.BigEndian.Uint64(buf[20:])),
+		PayloadLen:  int32(binary.BigEndian.Uint32(buf[36:])),
+		EchoSent:    sim.Time(sim.Duration(binary.BigEndian.Uint64(buf[40:])) * sim.Nanosecond),
+	}
+	ackOrGrant := int64(binary.BigEndian.Uint64(buf[28:]))
+	if p.Kind == packet.Grant {
+		p.GrantOffset = ackOrGrant
+	} else {
+		p.AckSeq = ackOrGrant
+	}
+	rest := buf[BaseLen:]
+	if flags&flagMsgExt != 0 {
+		if len(rest) < MsgExtLen {
+			return nil, ErrShort
+		}
+		p.MsgID = binary.BigEndian.Uint64(rest[0:])
+		p.MsgLen = int64(binary.BigEndian.Uint64(rest[8:]))
+		rest = rest[MsgExtLen:]
+	}
+	if flags&flagINT != 0 {
+		hops, err := telemetry.Unmarshal(rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: INT option: %w", err)
+		}
+		p.Hops = hops
+	}
+	return p, nil
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+func samplePacket() *packet.Packet {
+	return &packet.Packet{
+		Kind: packet.Data, Flow: 42, Src: 3, Dst: 9,
+		Seq: 123_000, PayloadLen: 1000, Priority: 2,
+		ECT: true, Rtx: true,
+		EchoSent: sim.Time(55 * sim.Microsecond),
+		Hops: []telemetry.HopRecord{
+			{QLen: 4096, TxBytes: 1 << 20, TS: sim.Time(10 * sim.Microsecond), Rate: 25 * units.Gbps},
+		},
+	}
+}
+
+// normalize reduces a packet to its wire-visible fields (quantized INT,
+// ns-truncated timestamps) so round-trip comparisons are exact.
+func normalize(p *packet.Packet) packet.Packet {
+	q := *p
+	q.SentAt = 0
+	q.ID = 0
+	q.AckedNew = 0
+	q.TTL = 0
+	q.EchoECN = false // not carried; the CE bit covers the wire case
+	q.EchoSent = sim.Time(sim.Duration(q.EchoSent) / sim.Nanosecond * sim.Nanosecond)
+	q.Hops = nil
+	for _, h := range p.Hops {
+		q.Hops = append(q.Hops, h.Quantize())
+	}
+	if q.Kind == packet.Grant {
+		q.AckSeq = 0
+	} else {
+		q.GrantOffset = 0
+	}
+	return q
+}
+
+func equalPkts(a, b packet.Packet) bool {
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	a.Hops, b.Hops = nil, nil
+	return reflect.DeepEqual(a, b)
+}
+
+func TestRoundTripData(t *testing.T) {
+	p := samplePacket()
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != Len(p) {
+		t.Fatalf("encoded %d bytes, Len says %d", len(buf), Len(p))
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPkts(normalize(got), normalize(p)) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestRoundTripGrantWithExtension(t *testing.T) {
+	p := &packet.Packet{
+		Kind: packet.Grant, Flow: 7, Src: 1, Dst: 2,
+		Seq: -1, GrantOffset: 500_000, Priority: 5,
+		MsgID: 0xDEAD, MsgLen: 2 << 20,
+	}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != BaseLen+MsgExtLen {
+		t.Fatalf("grant encoded to %d bytes", len(buf))
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GrantOffset != 500_000 || got.MsgID != 0xDEAD || got.MsgLen != 2<<20 {
+		t.Fatalf("grant fields lost: %+v", got)
+	}
+	if got.Seq != -1 {
+		t.Fatalf("negative resend sentinel lost: %d", got.Seq)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrShort {
+		t.Errorf("nil: %v", err)
+	}
+	buf, _ := Marshal(samplePacket())
+	buf[0] = 0
+	if _, err := Unmarshal(buf); err != ErrBadMagic {
+		t.Errorf("magic: %v", err)
+	}
+	buf, _ = Marshal(samplePacket())
+	if _, err := Unmarshal(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated INT accepted")
+	}
+	// Truncated message extension.
+	g := &packet.Packet{Kind: packet.Grant, MsgID: 1, MsgLen: 10}
+	buf, _ = Marshal(g)
+	if _, err := Unmarshal(buf[:BaseLen+2]); err != ErrShort {
+		t.Errorf("truncated ext: %v", err)
+	}
+}
+
+// Property: random packets survive the round trip modulo documented
+// quantization.
+func TestRoundTripProperty(t *testing.T) {
+	rates := []units.BitRate{25 * units.Gbps, 100 * units.Gbps}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &packet.Packet{
+			Kind:        packet.Kind(rng.Intn(5)),
+			Flow:        packet.FlowID(rng.Uint64()),
+			Src:         packet.NodeID(rng.Int31()),
+			Dst:         packet.NodeID(rng.Int31()),
+			Seq:         rng.Int63n(1 << 40),
+			PayloadLen:  int32(rng.Intn(1500)),
+			Priority:    uint8(rng.Intn(8)),
+			ECT:         rng.Intn(2) == 0,
+			CE:          rng.Intn(2) == 0,
+			Rtx:         rng.Intn(2) == 0,
+			Unscheduled: rng.Intn(2) == 0,
+			EchoSent:    sim.Time(sim.Duration(rng.Int63n(1e15))),
+		}
+		if p.Kind == packet.Grant {
+			p.GrantOffset = rng.Int63n(1 << 30)
+			p.MsgID = rng.Uint64()
+			p.MsgLen = rng.Int63n(1 << 30)
+		} else {
+			p.AckSeq = rng.Int63n(1 << 40)
+		}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			p.Hops = append(p.Hops, telemetry.HopRecord{
+				QLen:    rng.Int63n(1 << 21),
+				TxBytes: rng.Uint64(),
+				TS:      sim.Time(sim.Duration(rng.Int63n(1e12))),
+				Rate:    rates[rng.Intn(len(rates))],
+			})
+		}
+		buf, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return equalPkts(normalize(got), normalize(p))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := samplePacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf, _ := Marshal(samplePacket())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package powertcp is a from-scratch Go reproduction of "PowerTCP:
+// Pushing the Performance Limits of Datacenter Networks" (Addanki,
+// Michel, Schmid — USENIX NSDI 2022).
+//
+// PowerTCP is a congestion-control law that reacts to network *power*:
+// the product of voltage ν = q + b·τ (buffered bytes plus
+// bandwidth-delay product — the absolute state voltage-based schemes like
+// HPCC and Swift react to) and current λ = q̇ + µ (the state's trend,
+// which current-based schemes like TIMELY react to). Reacting to the
+// product captures both dimensions at once: congestion onset is visible
+// at near-zero queues, and the reaction strength still scales with how
+// much standing queue there is.
+//
+// The package re-exports the reproduction's layers:
+//
+//   - The control laws (PowerTCP, θ-PowerTCP) and every baseline the
+//     paper compares against (HPCC, TIMELY, DCQCN, Swift, HOMA, reTCP).
+//   - A deterministic packet-level network simulator: event engine,
+//     switches with shared-memory Dynamic-Thresholds buffers, INT
+//     telemetry, priority queues, a reliable paced transport, fat-tree /
+//     star / dumbbell topologies, and a reconfigurable (rotor-based) DCN.
+//   - Experiment runners that regenerate every figure of the paper's
+//     evaluation, plus the fluid model behind its analytic figures and
+//     theorems.
+//
+// Quick start (two hosts, one bottleneck):
+//
+//	net := powertcp.Dumbbell(powertcp.DumbbellConfig{Left: 1, Right: 1,
+//	    Opts: powertcp.NetOptions{Hosts: powertcp.Hosts(powertcp.HostConfig{BaseRTT: 16 * powertcp.Microsecond}), INT: true}})
+//	src, dst := net.TransportHost(0), net.TransportHost(1)
+//	src.StartFlow(net.NextFlowID(), dst.ID(), 1<<20, powertcp.New(powertcp.Config{}), 0)
+//	net.Eng.Run()
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package powertcp
+
+import (
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/fluid"
+	"repro/internal/monitor"
+	"repro/internal/rdcn"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/units"
+)
+
+// Time and rate units.
+type (
+	// Time is an absolute simulation timestamp (integer picoseconds).
+	Time = sim.Time
+	// Duration is a simulated time span (integer picoseconds).
+	Duration = sim.Duration
+	// BitRate is a bandwidth in bits per second.
+	BitRate = units.BitRate
+)
+
+// Convenient constants.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Mbps        = units.Mbps
+	Gbps        = units.Gbps
+)
+
+// Congestion control.
+type (
+	// Algorithm is the per-flow congestion-control interface.
+	Algorithm = cc.Algorithm
+	// Config parameterizes PowerTCP and θ-PowerTCP.
+	Config = core.Config
+	// HostConfig parameterizes the reliable transport on each host.
+	HostConfig = transport.Config
+)
+
+// New returns a PowerTCP (Algorithm 1, INT-based) instance.
+func New(cfg Config) *core.PowerTCP { return core.New(cfg) }
+
+// NewTheta returns a θ-PowerTCP (Algorithm 2, delay-based) instance.
+func NewTheta(cfg Config) *core.ThetaPowerTCP { return core.NewTheta(cfg) }
+
+// Baseline constructors (§4 comparisons plus the Fig. 1 taxonomy
+// references).
+var (
+	NewHPCC   = cc.NewHPCC
+	NewTimely = cc.NewTimely
+	NewDCQCN  = cc.NewDCQCN
+	NewSwift  = cc.NewSwift
+	NewDCTCP  = cc.NewDCTCP
+	NewReno   = cc.NewReno
+	NewCubic  = cc.NewCubic
+)
+
+// Unbounded marks a flow with no end (background traffic).
+const Unbounded = transport.Unbounded
+
+// Topologies.
+type (
+	// Network is a wired topology ready to run.
+	Network = topo.Network
+	// NetOptions are shared topology options (buffers, INT, ECN, queues).
+	NetOptions = topo.Options
+	// StarConfig, DumbbellConfig and FatTreeConfig describe topologies;
+	// FatTreeConfig's defaults are the paper's §4.1 evaluation fabric.
+	StarConfig     = topo.StarConfig
+	DumbbellConfig = topo.DumbbellConfig
+	FatTreeConfig  = topo.FatTreeConfig
+	// LeafSpineConfig and ParkingLotConfig cover the two-tier Clos and
+	// multi-bottleneck chain used by ablations.
+	LeafSpineConfig  = topo.LeafSpineConfig
+	ParkingLotConfig = topo.ParkingLotConfig
+	// RDCNConfig describes the reconfigurable DCN of §5.
+	RDCNConfig = rdcn.Config
+	// RDCNNetwork is a built reconfigurable DCN.
+	RDCNNetwork = rdcn.Network
+)
+
+// Topology builders.
+var (
+	Star       = topo.Star
+	Dumbbell   = topo.Dumbbell
+	FatTree    = topo.FatTree
+	LeafSpine  = topo.LeafSpine
+	ParkingLot = topo.ParkingLot
+	BuildRDCN  = rdcn.Build
+)
+
+// Monitor wraps a congestion-control algorithm so every update is
+// recorded (cwnd/rate/RTT time series; see internal/monitor).
+var Monitor = monitor.Wrap
+
+// Hosts adapts a transport configuration into the host factory topology
+// builders consume.
+func Hosts(cfg HostConfig) topo.HostFactory { return topo.TransportHosts(cfg) }
+
+// Experiments: one runner per figure of the paper's evaluation. See
+// DESIGN.md §4 for the experiment↔figure index.
+type (
+	IncastOptions    = exp.IncastOptions
+	IncastResult     = exp.IncastResult
+	FairnessOptions  = exp.FairnessOptions
+	FairnessResult   = exp.FairnessResult
+	WebSearchOptions = exp.WebSearchOptions
+	WebSearchResult  = exp.WebSearchResult
+	RDCNOptions      = exp.RDCNOptions
+	RDCNResult       = exp.RDCNResult
+)
+
+// Experiment runners.
+var (
+	RunIncast    = exp.RunIncast
+	RunFairness  = exp.RunFairness
+	RunWebSearch = exp.RunWebSearch
+	RunRDCN      = exp.RunRDCN
+	LoadSweep    = exp.LoadSweep
+)
+
+// Scheme names accepted by the experiment runners.
+const (
+	SchemePowerTCP      = exp.PowerTCP
+	SchemeThetaPowerTCP = exp.ThetaPowerTCP
+	SchemeHPCC          = exp.HPCC
+	SchemeTimely        = exp.Timely
+	SchemeDCQCN         = exp.DCQCN
+	SchemeHoma          = exp.Homa
+)
+
+// Fluid model (Figures 2–3 and Theorems 1–2).
+type (
+	// FluidSystem is the single-bottleneck fluid model of §2/App. A.
+	FluidSystem = fluid.System
+	// FluidState is (aggregate window, queue) in bytes.
+	FluidState = fluid.State
+	// FluidLaw selects the control-law family of the fluid model.
+	FluidLaw = fluid.Law
+)
+
+// Control-law families of the fluid model.
+const (
+	LawVoltage = fluid.Voltage
+	LawCurrent = fluid.Current
+	LawPower   = fluid.Power
+)
