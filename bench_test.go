@@ -1,17 +1,17 @@
 // Benchmark harness: one benchmark per table/figure of the paper's
-// evaluation (see the per-experiment index in DESIGN.md §4, and
-// EXPERIMENTS.md for paper-vs-measured). Benchmarks run at a scaled-down
-// topology so `go test -bench=.` finishes in minutes; cmd/figures -full
-// regenerates the same data at paper scale. Headline quantities are
-// attached to each benchmark via ReportMetric, so the bench output *is*
-// the reproduction record.
+// evaluation (see the experiment↔figure index and paper-vs-measured
+// record in EXPERIMENTS.md). Benchmarks run at a scaled-down topology so
+// `go test -bench=.` finishes in minutes; cmd/figures -full regenerates
+// the same data at paper scale. Headline quantities are attached to each
+// benchmark via ReportMetric, so the bench output *is* the reproduction
+// record. Every benchmark drives the same registry/spec API the
+// commands use.
 package powertcp
 
 import (
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fluid"
 	"repro/internal/sim"
@@ -23,6 +23,15 @@ func fluidSys(law fluid.Law) *fluid.System {
 		B: 100 * units.Gbps, Tau: 20 * sim.Microsecond,
 		Gamma: 0.9, Dt: 10 * sim.Microsecond, Beta: 12_500, Law: law,
 	}
+}
+
+func mustRun(b *testing.B, spec exp.Spec) *exp.Result {
+	b.Helper()
+	r, err := exp.Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
 }
 
 // BenchmarkFig2_ResponseCurves regenerates the multiplicative-decrease
@@ -66,17 +75,18 @@ func BenchmarkFig3_PhasePlots(b *testing.B) {
 }
 
 // BenchmarkFig4_Incast10 runs the 10:1 incast of Figure 4 (top row) for
-// each scheme and reports PowerTCP's post-incast queue and goodput.
+// each scheme and reports the post-incast queue and goodput.
 func BenchmarkFig4_Incast10(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.Homa} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncast(exp.IncastOptions{Scheme: scheme, FanIn: 10, Seed: 1})
+				r = mustRun(b, exp.NewSpec("incast", scheme,
+					exp.WithFanIn(10), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("end_queue_kb"), "end-queue-KB")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -86,16 +96,15 @@ func BenchmarkFig4_Incast10(b *testing.B) {
 func BenchmarkFig4_Incast255(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncast(exp.IncastOptions{
-					Scheme: scheme, FanIn: 255, ServersPerTor: 32,
-					FlowSize: 100_000, Seed: 1,
-				})
+				r = mustRun(b, exp.NewSpec("incast", scheme,
+					exp.WithFanIn(255), exp.WithServersPerTor(32),
+					exp.WithFlowSize(100_000), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("end_queue_kb"), "end-queue-KB")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -105,11 +114,11 @@ func BenchmarkFig4_Incast255(b *testing.B) {
 func BenchmarkFig5_Fairness(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.Homa} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.FairnessResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunFairness(exp.FairnessOptions{Scheme: scheme, Seed: 1})
+				r = mustRun(b, exp.NewSpec("fairness", scheme, exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.JainAvg, "jain")
+			b.ReportMetric(r.Scalar("jain"), "jain")
 		})
 	}
 }
@@ -120,15 +129,14 @@ func BenchmarkFig6_FCTvsSize(b *testing.B) {
 	for _, load := range []float64{0.2, 0.6} {
 		for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.DCQCN} {
 			b.Run(fmt.Sprintf("%s/load%.0f", scheme, load*100), func(b *testing.B) {
-				var r exp.WebSearchResult
+				var r *exp.Result
 				for i := 0; i < b.N; i++ {
-					r = exp.RunWebSearch(exp.WebSearchOptions{
-						Scheme: scheme, Load: load, Seed: 1,
-					})
+					r = mustRun(b, exp.NewSpec("websearch", scheme,
+						exp.WithLoad(load), exp.WithSeed(1)))
 				}
-				b.ReportMetric(r.ShortP999, "short-p999-slowdown")
-				b.ReportMetric(r.MediumP999, "medium-p999-slowdown")
-				b.ReportMetric(r.LongP999, "long-p999-slowdown")
+				b.ReportMetric(r.Scalar("short_p999"), "short-p999-slowdown")
+				b.ReportMetric(r.Scalar("medium_p999"), "medium-p999-slowdown")
+				b.ReportMetric(r.Scalar("long_p999"), "long-p999-slowdown")
 			})
 		}
 	}
@@ -138,13 +146,13 @@ func BenchmarkFig6_FCTvsSize(b *testing.B) {
 func BenchmarkFig7ab_LoadSweep(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
-			var rs []exp.WebSearchResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				rs = exp.LoadSweep(scheme, []float64{0.2, 0.5, 0.8},
-					exp.WebSearchOptions{Seed: 1})
+				r = mustRun(b, exp.NewSpec("load-sweep", scheme,
+					exp.WithLoads(0.2, 0.5, 0.8), exp.WithSeed(1)))
 			}
-			b.ReportMetric(rs[len(rs)-1].ShortP999, "short-p999@80")
-			b.ReportMetric(rs[len(rs)-1].LongP999, "long-p999@80")
+			b.ReportMetric(r.Scalar("short_p999_top_load"), "short-p999@80")
+			b.ReportMetric(r.Scalar("long_p999_top_load"), "long-p999@80")
 		})
 	}
 }
@@ -154,19 +162,17 @@ func BenchmarkFig7ab_LoadSweep(b *testing.B) {
 func BenchmarkFig7cd_RequestRate(b *testing.B) {
 	for _, rate := range []float64{1000, 4000} {
 		b.Run(fmt.Sprintf("rate%.0f", rate), func(b *testing.B) {
-			var pt, hp exp.WebSearchResult
+			var pt, hp *exp.Result
 			for i := 0; i < b.N; i++ {
-				pt = exp.RunWebSearch(exp.WebSearchOptions{
-					Scheme: exp.PowerTCP, Load: 0.8, Seed: 1,
-					IncastRate: rate, IncastSize: 2 << 20,
-				})
-				hp = exp.RunWebSearch(exp.WebSearchOptions{
-					Scheme: exp.HPCC, Load: 0.8, Seed: 1,
-					IncastRate: rate, IncastSize: 2 << 20,
-				})
+				pt = mustRun(b, exp.NewSpec("websearch", exp.PowerTCP,
+					exp.WithLoad(0.8), exp.WithSeed(1),
+					exp.WithIncastOverlay(rate, 2<<20, 0)))
+				hp = mustRun(b, exp.NewSpec("websearch", exp.HPCC,
+					exp.WithLoad(0.8), exp.WithSeed(1),
+					exp.WithIncastOverlay(rate, 2<<20, 0)))
 			}
-			b.ReportMetric(pt.ShortP999, "powertcp-short-p999")
-			b.ReportMetric(hp.ShortP999, "hpcc-short-p999")
+			b.ReportMetric(pt.Scalar("short_p999"), "powertcp-short-p999")
+			b.ReportMetric(hp.Scalar("short_p999"), "hpcc-short-p999")
 		})
 	}
 }
@@ -175,15 +181,14 @@ func BenchmarkFig7cd_RequestRate(b *testing.B) {
 func BenchmarkFig7ef_RequestSize(b *testing.B) {
 	for _, mb := range []int64{1, 8} {
 		b.Run(fmt.Sprintf("size%dMB", mb), func(b *testing.B) {
-			var pt exp.WebSearchResult
+			var pt *exp.Result
 			for i := 0; i < b.N; i++ {
-				pt = exp.RunWebSearch(exp.WebSearchOptions{
-					Scheme: exp.PowerTCP, Load: 0.8, Seed: 1,
-					IncastRate: 1000, IncastSize: mb << 20,
-				})
+				pt = mustRun(b, exp.NewSpec("websearch", exp.PowerTCP,
+					exp.WithLoad(0.8), exp.WithSeed(1),
+					exp.WithIncastOverlay(1000, mb<<20, 0)))
 			}
-			b.ReportMetric(pt.ShortP999, "short-p999")
-			b.ReportMetric(pt.LongP999, "long-p999")
+			b.ReportMetric(pt.Scalar("short_p999"), "short-p999")
+			b.ReportMetric(pt.Scalar("long_p999"), "long-p999")
 		})
 	}
 }
@@ -193,13 +198,12 @@ func BenchmarkFig7ef_RequestSize(b *testing.B) {
 func BenchmarkFig7gh_BufferCDF(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.WebSearchResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunWebSearch(exp.WebSearchOptions{
-					Scheme: scheme, Load: 0.8, Seed: 1, SampleBuffers: true,
-				})
+				r = mustRun(b, exp.NewSpec("websearch", scheme,
+					exp.WithLoad(0.8), exp.WithSeed(1), exp.WithBufferSampling(true)))
 			}
-			b.ReportMetric(r.BufferP99/1024, "p99-buffer-KB")
+			b.ReportMetric(r.Scalar("buffer_p99_bytes")/1024, "p99-buffer-KB")
 		})
 	}
 }
@@ -209,12 +213,12 @@ func BenchmarkFig7gh_BufferCDF(b *testing.B) {
 func BenchmarkFig8a_RDCNTimeseries(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.RDCNResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunRDCN(exp.RDCNOptions{Scheme: scheme, Seed: 1})
+				r = mustRun(b, exp.NewSpec("rdcn", scheme, exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.CircuitUtilization*100, "circuit-util-pct")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("circuit_utilization")*100, "circuit-util-pct")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -225,13 +229,12 @@ func BenchmarkFig8b_RDCNTail(b *testing.B) {
 	for _, pg := range []units.BitRate{25 * units.Gbps, 50 * units.Gbps} {
 		for _, scheme := range []string{exp.ReTCP1800, exp.PowerTCP} {
 			b.Run(fmt.Sprintf("%s/%v", scheme, pg), func(b *testing.B) {
-				var r exp.RDCNResult
+				var r *exp.Result
 				for i := 0; i < b.N; i++ {
-					r = exp.RunRDCN(exp.RDCNOptions{
-						Scheme: scheme, PacketRate: pg, Seed: 1,
-					})
+					r = mustRun(b, exp.NewSpec("rdcn", scheme,
+						exp.WithPacketRate(pg), exp.WithSeed(1)))
 				}
-				b.ReportMetric(r.TailQueuingUs, "tail-queuing-us")
+				b.ReportMetric(r.Scalar("tail_queuing_us"), "tail-queuing-us")
 			})
 		}
 	}
@@ -242,30 +245,30 @@ func BenchmarkFig8b_RDCNTail(b *testing.B) {
 func BenchmarkFig9_HomaOvercommit(b *testing.B) {
 	for oc := 1; oc <= 6; oc += 1 {
 		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
-			var r exp.FairnessResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunFairness(exp.FairnessOptions{
-					Scheme: fmt.Sprintf("homa-oc%d", oc), Seed: 1,
-				})
+				r = mustRun(b, exp.NewSpec("fairness", fmt.Sprintf("homa-oc%d", oc),
+					exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.JainAvg, "jain")
+			b.ReportMetric(r.Scalar("jain"), "jain")
 		})
 	}
 }
 
 // BenchmarkFig10_11_HomaIncast runs HOMA's 10:1 incast across
-// overcommitment levels (Figures 10–11).
+// overcommitment levels (Figures 10–11). The overcommitment composes as
+// a scheme option instead of a parsed name, exercising that path too.
 func BenchmarkFig10_11_HomaIncast(b *testing.B) {
 	for _, oc := range []int{1, 3, 6} {
 		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncast(exp.IncastOptions{
-					Scheme: fmt.Sprintf("homa-oc%d", oc), FanIn: 10, Seed: 1,
-				})
+				r = mustRun(b, exp.NewSpec("incast", exp.Homa,
+					exp.WithSchemeOptions(exp.Overcommit(oc)),
+					exp.WithFanIn(10), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -276,13 +279,14 @@ func BenchmarkFig10_11_HomaIncast(b *testing.B) {
 func BenchmarkAblation_Gamma(b *testing.B) {
 	for _, gamma := range []float64{0.5, 0.7, 0.9, 1.0} {
 		b.Run(fmt.Sprintf("gamma%.1f", gamma), func(b *testing.B) {
-			scheme := exp.WithGamma(exp.PowerTCP, gamma)
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncastWith(scheme, exp.IncastOptions{FanIn: 10, Seed: 1})
+				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+					exp.WithSchemeOptions(exp.Gamma(gamma)),
+					exp.WithFanIn(10), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -292,14 +296,14 @@ func BenchmarkAblation_Gamma(b *testing.B) {
 func BenchmarkAblation_PerRTTUpdates(b *testing.B) {
 	for _, perRTT := range []bool{false, true} {
 		b.Run(fmt.Sprintf("perRTT=%v", perRTT), func(b *testing.B) {
-			scheme := exp.SchemeByName(exp.PowerTCP)
-			scheme.Alg = core.Builder(core.Config{UpdatePerRTT: perRTT})
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncastWith(scheme, exp.IncastOptions{FanIn: 10, Seed: 1})
+				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+					exp.WithSchemeOptions(exp.PerRTT(perRTT)),
+					exp.WithFanIn(10), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(r.EndQueueKB, "end-queue-KB")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("end_queue_kb"), "end-queue-KB")
 		})
 	}
 }
@@ -311,12 +315,13 @@ func BenchmarkAblation_PerRTTUpdates(b *testing.B) {
 func BenchmarkAblation_StandingQueue(b *testing.B) {
 	for _, scheme := range []string{exp.PowerTCP, exp.DCTCP, exp.Reno} {
 		b.Run(scheme, func(b *testing.B) {
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncast(exp.IncastOptions{Scheme: scheme, FanIn: 8, Seed: 1})
+				r = mustRun(b, exp.NewSpec("incast", scheme,
+					exp.WithFanIn(8), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.TailMeanQueueKB, "standing-queue-KB")
-			b.ReportMetric(r.AvgGoodputGbps, "goodput-Gbps")
+			b.ReportMetric(r.Scalar("tail_mean_queue_kb"), "standing-queue-KB")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
 		})
 	}
 }
@@ -326,15 +331,14 @@ func BenchmarkAblation_StandingQueue(b *testing.B) {
 func BenchmarkAblation_DTAlpha(b *testing.B) {
 	for _, alpha := range []float64{0.25, 1, 4} {
 		b.Run(fmt.Sprintf("alpha%.2f", alpha), func(b *testing.B) {
-			scheme := exp.SchemeByName(exp.PowerTCP)
-			var r exp.IncastResult
+			var r *exp.Result
 			for i := 0; i < b.N; i++ {
-				r = exp.RunIncastWith(scheme, exp.IncastOptions{
-					FanIn: 32, Seed: 1, DTAlpha: alpha,
-				})
+				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+					exp.WithSchemeOptions(exp.Alpha(alpha)),
+					exp.WithFanIn(32), exp.WithSeed(1)))
 			}
-			b.ReportMetric(r.PeakQueueKB, "peak-queue-KB")
-			b.ReportMetric(float64(r.Completed), "flows-done")
+			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+			b.ReportMetric(r.Scalar("completed"), "flows-done")
 		})
 	}
 }
@@ -343,10 +347,35 @@ func BenchmarkAblation_DTAlpha(b *testing.B) {
 // second pushing an unbounded PowerTCP flow across the fat-tree.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := exp.RunIncast(exp.IncastOptions{
-			Scheme: exp.PowerTCP, FanIn: 4,
-			Window: sim.Millisecond, Seed: 1,
+		mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+			exp.WithFanIn(4), exp.WithWindow(sim.Millisecond), exp.WithSeed(1)))
+	}
+}
+
+// BenchmarkSuiteParallelism runs the same five-spec suite serially and
+// with the full worker pool — the speedup is the parallel harness's
+// reason to exist.
+func BenchmarkSuiteParallelism(b *testing.B) {
+	specs := func() []exp.Spec {
+		var out []exp.Spec
+		for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.Homa} {
+			out = append(out, exp.NewSpec("incast", scheme,
+				exp.WithFanIn(10), exp.WithWindow(2*sim.Millisecond), exp.WithSeed(1)))
+		}
+		return out
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				suite := exp.Suite{Specs: specs(), Workers: workers}
+				if _, err := suite.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
-		_ = r
 	}
 }

@@ -2,11 +2,18 @@
 // paper's evaluation. Output is tab-separated with '#' comment headers,
 // one block per figure panel, suitable for gnuplot/matplotlib.
 //
+// Each figure builds its panels as experiment specs and executes them as
+// one suite over a GOMAXPROCS-sized worker pool; rendering then walks
+// the results in panel order, so the output is identical to a serial run
+// (every simulation owns an isolated engine and is deterministic per
+// seed).
+//
 // Usage:
 //
 //	figures -fig 4            # one figure (2,3,4,5,6,7,8,9,theory)
-//	figures -fig all          # everything (several minutes)
+//	figures -fig all          # everything, runs across all cores
 //	figures -fig 6 -full      # paper-scale topology (much slower)
+//	figures -workers 4        # cap the worker pool
 package main
 
 import (
@@ -21,9 +28,10 @@ import (
 )
 
 var (
-	figFlag  = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,theory,all")
-	fullFlag = flag.Bool("full", false, "paper-scale topology (256 servers / 25 ToRs); slow")
-	seedFlag = flag.Int64("seed", 1, "base RNG seed")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,theory,all")
+	fullFlag    = flag.Bool("full", false, "paper-scale topology (256 servers / 25 ToRs); slow")
+	seedFlag    = flag.Int64("seed", 1, "base RNG seed")
+	workersFlag = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
 )
 
 func main() {
@@ -61,6 +69,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
 		os.Exit(2)
 	}
+}
+
+// runSuite executes the specs over the worker pool and dies loudly on
+// misconfigured panels.
+func runSuite(specs []exp.Spec) []*exp.Result {
+	suite := exp.Suite{Specs: specs, Workers: *workersFlag}
+	results, err := suite.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	return results
 }
 
 // serversPerTor picks the fat-tree scale.
@@ -138,33 +158,42 @@ func fig3() {
 
 func fig4() {
 	schemes := []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.Timely, exp.HPCC, exp.Homa}
+	var specs []exp.Spec
 	for _, fanIn := range []int{10, 255} {
 		spt := serversPerTor()
 		if fanIn >= 255 {
 			spt = 32 // need 256 servers for the full-cluster incast
 		}
 		for _, sc := range schemes {
-			r := exp.RunIncast(exp.IncastOptions{
-				Scheme: sc, FanIn: fanIn, ServersPerTor: spt, Seed: *seedFlag,
-			})
-			fmt.Printf("# Figure 4 (%d:1) %s: peak=%.0fKB end=%.0fKB avg=%.1fGbps done=%d/%d\n",
-				fanIn, sc, r.PeakQueueKB, r.EndQueueKB, r.AvgGoodputGbps, r.Completed, r.FanIn)
-			fmt.Println("# time_ms\tthroughput_gbps\tqueue_kb")
-			for i, p := range r.Points {
-				if i%5 == 0 {
-					fmt.Printf("%.3f\t%.2f\t%.1f\n",
-						p.T.Seconds()*1e3, p.ThroughputGbps, p.QueueKB)
-				}
-			}
-			fmt.Println()
+			specs = append(specs, exp.NewSpec("incast", sc,
+				exp.WithFanIn(fanIn), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag)))
 		}
+	}
+	results := runSuite(specs)
+	for i, spec := range specs {
+		r := results[i].Raw.(*exp.IncastResult)
+		fmt.Printf("# Figure 4 (%d:1) %s: peak=%.0fKB end=%.0fKB avg=%.1fGbps done=%d/%d\n",
+			spec.FanIn, r.Scheme, r.PeakQueueKB, r.EndQueueKB, r.AvgGoodputGbps, r.Completed, r.FanIn)
+		fmt.Println("# time_ms\tthroughput_gbps\tqueue_kb")
+		for k, p := range r.Points {
+			if k%5 == 0 {
+				fmt.Printf("%.3f\t%.2f\t%.1f\n",
+					p.T.Seconds()*1e3, p.ThroughputGbps, p.QueueKB)
+			}
+		}
+		fmt.Println()
 	}
 }
 
 func fig5() {
-	for _, sc := range []string{exp.PowerTCP, exp.Homa, exp.ThetaPowerTCP, exp.Timely} {
-		r := exp.RunFairness(exp.FairnessOptions{Scheme: sc, Seed: *seedFlag})
-		fmt.Printf("# Figure 5 %s: Jain=%.3f\n", sc, r.JainAvg)
+	schemes := []string{exp.PowerTCP, exp.Homa, exp.ThetaPowerTCP, exp.Timely}
+	var specs []exp.Spec
+	for _, sc := range schemes {
+		specs = append(specs, exp.NewSpec("fairness", sc, exp.WithSeed(*seedFlag)))
+	}
+	for _, res := range runSuite(specs) {
+		r := res.Raw.(*exp.FairnessResult)
+		fmt.Printf("# Figure 5 %s: Jain=%.3f\n", r.Scheme, r.JainAvg)
 		fmt.Println("# time_ms\tflow1\tflow2\tflow3\tflow4 (Gbps)")
 		for k := 0; k < len(r.T); k += 4 {
 			fmt.Printf("%.3f", r.T[k].Seconds()*1e3)
@@ -178,14 +207,23 @@ func fig5() {
 }
 
 func fig6() {
-	for _, load := range []float64{0.2, 0.6} {
+	loads := []float64{0.2, 0.6}
+	var specs []exp.Spec
+	for _, load := range loads {
+		for _, sc := range exp.Schemes {
+			specs = append(specs, exp.NewSpec("websearch", sc,
+				exp.WithLoad(load), exp.WithServersPerTor(serversPerTor()), exp.WithSeed(*seedFlag)))
+		}
+	}
+	results := runSuite(specs)
+	i := 0
+	for _, load := range loads {
 		fmt.Printf("# Figure 6: 99.9p FCT slowdown by flow size, websearch at %.0f%% load\n", load*100)
 		fmt.Println("# scheme\t≤5K\t≤20K\t≤50K\t≤100K\t≤400K\t≤800K\t≤5M\t≤30M")
-		for _, sc := range exp.Schemes {
-			r := exp.RunWebSearch(exp.WebSearchOptions{
-				Scheme: sc, Load: load, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-			})
-			fmt.Printf("%s", sc)
+		for range exp.Schemes {
+			r := results[i].Raw.(*exp.WebSearchResult)
+			i++
+			fmt.Printf("%s", r.Scheme)
 			for _, v := range r.Binned.Row(99.9) {
 				fmt.Printf("\t%.1f", v)
 			}
@@ -197,16 +235,23 @@ func fig6() {
 
 func fig7() {
 	schemes := []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC}
-	fmt.Println("# Figure 7a/7b: short & long flow 99.9p slowdown vs load")
-	fmt.Println("# load\tscheme\tshort_p999\tlong_p999")
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
+	spt := serversPerTor()
+
+	// Build every panel's specs up front and run them as ONE suite, so
+	// stragglers in one sub-figure never idle the worker pool. The
+	// printed blocks below slice the ordered results.
+	var specs []exp.Spec
+
+	// 7a/7b: load sweep.
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	loadStart := len(specs)
+	for _, load := range loads {
 		for _, sc := range schemes {
-			r := exp.RunWebSearch(exp.WebSearchOptions{
-				Scheme: sc, Load: load, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-			})
-			fmt.Printf("%.1f\t%s\t%.2f\t%.2f\n", load, sc, r.ShortP999, r.LongP999)
+			specs = append(specs, exp.NewSpec("websearch", sc,
+				exp.WithLoad(load), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag)))
 		}
 	}
+
 	// Request-rate and request-size sweeps (7c–7f). At bench scale the
 	// simulated horizon is tens of ms, so the paper's 1–16 req/s maps to
 	// proportionally higher rates for the same incasts-per-experiment.
@@ -214,99 +259,146 @@ func fig7() {
 	if *fullFlag {
 		rates = []float64{1, 4, 8, 16}
 	}
-	fmt.Println("\n# Figure 7c/7d: websearch@80% + incast, sweep request rate (2MB requests)")
-	fmt.Println("# req_per_s\tscheme\tshort_p999\tlong_p999")
+	rateStart := len(specs)
 	for _, rate := range rates {
 		for _, sc := range schemes {
-			r := exp.RunWebSearch(exp.WebSearchOptions{
-				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-				IncastRate: rate, IncastSize: 2 << 20,
-			})
-			fmt.Printf("%.0f\t%s\t%.2f\t%.2f\n", rate, sc, r.ShortP999, r.LongP999)
+			specs = append(specs, exp.NewSpec("websearch", sc,
+				exp.WithLoad(0.8), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag),
+				exp.WithIncastOverlay(rate, 2<<20, 0)))
 		}
 	}
-	fmt.Println("\n# Figure 7e/7f: sweep request size at fixed rate")
-	fmt.Println("# req_mb\tscheme\tshort_p999\tlong_p999")
-	for _, mb := range []int64{1, 2, 4, 8} {
+
+	sizes := []int64{1, 2, 4, 8}
+	sizeStart := len(specs)
+	for _, mb := range sizes {
 		for _, sc := range schemes {
-			r := exp.RunWebSearch(exp.WebSearchOptions{
-				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-				IncastRate: rates[1], IncastSize: mb << 20,
-			})
-			fmt.Printf("%d\t%s\t%.2f\t%.2f\n", mb, sc, r.ShortP999, r.LongP999)
+			specs = append(specs, exp.NewSpec("websearch", sc,
+				exp.WithLoad(0.8), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag),
+				exp.WithIncastOverlay(rates[1], mb<<20, 0)))
 		}
 	}
-	fmt.Println("\n# Figure 7g/7h: buffer occupancy CDF at 80% load (+incast for 7h)")
+
+	bufStart := len(specs)
 	for _, withIncast := range []bool{false, true} {
-		for _, sc := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC} {
-			o := exp.WebSearchOptions{
-				Scheme: sc, Load: 0.8, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-				SampleBuffers: true,
+		for _, sc := range schemes {
+			opts := []exp.Option{
+				exp.WithLoad(0.8), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag),
+				exp.WithBufferSampling(true),
 			}
 			if withIncast {
-				o.IncastRate = rates[len(rates)-1]
-				o.IncastSize = 2 << 20
+				opts = append(opts, exp.WithIncastOverlay(rates[len(rates)-1], 2<<20, 0),
+					exp.WithLabel("incast"))
 			}
-			r := exp.RunWebSearch(o)
-			fmt.Printf("# %s incast=%v p99_buffer=%.0fB\n", sc, withIncast, r.BufferP99)
-			fmt.Println("# occupancy_kb\tcdf")
-			for _, p := range r.BufferCDF {
-				fmt.Printf("%.1f\t%.3f\n", p.V/1024, p.F)
-			}
-			fmt.Println()
+			specs = append(specs, exp.NewSpec("websearch", sc, opts...))
 		}
+	}
+
+	results := runSuite(specs)
+
+	fmt.Println("# Figure 7a/7b: short & long flow 99.9p slowdown vs load")
+	fmt.Println("# load\tscheme\tshort_p999\tlong_p999")
+	for i := loadStart; i < rateStart; i++ {
+		r := results[i].Raw.(*exp.WebSearchResult)
+		fmt.Printf("%.1f\t%s\t%.2f\t%.2f\n", specs[i].Load, r.Scheme, r.ShortP999, r.LongP999)
+	}
+
+	fmt.Println("\n# Figure 7c/7d: websearch@80% + incast, sweep request rate (2MB requests)")
+	fmt.Println("# req_per_s\tscheme\tshort_p999\tlong_p999")
+	for i := rateStart; i < sizeStart; i++ {
+		r := results[i].Raw.(*exp.WebSearchResult)
+		fmt.Printf("%.0f\t%s\t%.2f\t%.2f\n", specs[i].IncastRate, r.Scheme, r.ShortP999, r.LongP999)
+	}
+
+	fmt.Println("\n# Figure 7e/7f: sweep request size at fixed rate")
+	fmt.Println("# req_mb\tscheme\tshort_p999\tlong_p999")
+	for i := sizeStart; i < bufStart; i++ {
+		r := results[i].Raw.(*exp.WebSearchResult)
+		fmt.Printf("%d\t%s\t%.2f\t%.2f\n", specs[i].IncastSize>>20, r.Scheme, r.ShortP999, r.LongP999)
+	}
+
+	fmt.Println("\n# Figure 7g/7h: buffer occupancy CDF at 80% load (+incast for 7h)")
+	for i := bufStart; i < len(specs); i++ {
+		r := results[i].Raw.(*exp.WebSearchResult)
+		fmt.Printf("# %s incast=%v p99_buffer=%.0fB\n", r.Scheme, specs[i].IncastRate > 0, r.BufferP99)
+		fmt.Println("# occupancy_kb\tcdf")
+		for _, p := range r.BufferCDF {
+			fmt.Printf("%.1f\t%.3f\n", p.V/1024, p.F)
+		}
+		fmt.Println()
 	}
 }
 
 func fig8() {
 	tors, servers, weeks := rdcnScale()
+	schemes8a := []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800}
+	var specs []exp.Spec
+	for _, sc := range schemes8a {
+		specs = append(specs, exp.NewSpec("rdcn", sc,
+			exp.WithTors(tors), exp.WithServersPerTor(servers), exp.WithWeeks(weeks),
+			exp.WithSeed(*seedFlag)))
+	}
+	rates := []units.BitRate{25 * units.Gbps, 50 * units.Gbps}
+	schemes8b := []string{exp.ReTCP600, exp.ReTCP1800, exp.HPCC, exp.PowerTCP}
+	for _, pg := range rates {
+		for _, sc := range schemes8b {
+			specs = append(specs, exp.NewSpec("rdcn", sc,
+				exp.WithTors(tors), exp.WithServersPerTor(servers), exp.WithWeeks(weeks),
+				exp.WithPacketRate(pg), exp.WithSeed(*seedFlag)))
+		}
+	}
+	results := runSuite(specs)
+
 	fmt.Println("# Figure 8a: RDCN throughput & VOQ time series")
-	for _, sc := range []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800} {
-		r := exp.RunRDCN(exp.RDCNOptions{
-			Scheme: sc, Tors: tors, ServersPerTor: servers, Weeks: weeks, Seed: *seedFlag,
-		})
+	for i := range schemes8a {
+		r := results[i].Raw.(*exp.RDCNResult)
 		fmt.Printf("# %s: circuit_util=%.2f tail_queuing=%.1fus avg=%.1fGbps\n",
-			sc, r.CircuitUtilization, r.TailQueuingUs, r.AvgGoodputGbps)
+			r.Scheme, r.CircuitUtilization, r.TailQueuingUs, r.AvgGoodputGbps)
 		fmt.Println("# time_ms\tthroughput_gbps\tvoq_kb")
-		for i := range r.T {
-			if i%10 == 0 {
+		for k := range r.T {
+			if k%10 == 0 {
 				fmt.Printf("%.3f\t%.2f\t%.1f\n",
-					r.T[i].Seconds()*1e3, r.Throughput[i], r.VOQKB[i])
+					r.T[k].Seconds()*1e3, r.Throughput[k], r.VOQKB[k])
 			}
 		}
 		fmt.Println()
 	}
 	fmt.Println("# Figure 8b: tail queuing latency vs packet bandwidth")
 	fmt.Println("# pkt_gbps\tscheme\ttail_queuing_us\tcircuit_util")
-	for _, pg := range []units.BitRate{25 * units.Gbps, 50 * units.Gbps} {
-		for _, sc := range []string{exp.ReTCP600, exp.ReTCP1800, exp.HPCC, exp.PowerTCP} {
-			r := exp.RunRDCN(exp.RDCNOptions{
-				Scheme: sc, Tors: tors, ServersPerTor: servers,
-				PacketRate: pg, Weeks: weeks, Seed: *seedFlag,
-			})
+	i := len(schemes8a)
+	for _, pg := range rates {
+		for range schemes8b {
+			r := results[i].Raw.(*exp.RDCNResult)
+			i++
 			fmt.Printf("%d\t%s\t%.1f\t%.2f\n",
-				pg/units.Gbps, sc, r.TailQueuingUs, r.CircuitUtilization)
+				pg/units.Gbps, r.Scheme, r.TailQueuingUs, r.CircuitUtilization)
 		}
 	}
 	fmt.Println()
 }
 
 func fig9() {
+	spt255 := serversPerTor()
+	if *fullFlag {
+		spt255 = 32
+	}
+	var specs []exp.Spec
+	for oc := 1; oc <= 6; oc++ {
+		sc := fmt.Sprintf("homa-oc%d", oc)
+		specs = append(specs,
+			exp.NewSpec("fairness", sc, exp.WithSeed(*seedFlag)),
+			exp.NewSpec("incast", sc,
+				exp.WithFanIn(10), exp.WithServersPerTor(serversPerTor()), exp.WithSeed(*seedFlag)),
+			exp.NewSpec("incast", sc,
+				exp.WithFanIn(spt255*8-2), exp.WithServersPerTor(spt255), exp.WithSeed(*seedFlag)),
+		)
+	}
+	results := runSuite(specs)
 	fmt.Println("# Figures 9-11: HOMA overcommitment sweep")
 	fmt.Println("# oc\tjain\tincast10_peak_kb\tincast10_done\tincast255_peak_kb\tincast255_done")
 	for oc := 1; oc <= 6; oc++ {
-		sc := fmt.Sprintf("homa-oc%d", oc)
-		f := exp.RunFairness(exp.FairnessOptions{Scheme: sc, Seed: *seedFlag})
-		i10 := exp.RunIncast(exp.IncastOptions{
-			Scheme: sc, FanIn: 10, ServersPerTor: serversPerTor(), Seed: *seedFlag,
-		})
-		spt := serversPerTor()
-		if *fullFlag {
-			spt = 32
-		}
-		i255 := exp.RunIncast(exp.IncastOptions{
-			Scheme: sc, FanIn: spt*8 - 2, ServersPerTor: spt, Seed: *seedFlag,
-		})
+		f := results[(oc-1)*3].Raw.(*exp.FairnessResult)
+		i10 := results[(oc-1)*3+1].Raw.(*exp.IncastResult)
+		i255 := results[(oc-1)*3+2].Raw.(*exp.IncastResult)
 		fmt.Printf("%d\t%.3f\t%.0f\t%d\t%.0f\t%d\n",
 			oc, f.JainAvg, i10.PeakQueueKB, i10.Completed, i255.PeakQueueKB, i255.Completed)
 	}

@@ -1,112 +1,119 @@
-// Command powersim runs a single experiment scenario from flags and
+// Command powersim runs a single experiment from the registry and
 // prints a human-readable summary — the quick way to poke at one
-// configuration without regenerating whole figures.
+// configuration without regenerating whole figures. Any registered
+// experiment and scheme (including the homa-oc<N> and retcp-<µs>
+// families) resolves by name; γ and DT-α ablations compose via flags.
 //
 // Examples:
 //
 //	powersim -exp incast -scheme powertcp -fanin 32
 //	powersim -exp websearch -scheme hpcc -load 0.6 -servers 8
-//	powersim -exp fairness -scheme homa
+//	powersim -exp fairness -scheme homa-oc3
 //	powersim -exp rdcn -scheme retcp-1800 -pktgbps 50
+//	powersim -exp incast -scheme powertcp -gamma 0.5 -json
+//	powersim -exp list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/units"
 )
 
 var (
-	expFlag     = flag.String("exp", "incast", "experiment: incast, fairness, websearch, rdcn")
-	schemeFlag  = flag.String("scheme", "powertcp", "CC scheme (powertcp, theta-powertcp, hpcc, timely, dcqcn, homa, homa-ocN, retcp-600, retcp-1800)")
-	fanInFlag   = flag.Int("fanin", 10, "incast fan-in")
-	loadFlag    = flag.Float64("load", 0.6, "websearch ToR-uplink load")
-	serversFlag = flag.Int("servers", 8, "servers per ToR (32 = paper scale)")
+	expFlag     = flag.String("exp", "incast", "experiment name from the registry; 'list' prints all")
+	schemeFlag  = flag.String("scheme", "powertcp", "CC scheme (powertcp, theta-powertcp, hpcc, timely, dcqcn, swift, dctcp, reno, cubic, homa, homa-oc<N>, retcp-<µs>)")
+	fanInFlag   = flag.Int("fanin", 0, "incast fan-in")
+	loadFlag    = flag.Float64("load", 0, "websearch ToR-uplink load")
+	serversFlag = flag.Int("servers", 0, "servers per ToR (32 = paper scale)")
 	durFlag     = flag.Float64("ms", 0, "override experiment duration (milliseconds)")
 	seedFlag    = flag.Int64("seed", 1, "RNG seed")
-	pktGbps     = flag.Int64("pktgbps", 25, "RDCN packet-network bandwidth (Gbps)")
+	pktGbps     = flag.Int64("pktgbps", 0, "RDCN packet-network bandwidth (Gbps)")
 	icRateFlag  = flag.Float64("icrate", 0, "websearch incast request rate (req/s)")
 	icSizeFlag  = flag.Int64("icmb", 2, "websearch incast request size (MB)")
+	gammaFlag   = flag.Float64("gamma", 0, "override PowerTCP-family γ (ablation)")
+	alphaFlag   = flag.Float64("alpha", 0, "override the Dynamic-Thresholds α (ablation)")
+	jsonFlag    = flag.Bool("json", false, "emit the result envelope as JSON")
+	tsvFlag     = flag.Bool("tsv", false, "emit the result envelope as TSV blocks")
 )
 
 func main() {
 	flag.Parse()
-	switch *expFlag {
-	case "incast":
-		o := exp.IncastOptions{
-			Scheme: *schemeFlag, FanIn: *fanInFlag,
-			ServersPerTor: *serversFlag, Seed: *seedFlag,
-		}
-		if *durFlag > 0 {
-			o.Window = sim.Millis(*durFlag)
-		}
-		r := exp.RunIncast(o)
-		fmt.Printf("incast %d:1 with %s\n", r.FanIn, r.Scheme)
-		fmt.Printf("  receiver goodput : %.2f Gbps (window average)\n", r.AvgGoodputGbps)
-		fmt.Printf("  peak queue       : %.1f KB\n", r.PeakQueueKB)
-		fmt.Printf("  end-of-run queue : %.1f KB\n", r.EndQueueKB)
-		fmt.Printf("  incast flows done: %d/%d\n", r.Completed, r.FanIn)
+	if *expFlag == "list" {
+		fmt.Printf("experiments: %s\n", strings.Join(exp.ExperimentNames(), ", "))
+		fmt.Printf("schemes    : %s (plus homa-oc<N>, retcp-<µs>)\n", strings.Join(exp.SchemeNames(), ", "))
+		return
+	}
 
-	case "fairness":
-		o := exp.FairnessOptions{Scheme: *schemeFlag, Seed: *seedFlag}
-		if *durFlag > 0 {
-			o.Window = sim.Millis(*durFlag)
-		}
-		r := exp.RunFairness(o)
-		fmt.Printf("fairness (4 staggered flows) with %s\n", r.Scheme)
-		fmt.Printf("  mean Jain index  : %.3f\n", r.JainAvg)
-		if n := len(r.T); n > 0 {
-			k := n / 2
-			fmt.Printf("  shares at %v:", r.T[k])
-			for i := range r.Per {
-				fmt.Printf(" %.1fG", r.Per[i][k])
-			}
-			fmt.Println()
-		}
+	opts := []exp.Option{exp.WithSeed(*seedFlag)}
+	if *fanInFlag > 0 {
+		opts = append(opts, exp.WithFanIn(*fanInFlag))
+	}
+	if *loadFlag > 0 {
+		opts = append(opts, exp.WithLoad(*loadFlag))
+	}
+	if *serversFlag > 0 {
+		opts = append(opts, exp.WithServersPerTor(*serversFlag))
+	}
+	if *durFlag > 0 {
+		// The relevant horizon differs per experiment; set both.
+		opts = append(opts, exp.WithWindow(sim.Millis(*durFlag)), exp.WithDuration(sim.Millis(*durFlag)))
+	}
+	if *pktGbps > 0 {
+		opts = append(opts, exp.WithPacketRate(units.BitRate(*pktGbps)*units.Gbps))
+	}
+	if *icRateFlag > 0 {
+		opts = append(opts, exp.WithIncastOverlay(*icRateFlag, *icSizeFlag<<20, 0))
+	}
+	if *expFlag == "websearch" {
+		opts = append(opts, exp.WithBufferSampling(true))
+	}
+	var schemeOpts []exp.SchemeOption
+	if *gammaFlag > 0 {
+		schemeOpts = append(schemeOpts, exp.Gamma(*gammaFlag))
+	}
+	if *alphaFlag > 0 {
+		schemeOpts = append(schemeOpts, exp.Alpha(*alphaFlag))
+	}
+	if len(schemeOpts) > 0 {
+		opts = append(opts, exp.WithSchemeOptions(schemeOpts...))
+	}
 
-	case "websearch":
-		o := exp.WebSearchOptions{
-			Scheme: *schemeFlag, Load: *loadFlag,
-			ServersPerTor: *serversFlag, Seed: *seedFlag,
-			IncastRate: *icRateFlag, IncastSize: *icSizeFlag << 20,
-			SampleBuffers: true,
-		}
-		if *durFlag > 0 {
-			o.Duration = sim.Millis(*durFlag)
-		}
-		r := exp.RunWebSearch(o)
-		fmt.Printf("websearch at %.0f%% load with %s (%d/%d flows completed)\n",
-			r.Load*100, r.Scheme, r.Completed, r.Started)
-		fmt.Printf("  99.9p slowdown  : short %.1f | medium %.1f | long %.1f\n",
-			r.ShortP999, r.MediumP999, r.LongP999)
-		fmt.Printf("  per-bin 99.9p   :")
-		for i, v := range r.Binned.Row(99.9) {
-			fmt.Printf(" %s:%.1f", stats.SizeLabel(stats.FlowSizeBins[i]), v)
-		}
-		fmt.Println()
-		fmt.Printf("  p99 ToR buffer  : %.1f KB\n", r.BufferP99/1024)
-
-	case "rdcn":
-		o := exp.RDCNOptions{
-			Scheme: *schemeFlag, Seed: *seedFlag,
-			PacketRate: units.BitRate(*pktGbps) * units.Gbps,
-		}
-		if *serversFlag != 8 {
-			o.ServersPerTor = *serversFlag
-		}
-		r := exp.RunRDCN(o)
-		fmt.Printf("RDCN with %s (packet network %dG)\n", r.Scheme, *pktGbps)
-		fmt.Printf("  circuit utilization : %.1f%%\n", r.CircuitUtilization*100)
-		fmt.Printf("  tail queuing (p99)  : %.1f µs\n", r.TailQueuingUs)
-		fmt.Printf("  mean goodput        : %.2f Gbps\n", r.AvgGoodputGbps)
-
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *expFlag)
+	r, err := exp.Run(exp.NewSpec(*expFlag, *schemeFlag, opts...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
 		os.Exit(2)
+	}
+
+	switch {
+	case *jsonFlag:
+		if err := r.EncodeJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+	case *tsvFlag:
+		if err := r.EncodeTSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Printf("%s with %s (seed %d)\n", r.Experiment, r.Scheme, r.Seed)
+		width := 0
+		for _, name := range r.ScalarNames() {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, name := range r.ScalarNames() {
+			fmt.Printf("  %-*s : %g\n", width, name, r.Scalar(name))
+		}
+		for _, s := range r.Series {
+			fmt.Printf("  series %s: %d samples\n", s.Name, len(s.Points))
+		}
 	}
 }

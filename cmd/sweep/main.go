@@ -3,6 +3,10 @@
 // stress both of γ's failure modes — reaction speed (incast) and noise
 // sensitivity (steady websearch load) — and prints the trade-off table.
 //
+// The whole grid is one experiment suite executed concurrently over a
+// worker pool; every column of a row runs under the same swept γ (the
+// previous one-off runners left fairness and websearch at the default).
+//
 //	sweep            # γ ∈ {0.3 … 1.0} over incast + fairness + websearch
 //	sweep -quick     # skip the websearch column (seconds instead of minutes)
 package main
@@ -10,19 +14,51 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
 var (
-	quickFlag = flag.Bool("quick", false, "skip the websearch column")
-	seedFlag  = flag.Int64("seed", 1, "RNG seed")
+	quickFlag   = flag.Bool("quick", false, "skip the websearch column")
+	seedFlag    = flag.Int64("seed", 1, "RNG seed")
+	workersFlag = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
 	gammas := []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0}
+
+	// One suite: every γ × every scenario column, all under the swept γ.
+	var specs []exp.Spec
+	perRow := 2
+	if !*quickFlag {
+		perRow = 3
+	}
+	for _, g := range gammas {
+		gamma := exp.WithSchemeOptions(exp.Gamma(g))
+		label := exp.WithLabel(fmt.Sprintf("gamma=%.2f", g))
+		specs = append(specs,
+			exp.NewSpec("incast", exp.PowerTCP, gamma, label,
+				exp.WithFanIn(16), exp.WithWindow(3*sim.Millisecond), exp.WithSeed(*seedFlag)),
+			exp.NewSpec("fairness", exp.PowerTCP, gamma, label,
+				exp.WithWindow(6*sim.Millisecond), exp.WithSeed(*seedFlag)),
+		)
+		if !*quickFlag {
+			specs = append(specs,
+				exp.NewSpec("websearch", exp.PowerTCP, gamma, label,
+					exp.WithLoad(0.6), exp.WithSeed(*seedFlag),
+					exp.WithDuration(8*sim.Millisecond), exp.WithDrain(4*sim.Millisecond)))
+		}
+	}
+
+	suite := exp.Suite{Specs: specs, Workers: *workersFlag}
+	results, err := suite.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Println("PowerTCP γ sweep — reaction speed vs noise sensitivity")
 	header := fmt.Sprintf("%-6s %14s %14s %12s %8s", "γ",
@@ -32,22 +68,13 @@ func main() {
 	}
 	fmt.Println(header)
 
-	for _, g := range gammas {
-		scheme := exp.WithGamma(exp.PowerTCP, g)
-		ic := exp.RunIncastWith(scheme, exp.IncastOptions{
-			FanIn: 16, Window: 3 * sim.Millisecond, Seed: *seedFlag,
-		})
-		fr := exp.RunFairness(exp.FairnessOptions{
-			Scheme: exp.PowerTCP, Seed: *seedFlag,
-			Window: 6 * sim.Millisecond,
-		})
+	for i, g := range gammas {
+		ic := results[i*perRow].Raw.(*exp.IncastResult)
+		fr := results[i*perRow+1].Raw.(*exp.FairnessResult)
 		row := fmt.Sprintf("%-6.2f %12.0fKB %12.1fKB %10.1fG %8.3f",
 			g, ic.PeakQueueKB, ic.TailMeanQueueKB, ic.AvgGoodputGbps, fr.JainAvg)
 		if !*quickFlag {
-			ws := exp.RunWebSearchWith(scheme, exp.WebSearchOptions{
-				Load: 0.6, Seed: *seedFlag,
-				Duration: 8 * sim.Millisecond, Drain: 4 * sim.Millisecond,
-			})
+			ws := results[i*perRow+2].Raw.(*exp.WebSearchResult)
 			row += fmt.Sprintf(" %12.1f %12.1f", ws.ShortP999, ws.LongP999)
 		}
 		fmt.Println(row)

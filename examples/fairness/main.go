@@ -10,15 +10,18 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	powertcp "repro"
 )
 
 func main() {
-	r := powertcp.RunFairness(powertcp.FairnessOptions{
-		Scheme: powertcp.SchemePowerTCP,
-		Seed:   1,
-	})
+	res, err := powertcp.RunExperiment(powertcp.NewSpec(
+		"fairness", powertcp.SchemePowerTCP, powertcp.WithSeed(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Raw.(*powertcp.FairnessResult)
 
 	fmt.Println("four staggered PowerTCP flows on a 25G bottleneck (Gbps per flow)")
 	fmt.Printf("%8s %8s %8s %8s %8s\n", "t(ms)", "flow1", "flow2", "flow3", "flow4")

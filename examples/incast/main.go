@@ -1,36 +1,44 @@
 // Incast: the paper's Figure 4 scenario at example scale.
 //
 // A receiver already sinking a long flow is hit by a 32:1 incast from
-// other racks of the fat-tree. The program runs the same scenario under
-// PowerTCP, θ-PowerTCP, HPCC, TIMELY and HOMA and prints the comparison
-// the figure makes visually: peak queue, post-incast queue, and receiver
-// goodput.
+// other racks of the fat-tree. The program builds one spec per scheme
+// (PowerTCP, θ-PowerTCP, HPCC, TIMELY, HOMA) and runs them as a single
+// suite across all cores, then prints the comparison the figure makes
+// visually: peak queue, post-incast queue, and receiver goodput.
 //
 //	go run ./examples/incast
 package main
 
 import (
 	"fmt"
+	"log"
 
 	powertcp "repro"
 )
 
 func main() {
-	fmt.Println("32:1 incast onto the receiver of a long flow (fat-tree, 25G hosts)")
-	fmt.Printf("%-16s %12s %12s %14s %10s\n",
-		"scheme", "peak queue", "end queue", "goodput", "done")
-	for _, scheme := range []string{
+	schemes := []string{
 		powertcp.SchemePowerTCP,
 		powertcp.SchemeThetaPowerTCP,
 		powertcp.SchemeHPCC,
 		powertcp.SchemeTimely,
 		powertcp.SchemeHoma,
-	} {
-		r := powertcp.RunIncast(powertcp.IncastOptions{
-			Scheme: scheme,
-			FanIn:  32,
-			Seed:   1,
-		})
+	}
+	var specs []powertcp.ExperimentSpec
+	for _, scheme := range schemes {
+		specs = append(specs, powertcp.NewSpec("incast", scheme,
+			powertcp.WithFanIn(32), powertcp.WithSeed(1)))
+	}
+	results, err := powertcp.RunSuite(specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("32:1 incast onto the receiver of a long flow (fat-tree, 25G hosts)")
+	fmt.Printf("%-16s %12s %12s %14s %10s\n",
+		"scheme", "peak queue", "end queue", "goodput", "done")
+	for _, res := range results {
+		r := res.Raw.(*powertcp.IncastResult)
 		fmt.Printf("%-16s %10.0fKB %10.0fKB %11.1fGbps %6d/%d\n",
 			r.Scheme, r.PeakQueueKB, r.EndQueueKB, r.AvgGoodputGbps,
 			r.Completed, r.FanIn)

@@ -4,30 +4,47 @@
 // between ToR pairs (225 µs days, 20 µs nights). The program compares
 // PowerTCP against reTCP (600/1800 µs prebuffering) and HPCC on circuit
 // utilization and tail queuing latency — the trade-off of Figure 8 — and
-// prints PowerTCP's throughput reaction around one circuit day.
+// prints PowerTCP's throughput reaction around one circuit day. The four
+// schemes run as one parallel suite.
 //
 //	go run ./examples/rdcn
 package main
 
 import (
 	"fmt"
+	"log"
 
 	powertcp "repro"
 )
 
 func main() {
+	schemes := []string{
+		powertcp.SchemePowerTCP,
+		powertcp.SchemeHPCC,
+		powertcp.SchemeReTCP600,
+		powertcp.SchemeReTCP1800,
+	}
+	var specs []powertcp.ExperimentSpec
+	for _, scheme := range schemes {
+		specs = append(specs, powertcp.NewSpec("rdcn", scheme, powertcp.WithSeed(1)))
+	}
+	results, err := powertcp.RunSuite(specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("reconfigurable DCN: who fills the circuit, and at what latency cost?")
 	fmt.Printf("%-14s %18s %20s %14s\n",
 		"scheme", "circuit util", "tail queuing (p99)", "goodput")
-	for _, scheme := range []string{"powertcp", "hpcc", "retcp-600", "retcp-1800"} {
-		r := powertcp.RunRDCN(powertcp.RDCNOptions{Scheme: scheme, Seed: 1})
+	for _, res := range results {
+		r := res.Raw.(*powertcp.RDCNResult)
 		fmt.Printf("%-14s %17.1f%% %18.1fµs %11.1fGbps\n",
 			r.Scheme, r.CircuitUtilization*100, r.TailQueuingUs, r.AvgGoodputGbps)
 	}
 
 	// Show the bandwidth-tracking behaviour: PowerTCP's pair throughput
 	// around its circuit day (the gray region of Fig. 8a).
-	r := powertcp.RunRDCN(powertcp.RDCNOptions{Scheme: "powertcp", Seed: 1})
+	r := results[0].Raw.(*powertcp.RDCNResult)
 	fmt.Println("\nPowerTCP pair throughput (Gbps) and VOQ (KB) across the first rotor week:")
 	step := len(r.T) / 24
 	if step == 0 {

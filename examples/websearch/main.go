@@ -4,38 +4,47 @@
 // the oversubscribed fat-tree and prints the 99.9th-percentile FCT
 // slowdown per flow-size bin for PowerTCP, θ-PowerTCP, HPCC, TIMELY and
 // DCQCN — the comparison behind the paper's "−80% vs DCQCN/TIMELY, −33%
-// vs HPCC for short flows" claim.
+// vs HPCC for short flows" claim. The five cells run as one parallel
+// suite.
 //
 //	go run ./examples/websearch
 package main
 
 import (
 	"fmt"
+	"log"
 
 	powertcp "repro"
 	"repro/internal/stats"
 )
 
 func main() {
+	schemes := []string{
+		powertcp.SchemePowerTCP,
+		powertcp.SchemeThetaPowerTCP,
+		powertcp.SchemeHPCC,
+		powertcp.SchemeTimely,
+		powertcp.SchemeDCQCN,
+	}
+	var specs []powertcp.ExperimentSpec
+	for _, scheme := range schemes {
+		specs = append(specs, powertcp.NewSpec("websearch", scheme,
+			powertcp.WithLoad(0.6), powertcp.WithSeed(1)))
+	}
+	results, err := powertcp.RunSuite(specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("websearch workload at 60% load — 99.9p FCT slowdown per size bin")
 	fmt.Printf("%-16s", "scheme")
 	for _, b := range stats.FlowSizeBins {
 		fmt.Printf("%8s", "≤"+stats.SizeLabel(b))
 	}
 	fmt.Printf("%10s\n", "done")
-	for _, scheme := range []string{
-		powertcp.SchemePowerTCP,
-		powertcp.SchemeThetaPowerTCP,
-		powertcp.SchemeHPCC,
-		powertcp.SchemeTimely,
-		powertcp.SchemeDCQCN,
-	} {
-		r := powertcp.RunWebSearch(powertcp.WebSearchOptions{
-			Scheme: scheme,
-			Load:   0.6,
-			Seed:   1,
-		})
-		fmt.Printf("%-16s", scheme)
+	for _, res := range results {
+		r := res.Raw.(*powertcp.WebSearchResult)
+		fmt.Printf("%-16s", r.Scheme)
 		for _, v := range r.Binned.Row(99.9) {
 			fmt.Printf("%8.1f", v)
 		}

@@ -99,6 +99,15 @@ func Builder(cfg Config) cc.Builder {
 	return func() cc.Algorithm { return New(cfg) }
 }
 
+// Builder adapts the configuration to cc.Builder — the hook the
+// experiment scheme registry uses to materialize registered configs.
+func (c Config) Builder() cc.Builder { return Builder(c) }
+
+// Config returns the instance's configuration (post-Init it includes the
+// derived defaults). Experiment tests use it to verify that scheme
+// options actually reached the built algorithm.
+func (p *PowerTCP) Config() Config { return p.cfg }
+
 // Name implements cc.Algorithm.
 func (p *PowerTCP) Name() string { return "powertcp" }
 

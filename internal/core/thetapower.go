@@ -44,6 +44,12 @@ func ThetaBuilder(cfg Config) cc.Builder {
 	return func() cc.Algorithm { return NewTheta(cfg) }
 }
 
+// ThetaBuilder adapts the configuration to cc.Builder for the θ variant.
+func (c Config) ThetaBuilder() cc.Builder { return ThetaBuilder(c) }
+
+// Config returns the instance's configuration (see PowerTCP.Config).
+func (p *ThetaPowerTCP) Config() Config { return p.cfg }
+
 // Name implements cc.Algorithm.
 func (p *ThetaPowerTCP) Name() string { return "theta-powertcp" }
 

@@ -9,28 +9,32 @@ import (
 // Every registered scheme must survive the incast scenario end-to-end:
 // flows complete, the receiver keeps moving bytes, and the run is
 // deterministic enough to summarize. This guards the whole
-// scheme-to-switch-feature wiring (INT, ECN, priority queues).
+// scheme-to-switch-feature wiring (INT, ECN, priority queues). The runs
+// execute as one parallel suite — the same path cmd/figures uses.
 func TestEverySchemeRunsIncast(t *testing.T) {
 	schemes := append([]string{}, Schemes...)
 	schemes = append(schemes, Swift, DCTCP, Reno, Cubic, "homa-oc3")
+	var specs []Spec
 	for _, sc := range schemes {
-		sc := sc
-		t.Run(sc, func(t *testing.T) {
-			// 8 ms gives even the slow starters (Reno/CUBIC from 10
-			// MSS, TIMELY's additive recovery) time to move 500 KB each.
-			r := RunIncast(IncastOptions{
-				Scheme: sc, FanIn: 6,
-				Window: 8 * sim.Millisecond, Seed: 11,
-			})
-			if r.AvgGoodputGbps < 2 {
-				t.Fatalf("%s: goodput %.1f Gbps", sc, r.AvgGoodputGbps)
-			}
-			if r.Completed < 4 {
-				t.Fatalf("%s: only %d/6 incast flows completed", sc, r.Completed)
-			}
-			if len(r.Points) == 0 {
-				t.Fatalf("%s: no samples", sc)
-			}
-		})
+		// 8 ms gives even the slow starters (Reno/CUBIC from 10
+		// MSS, TIMELY's additive recovery) time to move 500 KB each.
+		specs = append(specs, NewSpec("incast", sc,
+			WithFanIn(6), WithWindow(8*sim.Millisecond), WithSeed(11)))
+	}
+	results, err := NewSuite(specs...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range schemes {
+		r := results[i].Raw.(*IncastResult)
+		if r.AvgGoodputGbps < 2 {
+			t.Fatalf("%s: goodput %.1f Gbps", sc, r.AvgGoodputGbps)
+		}
+		if r.Completed < 4 {
+			t.Fatalf("%s: only %d/6 incast flows completed", sc, r.Completed)
+		}
+		if len(r.Points) == 0 {
+			t.Fatalf("%s: no samples", sc)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/sim"
@@ -10,11 +11,9 @@ import (
 // byte-identical experiment results (the paper's artifact property this
 // repository leans on for regression testing).
 func TestIncastDeterminism(t *testing.T) {
-	run := func() IncastResult {
-		return RunIncast(IncastOptions{
-			Scheme: PowerTCP, FanIn: 10,
-			Window: 2 * sim.Millisecond, Seed: 7,
-		})
+	run := func() *IncastResult {
+		return mustRun(t, NewSpec("incast", PowerTCP,
+			WithFanIn(10), WithWindow(2*sim.Millisecond), WithSeed(7))).Raw.(*IncastResult)
 	}
 	a, b := run(), run()
 	if len(a.Points) != len(b.Points) {
@@ -34,33 +33,98 @@ func TestWebSearchDeterminismAcrossSchemesIsolated(t *testing.T) {
 	// Two runs of the same scheme agree; a different scheme still sees
 	// the same workload trace (same Started count) because workload
 	// randomness is seeded independently of the CC scheme.
-	o := WebSearchOptions{
-		Load: 0.15, ServersPerTor: 4,
-		Duration: 2 * sim.Millisecond, Drain: 2 * sim.Millisecond, Seed: 9,
+	opts := []Option{
+		WithLoad(0.15), WithServersPerTor(4),
+		WithDuration(2 * sim.Millisecond), WithDrain(2 * sim.Millisecond), WithSeed(9),
 	}
-	o.Scheme = PowerTCP
-	a := RunWebSearch(o)
-	b := RunWebSearch(o)
+	a := mustRun(t, NewSpec("websearch", PowerTCP, opts...)).Raw.(*WebSearchResult)
+	b := mustRun(t, NewSpec("websearch", PowerTCP, opts...)).Raw.(*WebSearchResult)
 	if a.Completed != b.Completed || a.ShortP999 != b.ShortP999 {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
 	}
-	o.Scheme = HPCC
-	c := RunWebSearch(o)
+	c := mustRun(t, NewSpec("websearch", HPCC, opts...)).Raw.(*WebSearchResult)
 	if c.Started != a.Started {
 		t.Fatalf("workload trace depends on scheme: %d vs %d flows", c.Started, a.Started)
 	}
 }
 
 func TestSeedChangesWorkload(t *testing.T) {
-	o := WebSearchOptions{
-		Scheme: PowerTCP, Load: 0.15, ServersPerTor: 4,
-		Duration: 2 * sim.Millisecond, Drain: sim.Millisecond,
+	spec := func(seed int64) Spec {
+		return NewSpec("websearch", PowerTCP,
+			WithLoad(0.15), WithServersPerTor(4),
+			WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(seed))
 	}
-	o.Seed = 1
-	a := RunWebSearch(o)
-	o.Seed = 2
-	b := RunWebSearch(o)
+	a := mustRun(t, spec(1)).Raw.(*WebSearchResult)
+	b := mustRun(t, spec(2)).Raw.(*WebSearchResult)
 	if a.Started == b.Started && a.ShortP999 == b.ShortP999 {
 		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// A parallel suite run must be byte-identical to a serial run of the
+// same specs at the same seeds: every run owns an isolated engine, so
+// worker count and scheduling cannot leak into results. This is the
+// property that makes the worker pool safe to use for figure
+// regeneration.
+func TestSuiteParallelMatchesSerial(t *testing.T) {
+	specs := func() []Spec {
+		var out []Spec
+		for _, scheme := range []string{PowerTCP, ThetaPowerTCP, HPCC, Timely, Homa} {
+			out = append(out, NewSpec("incast", scheme,
+				WithFanIn(6), WithWindow(sim.Millisecond), WithSeed(11)))
+		}
+		for _, seed := range []int64{1, 2} {
+			out = append(out, NewSpec("fairness", PowerTCP,
+				WithWindow(2*sim.Millisecond), WithSeed(seed)))
+		}
+		out = append(out, NewSpec("websearch", PowerTCP,
+			WithLoad(0.15), WithServersPerTor(4),
+			WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(3)))
+		return out
+	}
+
+	serialSuite := Suite{Specs: specs(), Workers: 1}
+	serial, err := serialSuite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSuite := Suite{Specs: specs(), Workers: 8}
+	parallel, err := parallelSuite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		var sb, pb bytes.Buffer
+		if err := serial[i].EncodeJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel[i].EncodeJSON(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("spec %d: parallel result differs from serial\nserial:   %.200s\nparallel: %.200s",
+				i, sb.String(), pb.String())
+		}
+	}
+}
+
+// Suite errors: a bad spec reports its index without sinking the rest.
+func TestSuitePartialFailure(t *testing.T) {
+	suite := NewSuite(
+		NewSpec("incast", PowerTCP, WithFanIn(4), WithWindow(sim.Millisecond), WithSeed(1)),
+		NewSpec("incast", "bogus"),
+	)
+	results, err := suite.Run()
+	if err == nil {
+		t.Fatal("bad spec did not error")
+	}
+	if results[0] == nil {
+		t.Fatal("good spec did not run")
+	}
+	if results[1] != nil {
+		t.Fatal("bad spec produced a result")
 	}
 }

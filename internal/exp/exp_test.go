@@ -1,14 +1,28 @@
 package exp
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
 )
 
+// mustRun executes a spec and fails the test on error.
+func mustRun(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	r, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestSchemeRegistry(t *testing.T) {
 	for _, name := range Schemes {
-		s := SchemeByName(name)
+		s, err := ResolveScheme(name)
+		if err != nil {
+			t.Fatalf("ResolveScheme(%q): %v", name, err)
+		}
 		if s.Name != name {
 			t.Fatalf("scheme %q resolved to %q", name, s.Name)
 		}
@@ -21,23 +35,49 @@ func TestSchemeRegistry(t *testing.T) {
 		if name == DCQCN && !s.ECN.Enabled() {
 			t.Fatal("dcqcn requires ECN")
 		}
-	}
-	if oc := SchemeByName("homa-oc4"); oc.Overcommit != 4 {
-		t.Fatalf("homa-oc4 overcommit = %d", oc.Overcommit)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown scheme did not panic")
+		if !s.IsHoma() && s.Alg == nil {
+			t.Fatalf("scheme %q has no algorithm builder", name)
 		}
-	}()
-	SchemeByName("bogus")
+	}
+	if oc, err := ResolveScheme("homa-oc4"); err != nil || oc.Overcommit != 4 {
+		t.Fatalf("homa-oc4 = %+v, %v", oc, err)
+	}
+	if re, err := ResolveScheme(ReTCP1800); err != nil || re.PrebufferFor != 1800*sim.Microsecond {
+		t.Fatalf("retcp-1800 = %+v, %v", re, err)
+	}
+}
+
+func TestSchemeNamesSortedAndComplete(t *testing.T) {
+	names := SchemeNames()
+	if len(names) < 10 {
+		t.Fatalf("expected ≥10 registered schemes, got %v", names)
+	}
+	for _, want := range []string{PowerTCP, ThetaPowerTCP, HPCC, Timely, DCQCN, Swift, DCTCP, Reno, Cubic, Homa} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("scheme %q missing from SchemeNames() = %v", want, names)
+		}
+	}
+}
+
+func TestRegisterSchemeRejectsDuplicates(t *testing.T) {
+	if err := RegisterScheme(PowerTCP, fixedScheme(Scheme{})); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := RegisterScheme("", nil); err == nil {
+		t.Fatal("empty registration accepted")
+	}
 }
 
 func TestIncastPowerTCPKeepsQueueShortAndThroughputHigh(t *testing.T) {
-	r := RunIncast(IncastOptions{
-		Scheme: PowerTCP, FanIn: 10,
-		Window: 3 * sim.Millisecond, Seed: 1,
-	})
+	res := mustRun(t, NewSpec("incast", PowerTCP,
+		WithFanIn(10), WithWindow(3*sim.Millisecond), WithSeed(1)))
+	r := res.Raw.(*IncastResult)
 	if r.FanIn != 10 || len(r.Points) == 0 {
 		t.Fatalf("degenerate result: %+v", r)
 	}
@@ -52,26 +92,32 @@ func TestIncastPowerTCPKeepsQueueShortAndThroughputHigh(t *testing.T) {
 	if r.Completed != 10 {
 		t.Fatalf("completed %d/10 incast flows", r.Completed)
 	}
+	// The envelope carries the same headline metrics.
+	if res.Scalar("peak_queue_kb") != r.PeakQueueKB {
+		t.Fatalf("envelope peak %v != payload %v", res.Scalar("peak_queue_kb"), r.PeakQueueKB)
+	}
+	if res.Experiment != "incast" || res.Scheme != PowerTCP || res.Seed != 1 {
+		t.Fatalf("envelope identity wrong: %+v", res)
+	}
 }
 
 func TestIncastTimelyBuildsLargerQueues(t *testing.T) {
-	pt := RunIncast(IncastOptions{Scheme: PowerTCP, FanIn: 10,
-		Window: 3 * sim.Millisecond, Seed: 1})
-	tm := RunIncast(IncastOptions{Scheme: Timely, FanIn: 10,
-		Window: 3 * sim.Millisecond, Seed: 1})
+	pt := mustRun(t, NewSpec("incast", PowerTCP,
+		WithFanIn(10), WithWindow(3*sim.Millisecond), WithSeed(1)))
+	tm := mustRun(t, NewSpec("incast", Timely,
+		WithFanIn(10), WithWindow(3*sim.Millisecond), WithSeed(1)))
 	// Fig. 4c vs 4a: TIMELY does not control the queue; its peak must
 	// exceed PowerTCP's by a clear margin.
-	if tm.PeakQueueKB < 1.5*pt.PeakQueueKB {
+	if tm.Scalar("peak_queue_kb") < 1.5*pt.Scalar("peak_queue_kb") {
 		t.Fatalf("TIMELY peak %vKB vs PowerTCP %vKB: expected ≥1.5×",
-			tm.PeakQueueKB, pt.PeakQueueKB)
+			tm.Scalar("peak_queue_kb"), pt.Scalar("peak_queue_kb"))
 	}
 }
 
 func TestIncastHomaRuns(t *testing.T) {
-	r := RunIncast(IncastOptions{
-		Scheme: Homa, FanIn: 10,
-		Window: 3 * sim.Millisecond, Seed: 1,
-	})
+	res := mustRun(t, NewSpec("incast", Homa,
+		WithFanIn(10), WithWindow(3*sim.Millisecond), WithSeed(1)))
+	r := res.Raw.(*IncastResult)
 	if r.Completed < 8 {
 		t.Fatalf("HOMA completed %d/10", r.Completed)
 	}
@@ -81,23 +127,24 @@ func TestIncastHomaRuns(t *testing.T) {
 }
 
 func TestFairnessPowerTCPSharesEvenly(t *testing.T) {
-	r := RunFairness(FairnessOptions{Scheme: PowerTCP, Seed: 2})
+	res := mustRun(t, NewSpec("fairness", PowerTCP, WithSeed(2)))
+	r := res.Raw.(*FairnessResult)
 	if r.JainAvg < 0.85 {
 		t.Fatalf("Jain index = %v, want ≥0.85", r.JainAvg)
 	}
 	if len(r.T) == 0 || len(r.Per) != 4 {
 		t.Fatal("missing series")
 	}
+	if len(res.Series) != 4 {
+		t.Fatalf("envelope series = %d, want one per flow", len(res.Series))
+	}
 }
 
 func TestWebSearchSmokeAndOrdering(t *testing.T) {
-	base := WebSearchOptions{
-		Load: 0.15, ServersPerTor: 4,
-		Duration: 4 * sim.Millisecond, Drain: 4 * sim.Millisecond,
-		Seed: 3,
-	}
-	base.Scheme = PowerTCP
-	pt := RunWebSearch(base)
+	res := mustRun(t, NewSpec("websearch", PowerTCP,
+		WithLoad(0.15), WithServersPerTor(4),
+		WithDuration(4*sim.Millisecond), WithDrain(4*sim.Millisecond), WithSeed(3)))
+	pt := res.Raw.(*WebSearchResult)
 	if pt.Completed == 0 {
 		t.Fatal("no flows completed")
 	}
@@ -111,11 +158,11 @@ func TestWebSearchSmokeAndOrdering(t *testing.T) {
 }
 
 func TestWebSearchBufferCDF(t *testing.T) {
-	r := RunWebSearch(WebSearchOptions{
-		Scheme: PowerTCP, Load: 0.15, ServersPerTor: 4,
-		Duration: 3 * sim.Millisecond, Drain: 2 * sim.Millisecond,
-		Seed: 4, SampleBuffers: true,
-	})
+	res := mustRun(t, NewSpec("websearch", PowerTCP,
+		WithLoad(0.15), WithServersPerTor(4),
+		WithDuration(3*sim.Millisecond), WithDrain(2*sim.Millisecond),
+		WithSeed(4), WithBufferSampling(true)))
+	r := res.Raw.(*WebSearchResult)
 	if len(r.BufferCDF) == 0 {
 		t.Fatal("no buffer CDF collected")
 	}
@@ -126,7 +173,8 @@ func TestWebSearchBufferCDF(t *testing.T) {
 }
 
 func TestRDCNPowerTCPUtilizationAndLatency(t *testing.T) {
-	r := RunRDCN(RDCNOptions{Scheme: PowerTCP, Weeks: 3, Seed: 5})
+	res := mustRun(t, NewSpec("rdcn", PowerTCP, WithWeeks(3), WithSeed(5)))
+	r := res.Raw.(*RDCNResult)
 	// §5 headline: PowerTCP achieves 80–85% circuit utilization. With the
 	// scaled topology we accept ≥60% here; the bench at paper scale
 	// records the real number.
@@ -139,15 +187,22 @@ func TestRDCNPowerTCPUtilizationAndLatency(t *testing.T) {
 }
 
 func TestRDCNReTCPTradesLatencyForUtilization(t *testing.T) {
-	pt := RunRDCN(RDCNOptions{Scheme: PowerTCP, Weeks: 3, Seed: 5})
-	re := RunRDCN(RDCNOptions{Scheme: ReTCP1800, Weeks: 3, Seed: 5})
+	pt := mustRun(t, NewSpec("rdcn", PowerTCP, WithWeeks(3), WithSeed(5)))
+	re := mustRun(t, NewSpec("rdcn", ReTCP1800, WithWeeks(3), WithSeed(5)))
 	// Fig. 8: reTCP prebuffering pays with tail queuing latency;
 	// PowerTCP must beat it by at least 2× (paper: ≥5×).
-	if re.TailQueuingUs < 2*pt.TailQueuingUs {
+	if re.Scalar("tail_queuing_us") < 2*pt.Scalar("tail_queuing_us") {
 		t.Fatalf("tail queuing: reTCP %vµs vs PowerTCP %vµs, expected ≥2×",
-			re.TailQueuingUs, pt.TailQueuingUs)
+			re.Scalar("tail_queuing_us"), pt.Scalar("tail_queuing_us"))
 	}
-	if re.CircuitUtilization < 0.5 {
-		t.Fatalf("reTCP circuit utilization = %v", re.CircuitUtilization)
+	if re.Scalar("circuit_utilization") < 0.5 {
+		t.Fatalf("reTCP circuit utilization = %v", re.Scalar("circuit_utilization"))
+	}
+}
+
+func TestRDCNRejectsUnsupportedScheme(t *testing.T) {
+	_, err := Run(NewSpec("rdcn", Timely, WithWeeks(1)))
+	if err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("rdcn accepted timely: %v", err)
 	}
 }

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Spec is the unified experiment configuration: the registry key, the
+// scheme (with composed scheme options), the seed, and the superset of
+// scenario knobs. Each experiment's Normalize fills the defaults of the
+// knobs it reads; the rest stay inert. Build one with NewSpec and the
+// With* options.
+type Spec struct {
+	Experiment string
+	Scheme     string
+	SchemeOpts []SchemeOption
+	Seed       int64
+	// Label distinguishes specs that would otherwise summarize
+	// identically (e.g. sweep cells); it is carried into the Result.
+	Label string
+
+	// Topology scale.
+	ServersPerTor int
+	Tors          int
+
+	// Incast (Fig. 4, 9–11).
+	FanIn    int
+	FlowSize int64
+
+	// Fairness (Fig. 5, 9).
+	Flows   int
+	Stagger sim.Duration
+	Sizes   []int64
+
+	// Websearch (Fig. 6–7) and load-sweep.
+	Load          float64
+	Loads         []float64
+	IncastRate    float64
+	IncastSize    int64
+	IncastFanIn   int
+	SampleBuffers bool
+
+	// RDCN (Fig. 8).
+	PacketRate units.BitRate
+	Weeks      int
+
+	// Horizons and sampling.
+	Window       sim.Duration
+	Warmup       sim.Duration
+	Duration     sim.Duration
+	Drain        sim.Duration
+	SamplePeriod sim.Duration
+}
+
+// Option mutates a Spec under construction.
+type Option func(*Spec)
+
+// Spec options. Each sets one knob; experiments ignore knobs they do not
+// read.
+
+// WithSeed sets the RNG seed (workload and switch randomness).
+func WithSeed(seed int64) Option { return func(s *Spec) { s.Seed = seed } }
+
+// WithLabel tags the spec's result (sweep cells, panel names).
+func WithLabel(label string) Option { return func(s *Spec) { s.Label = label } }
+
+// WithSchemeOptions composes ablation options (Gamma, Alpha, Overcommit,
+// PerRTT, Prebuffer) onto the spec's scheme at resolution time.
+func WithSchemeOptions(opts ...SchemeOption) Option {
+	return func(s *Spec) { s.SchemeOpts = append(s.SchemeOpts, opts...) }
+}
+
+// WithServersPerTor scales the fat-tree (32 = paper's §4.1 fabric).
+func WithServersPerTor(n int) Option { return func(s *Spec) { s.ServersPerTor = n } }
+
+// WithTors sets the RDCN rack count (paper: 25).
+func WithTors(n int) Option { return func(s *Spec) { s.Tors = n } }
+
+// WithFanIn sets the incast fan-in degree.
+func WithFanIn(n int) Option { return func(s *Spec) { s.FanIn = n } }
+
+// WithFlowSize sets the incast per-responder transfer size in bytes.
+func WithFlowSize(bytes int64) Option { return func(s *Spec) { s.FlowSize = bytes } }
+
+// WithFlows sets the fairness flow count.
+func WithFlows(n int) Option { return func(s *Spec) { s.Flows = n } }
+
+// WithStagger sets the fairness arrival spacing.
+func WithStagger(d sim.Duration) Option { return func(s *Spec) { s.Stagger = d } }
+
+// WithSizes sets the fairness transfer sizes.
+func WithSizes(sizes ...int64) Option { return func(s *Spec) { s.Sizes = sizes } }
+
+// WithLoad sets the websearch ToR-uplink load (0.2–0.95, §4.1).
+func WithLoad(load float64) Option { return func(s *Spec) { s.Load = load } }
+
+// WithLoads sets the load-sweep grid.
+func WithLoads(loads ...float64) Option { return func(s *Spec) { s.Loads = loads } }
+
+// WithIncastOverlay overlays the synthetic incast request workload of
+// Fig. 7c–f on the websearch background.
+func WithIncastOverlay(ratePerSec float64, size int64, fanIn int) Option {
+	return func(s *Spec) {
+		s.IncastRate = ratePerSec
+		s.IncastSize = size
+		s.IncastFanIn = fanIn
+	}
+}
+
+// WithBufferSampling collects the ToR buffer-occupancy CDF (Fig. 7g/h).
+func WithBufferSampling(on bool) Option { return func(s *Spec) { s.SampleBuffers = on } }
+
+// WithPacketRate sets the RDCN packet-network bandwidth (Fig. 8b).
+func WithPacketRate(r units.BitRate) Option { return func(s *Spec) { s.PacketRate = r } }
+
+// WithWeeks sets the simulated RDCN rotor weeks.
+func WithWeeks(n int) Option { return func(s *Spec) { s.Weeks = n } }
+
+// WithWindow sets the observation window (incast, fairness).
+func WithWindow(d sim.Duration) Option { return func(s *Spec) { s.Window = d } }
+
+// WithWarmup sets the incast long-flow head start.
+func WithWarmup(d sim.Duration) Option { return func(s *Spec) { s.Warmup = d } }
+
+// WithDuration sets the websearch workload-generation horizon.
+func WithDuration(d sim.Duration) Option { return func(s *Spec) { s.Duration = d } }
+
+// WithDrain sets the websearch in-flight drain time.
+func WithDrain(d sim.Duration) Option { return func(s *Spec) { s.Drain = d } }
+
+// WithSamplePeriod sets the telemetry sampling period.
+func WithSamplePeriod(d sim.Duration) Option { return func(s *Spec) { s.SamplePeriod = d } }
+
+// NewSpec names an experiment and a scheme and applies options. Nothing
+// is validated here; Run resolves both registries and reports errors.
+func NewSpec(experiment, scheme string, opts ...Option) Spec {
+	s := Spec{Experiment: experiment, Scheme: scheme}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// Experiment is one registered scenario of the paper's evaluation.
+type Experiment struct {
+	// Name is the registry key ("incast", "websearch", ...).
+	Name string
+	// Figures names the paper figures the experiment reproduces.
+	Figures string
+	// Normalize fills the defaults of the Spec knobs the experiment
+	// reads (the fillDefaults of the old per-runner options structs).
+	Normalize func(*Spec)
+	// Run executes one normalized spec under a resolved scheme. Each
+	// call must build its own network/engine: the Suite runs specs
+	// concurrently.
+	Run func(Spec, Scheme) (*Result, error)
+	// Supports rejects schemes the experiment cannot drive. When nil,
+	// Run applies the default rule: the scheme must provide a per-flow
+	// algorithm builder or use the HOMA transport.
+	Supports func(Scheme) error
+}
+
+var (
+	expMu       sync.RWMutex
+	experiments = map[string]Experiment{}
+)
+
+// RegisterExperiment adds an experiment to the registry; it errors on
+// duplicate or incomplete registrations.
+func RegisterExperiment(e Experiment) error {
+	if e.Name == "" || e.Run == nil {
+		return fmt.Errorf("exp: RegisterExperiment needs a name and a run function")
+	}
+	expMu.Lock()
+	defer expMu.Unlock()
+	if _, dup := experiments[e.Name]; dup {
+		return fmt.Errorf("exp: experiment %q already registered", e.Name)
+	}
+	experiments[e.Name] = e
+	return nil
+}
+
+func mustRegisterExperiment(e Experiment) {
+	if err := RegisterExperiment(e); err != nil {
+		panic(err)
+	}
+}
+
+// ExperimentNames returns the registered experiment names, sorted.
+func ExperimentNames() []string {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	return experimentNamesLocked()
+}
+
+// ExperimentByName returns a registered experiment.
+func ExperimentByName(name string) (Experiment, error) {
+	expMu.RLock()
+	defer expMu.RUnlock()
+	e, ok := experiments[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (known: %s)",
+			name, strings.Join(experimentNamesLocked(), ", "))
+	}
+	return e, nil
+}
+
+func experimentNamesLocked() []string {
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run resolves the spec's experiment and scheme, normalizes defaults,
+// and executes the run on an isolated engine. It is safe to call
+// concurrently with distinct specs — the Suite does exactly that.
+func Run(s Spec) (*Result, error) {
+	e, err := ExperimentByName(s.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := ResolveScheme(s.Scheme, s.SchemeOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("exp: experiment %q: %w", s.Experiment, err)
+	}
+	if e.Supports != nil {
+		if err := e.Supports(scheme); err != nil {
+			return nil, fmt.Errorf("exp: experiment %q: %w", e.Name, err)
+		}
+	} else if scheme.Alg == nil && !scheme.IsHoma() {
+		return nil, fmt.Errorf("exp: experiment %q does not support scheme %q (no per-flow algorithm)",
+			e.Name, scheme.Name)
+	}
+	if e.Normalize != nil {
+		e.Normalize(&s)
+	}
+	r, err := e.Run(s, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("exp: experiment %q scheme %q: %w", s.Experiment, scheme.Name, err)
+	}
+	r.Experiment = e.Name
+	r.Scheme = scheme.Name
+	r.Label = s.Label
+	r.Seed = s.Seed
+	return r, nil
+}

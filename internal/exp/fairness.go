@@ -1,49 +1,16 @@
 package exp
 
 import (
+	"fmt"
+
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// FairnessOptions configures Figure 5 (and Figure 9 for HOMA's
-// overcommitment levels): staggered flows share one 25 Gbps bottleneck;
-// the figure plots each flow's throughput as flows arrive and leave.
-type FairnessOptions struct {
-	Scheme       string
-	Flows        int          // default 4, as in Fig. 5
-	Stagger      sim.Duration // arrival spacing (default 1 ms)
-	Sizes        []int64      // transfer sizes; defaults make flows leave in order
-	Window       sim.Duration // observation window (default 8 ms)
-	SamplePeriod sim.Duration // default 50 µs
-	Seed         int64
-}
-
-func (o *FairnessOptions) fillDefaults() {
-	if o.Flows == 0 {
-		o.Flows = 4
-	}
-	if o.Stagger == 0 {
-		o.Stagger = sim.Millisecond
-	}
-	if o.Window == 0 {
-		o.Window = 8 * sim.Millisecond
-	}
-	if o.SamplePeriod == 0 {
-		o.SamplePeriod = 50 * sim.Microsecond
-	}
-	if len(o.Sizes) == 0 {
-		// Chosen so at 25G fair sharing the flows finish in arrival
-		// order, giving the arrive-and-leave staircase of Fig. 5.
-		o.Sizes = []int64{9 << 20, 6 << 20, 4 << 20, 2 << 20}[:min(o.Flows, 4)]
-		for len(o.Sizes) < o.Flows {
-			o.Sizes = append(o.Sizes, 2<<20)
-		}
-	}
-}
-
-// FairnessResult carries per-flow throughput series.
+// FairnessResult carries per-flow throughput series (Figure 5, and
+// Figure 9 for HOMA's overcommitment levels).
 type FairnessResult struct {
 	Scheme  string
 	T       []sim.Time
@@ -51,36 +18,65 @@ type FairnessResult struct {
 	JainAvg float64     // mean Jain index over samples with ≥2 active flows
 }
 
-// RunFairness reproduces Figure 5: Flows staggered senders to one
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "fairness",
+		Figures: "Fig. 5 (staggered arrivals), Fig. 9 (HOMA overcommitment)",
+		Normalize: func(s *Spec) {
+			if s.Flows == 0 {
+				s.Flows = 4
+			}
+			if s.Stagger == 0 {
+				s.Stagger = sim.Millisecond
+			}
+			if s.Window == 0 {
+				s.Window = 8 * sim.Millisecond
+			}
+			if s.SamplePeriod == 0 {
+				s.SamplePeriod = 50 * sim.Microsecond
+			}
+			if len(s.Sizes) == 0 {
+				// Chosen so at 25G fair sharing the flows finish in
+				// arrival order, giving the arrive-and-leave staircase
+				// of Fig. 5.
+				s.Sizes = []int64{9 << 20, 6 << 20, 4 << 20, 2 << 20}[:min(s.Flows, 4)]
+				for len(s.Sizes) < s.Flows {
+					s.Sizes = append(s.Sizes, 2<<20)
+				}
+			}
+		},
+		Run: runFairness,
+	})
+}
+
+// runFairness reproduces Figure 5: Flows staggered senders to one
 // receiver over a single 25G bottleneck.
-func RunFairness(o FairnessOptions) FairnessResult {
-	o.fillDefaults()
-	scheme := SchemeByName(o.Scheme)
-	lab := NewStarLab(scheme, o.Flows+1, o.Seed)
+func runFairness(s Spec, scheme Scheme) (*Result, error) {
+	lab := NewStarLab(scheme, s.Flows+1, s.Seed)
 	net := lab.Net
 
 	const receiver = 0
-	flowIDs := make([]packet.FlowID, o.Flows)
-	for i := 0; i < o.Flows; i++ {
+	flowIDs := make([]packet.FlowID, s.Flows)
+	for i := 0; i < s.Flows; i++ {
 		flowIDs[i] = lab.Launch(workload.Flow{
-			Start: sim.Time(sim.Duration(i) * o.Stagger),
-			Src:   i + 1, Dst: receiver, Size: o.Sizes[i],
+			Start: sim.Time(sim.Duration(i) * s.Stagger),
+			Src:   i + 1, Dst: receiver, Size: s.Sizes[i],
 		})
 	}
 
-	res := FairnessResult{Scheme: o.Scheme, Per: make([][]float64, o.Flows)}
-	last := make([]int64, o.Flows)
+	fr := &FairnessResult{Scheme: scheme.Name, Per: make([][]float64, s.Flows)}
+	last := make([]int64, s.Flows)
 	var jainSum float64
 	var jainN int
-	SampleEvery(net.Eng, o.SamplePeriod, sim.Time(o.Window), func(now sim.Time) {
-		res.T = append(res.T, now)
+	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
+		fr.T = append(fr.T, now)
 		var sum, sumSq float64
 		active := 0
-		for i := 0; i < o.Flows; i++ {
+		for i := 0; i < s.Flows; i++ {
 			cur := lab.ReceivedBytes(receiver, flowIDs[i])
-			g := stats.Gbps(cur-last[i], o.SamplePeriod)
+			g := stats.Gbps(cur-last[i], s.SamplePeriod)
 			last[i] = cur
-			res.Per[i] = append(res.Per[i], g)
+			fr.Per[i] = append(fr.Per[i], g)
 			if g > 0.5 {
 				active++
 				sum += g
@@ -92,11 +88,18 @@ func RunFairness(o FairnessOptions) FairnessResult {
 			jainN++
 		}
 	})
-	net.Eng.RunUntil(sim.Time(o.Window))
+	net.Eng.RunUntil(sim.Time(s.Window))
 	if jainN > 0 {
-		res.JainAvg = jainSum / float64(jainN)
+		fr.JainAvg = jainSum / float64(jainN)
 	}
-	return res
+
+	res := &Result{Raw: fr}
+	res.SetScalar("jain", fr.JainAvg)
+	res.SetScalar("flows", float64(s.Flows))
+	for i := range fr.Per {
+		res.AddSeries(TimeSeries(fmt.Sprintf("flow%d_gbps", i+1), fr.T, fr.Per[i]))
+	}
+	return res, nil
 }
 
 func min(a, b int) int {

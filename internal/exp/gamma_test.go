@@ -11,10 +11,10 @@ import (
 // for longer — while the recommended γ=0.9 cuts within roughly an RTT.
 // We compare the tail-mean queue after the burst.
 func TestGammaTradeoff(t *testing.T) {
-	run := func(gamma float64) IncastResult {
-		return RunIncastWith(WithGamma(PowerTCP, gamma), IncastOptions{
-			FanIn: 10, Window: 2 * sim.Millisecond, Seed: 4,
-		})
+	run := func(gamma float64) *IncastResult {
+		return mustRun(t, NewSpec("incast", PowerTCP,
+			WithSchemeOptions(Gamma(gamma)),
+			WithFanIn(10), WithWindow(2*sim.Millisecond), WithSeed(4))).Raw.(*IncastResult)
 	}
 	slow := run(0.1)
 	rec := run(0.9)
@@ -28,12 +28,15 @@ func TestGammaTradeoff(t *testing.T) {
 	}
 }
 
-// WithGamma must override both PowerTCP variants' γ.
-func TestWithGammaBuilders(t *testing.T) {
+// The γ option must rebuild the builder for both PowerTCP variants.
+func TestGammaOptionBuilders(t *testing.T) {
 	for _, name := range []string{PowerTCP, ThetaPowerTCP} {
-		s := WithGamma(name, 0.5)
+		s, err := ResolveScheme(name, Gamma(0.5))
+		if err != nil {
+			t.Fatalf("ResolveScheme(%s, Gamma(0.5)): %v", name, err)
+		}
 		if s.Gamma != 0.5 || s.Alg == nil {
-			t.Fatalf("WithGamma(%s) = %+v", name, s)
+			t.Fatalf("ResolveScheme(%s, Gamma(0.5)) = %+v", name, s)
 		}
 		alg := s.Alg()
 		if alg == nil {

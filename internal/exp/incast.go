@@ -7,40 +7,6 @@ import (
 	"repro/internal/workload"
 )
 
-// IncastOptions configures the Figure 4 experiment (and Figures 10–11
-// for HOMA's overcommitment appendix): fanIn senders fire at a receiver
-// already sinking a long flow; the figure tracks receiver throughput and
-// the bottleneck queue.
-type IncastOptions struct {
-	Scheme        string
-	FanIn         int          // 10 (top row) or 255 (bottom row)
-	ServersPerTor int          // ≥ enough racks for FanIn cross-rack senders
-	FlowSize      int64        // bytes per responder (default 500 KB)
-	Window        sim.Duration // observation window (default 4 ms, as in Fig. 4)
-	Warmup        sim.Duration // long-flow head start (default 500 µs)
-	SamplePeriod  sim.Duration // default 20 µs
-	Seed          int64
-	DTAlpha       float64 // Dynamic Thresholds override (0 = default α=1)
-}
-
-func (o *IncastOptions) fillDefaults() {
-	if o.ServersPerTor == 0 {
-		o.ServersPerTor = 8
-	}
-	if o.FlowSize == 0 {
-		o.FlowSize = 500_000
-	}
-	if o.Window == 0 {
-		o.Window = 4 * sim.Millisecond
-	}
-	if o.Warmup == 0 {
-		o.Warmup = 500 * sim.Microsecond
-	}
-	if o.SamplePeriod == 0 {
-		o.SamplePeriod = 20 * sim.Microsecond
-	}
-}
-
 // TimePoint is one sample of the Figure 4 time series.
 type TimePoint struct {
 	T              sim.Time
@@ -48,7 +14,8 @@ type TimePoint struct {
 	QueueKB        float64
 }
 
-// IncastResult is the data behind one Figure 4 panel.
+// IncastResult is the typed payload behind one Figure 4 panel (and
+// Figures 10–11 for HOMA's overcommitment appendix).
 type IncastResult struct {
 	Scheme          string
 	FanIn           int
@@ -60,25 +27,43 @@ type IncastResult struct {
 	Completed       int     // incast flows finished inside the window
 }
 
-// RunIncast reproduces one panel of Figure 4: at Warmup a FanIn:1 incast
-// (senders in other racks) hits the receiver of a long flow.
-func RunIncast(o IncastOptions) IncastResult {
-	return RunIncastWith(SchemeByName(o.Scheme), o)
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "incast",
+		Figures: "Fig. 4 (10:1 and 255:1), Fig. 10–11 (HOMA overcommitment)",
+		Normalize: func(s *Spec) {
+			if s.FanIn == 0 {
+				s.FanIn = 10
+			}
+			if s.ServersPerTor == 0 {
+				s.ServersPerTor = 8
+			}
+			if s.FlowSize == 0 {
+				s.FlowSize = 500_000
+			}
+			if s.Window == 0 {
+				s.Window = 4 * sim.Millisecond
+			}
+			if s.Warmup == 0 {
+				s.Warmup = 500 * sim.Microsecond
+			}
+			if s.SamplePeriod == 0 {
+				s.SamplePeriod = 20 * sim.Microsecond
+			}
+		},
+		Run: runIncast,
+	})
 }
 
-// RunIncastWith runs the incast under a custom Scheme (γ sweeps and other
-// ablations).
-func RunIncastWith(scheme Scheme, o IncastOptions) IncastResult {
-	o.fillDefaults()
-	if o.Scheme == "" {
-		o.Scheme = scheme.Name
-	}
-	lab := NewFatTreeLabAlpha(scheme, o.ServersPerTor, o.Seed, o.DTAlpha)
+// runIncast reproduces one panel of Figure 4: at Warmup a FanIn:1 incast
+// (senders in other racks) hits the receiver of a long flow.
+func runIncast(s Spec, scheme Scheme) (*Result, error) {
+	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
 	net := lab.Net
 
 	const receiver = 0
 	hosts := len(net.Hosts)
-	perRack := o.ServersPerTor
+	perRack := s.ServersPerTor
 
 	// Long flow from the last rack toward the receiver.
 	longSrc := hosts - 1
@@ -90,9 +75,9 @@ func RunIncastWith(scheme Scheme, o IncastOptions) IncastResult {
 
 	// FanIn cross-rack senders fire together at Warmup.
 	launched := 0
-	for i := perRack; launched < o.FanIn && i < hosts-1; i++ {
+	for i := perRack; launched < s.FanIn && i < hosts-1; i++ {
 		lab.Launch(workload.Flow{
-			Start: sim.Time(o.Warmup), Src: i, Dst: receiver, Size: o.FlowSize,
+			Start: sim.Time(s.Warmup), Src: i, Dst: receiver, Size: s.FlowSize,
 		})
 		launched++
 	}
@@ -101,45 +86,61 @@ func RunIncastWith(scheme Scheme, o IncastOptions) IncastResult {
 	// created per server in order, so port 0 faces host 0).
 	port := net.Switches[0].Ports()[receiver]
 
-	res := IncastResult{Scheme: o.Scheme, FanIn: launched}
+	ic := &IncastResult{Scheme: scheme.Name, FanIn: launched}
 	var lastBytes int64
-	end := sim.Time(o.Warmup + o.Window)
-	SampleEvery(net.Eng, o.SamplePeriod, end, func(now sim.Time) {
+	end := sim.Time(s.Warmup + s.Window)
+	SampleEvery(net.Eng, s.SamplePeriod, end, func(now sim.Time) {
 		cur := lab.ReceivedTotal(receiver)
 		tp := TimePoint{
 			T:              now,
-			ThroughputGbps: stats.Gbps(cur-lastBytes, o.SamplePeriod),
+			ThroughputGbps: stats.Gbps(cur-lastBytes, s.SamplePeriod),
 			QueueKB:        float64(port.QueueBytes()) / 1024,
 		}
 		lastBytes = cur
-		res.Points = append(res.Points, tp)
+		ic.Points = append(ic.Points, tp)
 	})
 	net.Eng.RunUntil(end)
 
 	var sumTp float64
-	for _, p := range res.Points {
-		if p.QueueKB > res.PeakQueueKB {
-			res.PeakQueueKB = p.QueueKB
+	for _, p := range ic.Points {
+		if p.QueueKB > ic.PeakQueueKB {
+			ic.PeakQueueKB = p.QueueKB
 		}
 		sumTp += p.ThroughputGbps
 	}
-	if n := len(res.Points); n > 0 {
-		res.AvgGoodputGbps = sumTp / float64(n)
-		res.EndQueueKB = res.Points[n-1].QueueKB
+	if n := len(ic.Points); n > 0 {
+		ic.AvgGoodputGbps = sumTp / float64(n)
+		ic.EndQueueKB = ic.Points[n-1].QueueKB
 		k := n / 4
 		if k == 0 {
 			k = 1
 		}
 		var tail float64
-		for _, p := range res.Points[n-k:] {
+		for _, p := range ic.Points[n-k:] {
 			tail += p.QueueKB
 		}
-		res.TailMeanQueueKB = tail / float64(k)
+		ic.TailMeanQueueKB = tail / float64(k)
 	}
 	for _, r := range lab.Records {
-		if r.Size == o.FlowSize {
-			res.Completed++
+		if r.Size == s.FlowSize {
+			ic.Completed++
 		}
 	}
-	return res
+
+	res := &Result{Raw: ic}
+	res.SetScalar("fan_in", float64(ic.FanIn))
+	res.SetScalar("peak_queue_kb", ic.PeakQueueKB)
+	res.SetScalar("end_queue_kb", ic.EndQueueKB)
+	res.SetScalar("tail_mean_queue_kb", ic.TailMeanQueueKB)
+	res.SetScalar("avg_goodput_gbps", ic.AvgGoodputGbps)
+	res.SetScalar("completed", float64(ic.Completed))
+	ts := make([]sim.Time, len(ic.Points))
+	tp := make([]float64, len(ic.Points))
+	qs := make([]float64, len(ic.Points))
+	for i, p := range ic.Points {
+		ts[i], tp[i], qs[i] = p.T, p.ThroughputGbps, p.QueueKB
+	}
+	res.AddSeries(TimeSeries("throughput_gbps", ts, tp))
+	res.AddSeries(TimeSeries("queue_kb", ts, qs))
+	return res, nil
 }

@@ -31,19 +31,15 @@ type Lab struct {
 
 // NewFatTreeLab builds the paper's fat-tree (§4.1) scaled to
 // serversPerTor servers per rack and wires flow-completion collection.
+// The scheme's DTAlpha (composed via the Alpha scheme option) overrides
+// the Dynamic Thresholds factor; 0 keeps the default α=1.
 func NewFatTreeLab(scheme Scheme, serversPerTor int, seed int64) *Lab {
-	return NewFatTreeLabAlpha(scheme, serversPerTor, seed, 0)
-}
-
-// NewFatTreeLabAlpha additionally overrides the Dynamic Thresholds
-// factor (0 keeps the default α=1) for buffer-management ablations.
-func NewFatTreeLabAlpha(scheme Scheme, serversPerTor int, seed int64, alpha float64) *Lab {
 	l := &Lab{Scheme: scheme}
 	cfg := topo.FatTreeConfig{
 		ServersPerTor: serversPerTor,
 		Opts: topo.Options{
 			BufferPerGbps: topo.TofinoBufferPerGbps,
-			Alpha:         alpha,
+			Alpha:         scheme.DTAlpha,
 			INT:           scheme.INT,
 			ECN:           scheme.ECN,
 			Queues:        scheme.queueFactory(),
@@ -65,6 +61,7 @@ func NewStarLab(scheme Scheme, hosts int, seed int64) *Lab {
 		HostRate: 25 * units.Gbps,
 		Opts: topo.Options{
 			BufferPerGbps: topo.TofinoBufferPerGbps,
+			Alpha:         scheme.DTAlpha,
 			INT:           scheme.INT,
 			ECN:           scheme.ECN,
 			Queues:        scheme.queueFactory(),

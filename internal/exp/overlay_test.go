@@ -7,45 +7,51 @@ import (
 )
 
 func TestWebSearchIncastOverlay(t *testing.T) {
-	base := WebSearchOptions{
-		Scheme: PowerTCP, Load: 0.1, ServersPerTor: 4,
-		Duration: 3 * sim.Millisecond, Drain: 2 * sim.Millisecond, Seed: 5,
+	base := []Option{
+		WithLoad(0.1), WithServersPerTor(4),
+		WithDuration(3 * sim.Millisecond), WithDrain(2 * sim.Millisecond), WithSeed(5),
 	}
-	plain := RunWebSearch(base)
-	withIncast := base
-	withIncast.IncastRate = 2000 // ≈6 requests in the horizon
-	withIncast.IncastSize = 1 << 20
-	withIncast.IncastFanIn = 8
-	burst := RunWebSearch(withIncast)
+	plain := mustRun(t, NewSpec("websearch", PowerTCP, base...)).Raw.(*WebSearchResult)
+	const fanIn = 8
+	withIncast := append(append([]Option{}, base...),
+		WithIncastOverlay(2000 /* ≈6 requests in the horizon */, 1<<20, fanIn))
+	burst := mustRun(t, NewSpec("websearch", PowerTCP, withIncast...)).Raw.(*WebSearchResult)
 	if burst.Started <= plain.Started {
 		t.Fatalf("incast overlay added no flows: %d vs %d", burst.Started, plain.Started)
 	}
 	// Each request fans out to IncastFanIn responders.
 	extra := burst.Started - plain.Started
-	if extra%withIncast.IncastFanIn != 0 {
-		t.Fatalf("overlay flows %d not a multiple of fan-in %d", extra, withIncast.IncastFanIn)
+	if extra%fanIn != 0 {
+		t.Fatalf("overlay flows %d not a multiple of fan-in %d", extra, fanIn)
 	}
 }
 
 func TestLoadSweepShapes(t *testing.T) {
-	rs := LoadSweep(PowerTCP, []float64{0.1, 0.3}, WebSearchOptions{
-		ServersPerTor: 4, Duration: 3 * sim.Millisecond,
-		Drain: 2 * sim.Millisecond, Seed: 6,
-	})
+	res := mustRun(t, NewSpec("load-sweep", PowerTCP,
+		WithLoads(0.1, 0.3), WithServersPerTor(4),
+		WithDuration(3*sim.Millisecond), WithDrain(2*sim.Millisecond), WithSeed(6)))
+	rs := res.Raw.([]*WebSearchResult)
 	if len(rs) != 2 || rs[0].Load != 0.1 || rs[1].Load != 0.3 {
 		t.Fatalf("sweep shape wrong: %+v", rs)
 	}
 	if rs[1].Started <= rs[0].Started {
 		t.Fatal("higher load generated fewer flows")
 	}
+	// The envelope exposes the sweep as load-indexed series.
+	if len(res.Series) != 2 || res.Series[0].XLabel != "load" {
+		t.Fatalf("sweep series wrong: %+v", res.Series)
+	}
+	if got := len(res.Series[0].Points); got != 2 {
+		t.Fatalf("sweep series has %d points", got)
+	}
 }
 
 func TestFairnessHomaOvercommitRuns(t *testing.T) {
 	for _, oc := range []int{1, 4} {
-		r := RunFairness(FairnessOptions{
-			Scheme: SchemeByName(Homa).Name, Seed: 3,
-			Window: 4 * sim.Millisecond,
-		})
+		res := mustRun(t, NewSpec("fairness", Homa,
+			WithSchemeOptions(Overcommit(oc)),
+			WithWindow(4*sim.Millisecond), WithSeed(3)))
+		r := res.Raw.(*FairnessResult)
 		if len(r.T) == 0 {
 			t.Fatalf("oc %d: empty series", oc)
 		}

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -14,48 +13,7 @@ import (
 	"repro/internal/units"
 )
 
-// RDCN scheme names (Fig. 8 legend). reTCP variants carry their
-// prebuffering in microseconds.
-const (
-	ReTCP600  = "retcp-600"
-	ReTCP1800 = "retcp-1800"
-)
-
-// RDCNOptions configures the reconfigurable-DCN case study (§5). All
-// servers of ToR 0 send long flows to the corresponding servers of ToR
-// 1; the monitored circuit is ToR 0's, which reaches ToR 1 once per
-// rotor week.
-type RDCNOptions struct {
-	Scheme        string        // powertcp | hpcc | retcp-600 | retcp-1800
-	Tors          int           // default 8 for benches (paper: 25)
-	ServersPerTor int           // default 4 (paper: 10)
-	PacketRate    units.BitRate // Fig. 8b sweeps 25/50 Gbps
-	Weeks         int           // rotor weeks to simulate (default 3)
-	SamplePeriod  sim.Duration  // default 10 µs
-	Seed          int64
-}
-
-func (o *RDCNOptions) fillDefaults() {
-	if o.Tors == 0 {
-		// 16 keeps the rotor week (3.7 ms) comfortably longer than
-		// reTCP's 1800 µs prebuffering, like the paper's 25-ToR setup.
-		o.Tors = 16
-	}
-	if o.ServersPerTor == 0 {
-		o.ServersPerTor = 4
-	}
-	if o.PacketRate == 0 {
-		o.PacketRate = 25 * units.Gbps
-	}
-	if o.Weeks == 0 {
-		o.Weeks = 3
-	}
-	if o.SamplePeriod == 0 {
-		o.SamplePeriod = 10 * sim.Microsecond
-	}
-}
-
-// RDCNResult is the data behind Figure 8.
+// RDCNResult is the typed payload behind Figure 8.
 type RDCNResult struct {
 	Scheme string
 
@@ -73,27 +31,58 @@ type RDCNResult struct {
 	AvgGoodputGbps float64
 }
 
-// RunRDCN reproduces Figure 8 for one scheme.
-func RunRDCN(o RDCNOptions) RDCNResult {
-	o.fillDefaults()
-	prebuffer := sim.Duration(0)
-	switch {
-	case strings.HasPrefix(o.Scheme, "retcp-"):
-		var us int
-		if _, err := fmt.Sscanf(o.Scheme, "retcp-%d", &us); err != nil {
-			panic("exp: bad reTCP scheme " + o.Scheme)
-		}
-		prebuffer = sim.Duration(us) * sim.Microsecond
-	case o.Scheme == PowerTCP, o.Scheme == HPCC:
-	default:
-		panic("exp: unsupported RDCN scheme " + o.Scheme)
-	}
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "rdcn",
+		Figures: "Fig. 8 (reconfigurable DCN case study, §5)",
+		Normalize: func(s *Spec) {
+			if s.Tors == 0 {
+				// 16 keeps the rotor week (3.7 ms) comfortably longer
+				// than reTCP's 1800 µs prebuffering, like the paper's
+				// 25-ToR setup.
+				s.Tors = 16
+			}
+			if s.ServersPerTor == 0 {
+				s.ServersPerTor = 4
+			}
+			if s.PacketRate == 0 {
+				s.PacketRate = 25 * units.Gbps
+			}
+			if s.Weeks == 0 {
+				s.Weeks = 3
+			}
+			if s.SamplePeriod == 0 {
+				s.SamplePeriod = 10 * sim.Microsecond
+			}
+		},
+		Run:      runRDCN,
+		Supports: rdcnSupports,
+	})
+}
 
+// rdcnSupports restricts the case study to the Fig. 8 competitors.
+func rdcnSupports(scheme Scheme) error {
+	switch scheme.Kind {
+	case KindPowerTCP, KindReTCP:
+		return nil
+	case KindCC:
+		if scheme.Name == HPCC {
+			return nil
+		}
+	}
+	return fmt.Errorf("rdcn does not support scheme %q (supported: %s, %s, retcp-<µs>)",
+		scheme.Name, PowerTCP, HPCC)
+}
+
+// runRDCN reproduces Figure 8 for one scheme. All servers of ToR 0 send
+// long flows to the corresponding servers of ToR 1; the monitored
+// circuit is ToR 0's, which reaches ToR 1 once per rotor week.
+func runRDCN(s Spec, scheme Scheme) (*Result, error) {
 	net := rdcn.Build(rdcn.Config{
-		Tors:          o.Tors,
-		ServersPerTor: o.ServersPerTor,
-		PacketRate:    o.PacketRate,
-		Prebuffer:     prebuffer,
+		Tors:          s.Tors,
+		ServersPerTor: s.ServersPerTor,
+		PacketRate:    s.PacketRate,
+		Prebuffer:     scheme.PrebufferFor,
 		INT:           true,
 	})
 
@@ -113,12 +102,12 @@ func RunRDCN(o RDCNOptions) RDCNResult {
 	dsts := net.HostsOfTor(1)
 	nFlows := len(srcs)
 	for i, src := range srcs {
-		alg := rdcnAlg(o.Scheme, net, prebuffer, nFlows)
+		alg := rdcnAlg(scheme, net, nFlows)
 		src.StartFlow(net.NextFlowID(), dsts[i].ID(), transport.Unbounded, alg, 0)
 	}
 
-	horizon := sim.Time(sim.Duration(o.Weeks) * net.Sched.Week())
-	res := RDCNResult{Scheme: o.Scheme}
+	horizon := sim.Time(sim.Duration(s.Weeks) * net.Sched.Week())
+	rr := &RDCNResult{Scheme: scheme.Name}
 	var lastRx int64
 	rxTotal := func() int64 {
 		var n int64
@@ -127,18 +116,18 @@ func RunRDCN(o RDCNOptions) RDCNResult {
 		}
 		return n
 	}
-	SampleEvery(net.Eng, o.SamplePeriod, horizon, func(now sim.Time) {
+	SampleEvery(net.Eng, s.SamplePeriod, horizon, func(now sim.Time) {
 		cur := rxTotal()
-		res.T = append(res.T, now)
-		res.Throughput = append(res.Throughput, stats.Gbps(cur-lastRx, o.SamplePeriod))
-		res.VOQKB = append(res.VOQKB, float64(net.Tors[0].VOQBytes(1))/1024)
+		rr.T = append(rr.T, now)
+		rr.Throughput = append(rr.Throughput, stats.Gbps(cur-lastRx, s.SamplePeriod))
+		rr.VOQKB = append(rr.VOQKB, float64(net.Tors[0].VOQBytes(1))/1024)
 		lastRx = cur
 	})
 
 	// Track circuit bytes of the monitored pair: snapshot the circuit
 	// port's counter at each day boundary of matching ToR0→ToR1.
 	var dayBytes []int64
-	for w := 0; w < o.Weeks; w++ {
+	for w := 0; w < s.Weeks; w++ {
 		start := net.Sched.NextDayStart(0, 1, sim.Time(sim.Duration(w)*net.Sched.Week()))
 		var atStart uint64
 		net.Eng.At(start, func() { atStart = net.Tors[0].CircuitPort().TxBytes() })
@@ -156,36 +145,43 @@ func RunRDCN(o RDCNOptions) RDCNResult {
 		used += b
 	}
 	if len(dayBytes) > 0 {
-		res.CircuitUtilization = float64(used) / float64(cap*int64(len(dayBytes)))
+		rr.CircuitUtilization = float64(used) / float64(cap*int64(len(dayBytes)))
 	}
 	// Tail queuing latency: p99 one-way delay above the observed floor.
 	if delays.Count() > 0 {
 		floor := delays.Percentile(0)
-		res.TailQueuingUs = (delays.Percentile(99) - floor) * 1e6
+		rr.TailQueuingUs = (delays.Percentile(99) - floor) * 1e6
 	}
-	res.AvgGoodputGbps = stats.Gbps(rxTotal(), horizon.Duration())
-	return res
+	rr.AvgGoodputGbps = stats.Gbps(rxTotal(), horizon.Duration())
+
+	res := &Result{Raw: rr}
+	res.SetScalar("circuit_utilization", rr.CircuitUtilization)
+	res.SetScalar("tail_queuing_us", rr.TailQueuingUs)
+	res.SetScalar("avg_goodput_gbps", rr.AvgGoodputGbps)
+	res.AddSeries(TimeSeries("throughput_gbps", rr.T, rr.Throughput))
+	res.AddSeries(TimeSeries("voq_kb", rr.T, rr.VOQKB))
+	return res, nil
 }
 
 // rdcnAlg builds the per-flow algorithm for the RDCN run. PowerTCP and
 // HPCC limit window updates to once per RTT for the fair comparison with
 // reTCP (§5); both are capped at the 25G host BDP, which is all one NIC
 // can contribute toward filling the 100G circuit.
-func rdcnAlg(scheme string, net *rdcn.Network, prebuffer sim.Duration, flows int) cc.Algorithm {
-	switch scheme {
-	case PowerTCP:
-		return core.New(core.Config{UpdatePerRTT: true})
-	case HPCC:
-		return cc.NewHPCC()
-	default: // retcp-*
+func rdcnAlg(scheme Scheme, net *rdcn.Network, flows int) cc.Algorithm {
+	switch scheme.Kind {
+	case KindPowerTCP:
+		return core.New(core.Config{Gamma: scheme.Gamma, UpdatePerRTT: true})
+	case KindReTCP:
 		return &rdcn.ReTCP{
 			Sched:        net.Sched,
 			SrcTor:       0,
 			DstTor:       1,
-			Prebuffer:    prebuffer,
+			Prebuffer:    scheme.PrebufferFor,
 			PacketRate:   net.Cfg.PacketRate,
 			CircuitRate:  net.Cfg.CircuitRate,
 			FlowsSharing: flows,
 		}
+	default: // hpcc
+		return cc.NewHPCC()
 	}
 }

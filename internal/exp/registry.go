@@ -1,0 +1,250 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SchemeOption composes an ablation variant onto a resolved Scheme:
+// γ and per-RTT updates for the PowerTCP family, overcommitment for
+// HOMA, prebuffering for reTCP, and the Dynamic-Thresholds α for any
+// scheme. Options validate their target and return errors instead of
+// panicking.
+type SchemeOption func(*Scheme) error
+
+// SchemeFactory produces the base Scheme for a registered name.
+type SchemeFactory func(name string) (Scheme, error)
+
+var (
+	schemeMu       sync.RWMutex
+	schemeExact    = map[string]SchemeFactory{}
+	schemeFamilies = map[string]SchemeFactory{} // keyed by name prefix
+)
+
+// RegisterScheme adds a scheme under an exact name. It errors on
+// duplicates so two packages cannot silently fight over a name.
+func RegisterScheme(name string, build SchemeFactory) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("exp: RegisterScheme needs a name and a factory")
+	}
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if _, dup := schemeExact[name]; dup {
+		return fmt.Errorf("exp: scheme %q already registered", name)
+	}
+	schemeExact[name] = build
+	return nil
+}
+
+// RegisterSchemeFamily adds a parameterized scheme family resolved by
+// name prefix (e.g. "homa-oc" covers "homa-oc3"). The factory receives
+// the full name and parses its parameter.
+func RegisterSchemeFamily(prefix string, build SchemeFactory) error {
+	if prefix == "" || build == nil {
+		return fmt.Errorf("exp: RegisterSchemeFamily needs a prefix and a factory")
+	}
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if _, dup := schemeFamilies[prefix]; dup {
+		return fmt.Errorf("exp: scheme family %q already registered", prefix)
+	}
+	schemeFamilies[prefix] = build
+	return nil
+}
+
+func mustRegisterScheme(name string, build SchemeFactory) {
+	if err := RegisterScheme(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// SchemeNames returns the exactly-registered scheme names, sorted.
+// Parameterized families (homa-oc<N>, retcp-<µs>) are not enumerable and
+// therefore not listed.
+func SchemeNames() []string {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	return schemeNamesLocked()
+}
+
+// ResolveScheme resolves a scheme name and composes the given options
+// onto it. Unknown names, malformed family parameters (homa-oc0) and
+// options applied to the wrong scheme all return errors.
+func ResolveScheme(name string, opts ...SchemeOption) (Scheme, error) {
+	build, err := lookupScheme(name)
+	if err != nil {
+		return Scheme{}, err
+	}
+	s, err := build(name)
+	if err != nil {
+		return Scheme{}, err
+	}
+	s.Name = name
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return Scheme{}, err
+		}
+	}
+	s.materialize()
+	return s, nil
+}
+
+func lookupScheme(name string) (SchemeFactory, error) {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	if build, ok := schemeExact[name]; ok {
+		return build, nil
+	}
+	for prefix, build := range schemeFamilies {
+		if strings.HasPrefix(name, prefix) {
+			return build, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown scheme %q (known: %s, plus the homa-oc<N> and retcp-<µs> families)",
+		name, strings.Join(schemeNamesLocked(), ", "))
+}
+
+func schemeNamesLocked() []string {
+	names := make([]string, 0, len(schemeExact))
+	for n := range schemeExact {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// materialize rebuilds the algorithm builder for schemes whose
+// configuration is composed from options (the PowerTCP family).
+func (s *Scheme) materialize() {
+	cfg := core.Config{Gamma: s.Gamma, UpdatePerRTT: s.PerRTT}
+	switch s.Kind {
+	case KindPowerTCP:
+		s.Alg = cfg.Builder()
+	case KindTheta:
+		s.Alg = cfg.ThetaBuilder()
+	}
+}
+
+// Scheme options.
+
+// Gamma overrides the PowerTCP-family EWMA weight γ ∈ (0,1] (§3.3).
+func Gamma(g float64) SchemeOption {
+	return func(s *Scheme) error {
+		if s.Kind != KindPowerTCP && s.Kind != KindTheta {
+			return fmt.Errorf("exp: γ override does not apply to scheme %q", s.Name)
+		}
+		if g <= 0 || g > 1 {
+			return fmt.Errorf("exp: γ = %v out of (0,1]", g)
+		}
+		s.Gamma = g
+		return nil
+	}
+}
+
+// PerRTT limits PowerTCP-family window updates to once per RTT, the
+// RDCN case study's configuration (§5).
+func PerRTT(on bool) SchemeOption {
+	return func(s *Scheme) error {
+		if s.Kind != KindPowerTCP && s.Kind != KindTheta {
+			return fmt.Errorf("exp: per-RTT updates do not apply to scheme %q", s.Name)
+		}
+		s.PerRTT = on
+		return nil
+	}
+}
+
+// Alpha overrides the switches' Dynamic-Thresholds factor α (buffer
+// management ablations; any scheme).
+func Alpha(a float64) SchemeOption {
+	return func(s *Scheme) error {
+		if a <= 0 {
+			return fmt.Errorf("exp: DT α = %v must be positive", a)
+		}
+		s.DTAlpha = a
+		return nil
+	}
+}
+
+// Overcommit sets HOMA's concurrent-grant degree (≥1).
+func Overcommit(n int) SchemeOption {
+	return func(s *Scheme) error {
+		if s.Kind != KindHoma {
+			return fmt.Errorf("exp: overcommitment does not apply to scheme %q", s.Name)
+		}
+		if n < 1 {
+			return fmt.Errorf("exp: overcommit %d must be ≥1", n)
+		}
+		s.Overcommit = n
+		return nil
+	}
+}
+
+// Prebuffer sets reTCP's circuit-day prebuffering lead time (§5).
+func Prebuffer(d sim.Duration) SchemeOption {
+	return func(s *Scheme) error {
+		if s.Kind != KindReTCP {
+			return fmt.Errorf("exp: prebuffering does not apply to scheme %q", s.Name)
+		}
+		if d <= 0 {
+			return fmt.Errorf("exp: prebuffer %v must be positive", d)
+		}
+		s.PrebufferFor = d
+		return nil
+	}
+}
+
+// Built-in schemes.
+
+func fixedScheme(proto Scheme) SchemeFactory {
+	return func(string) (Scheme, error) { return proto, nil }
+}
+
+func init() {
+	mustRegisterScheme(PowerTCP, fixedScheme(Scheme{Kind: KindPowerTCP, INT: true}))
+	mustRegisterScheme(ThetaPowerTCP, fixedScheme(Scheme{Kind: KindTheta}))
+	mustRegisterScheme(HPCC, fixedScheme(Scheme{Kind: KindCC, INT: true, Alg: cc.HPCCBuilder()}))
+	mustRegisterScheme(Timely, fixedScheme(Scheme{Kind: KindCC, Alg: cc.TimelyBuilder()}))
+	mustRegisterScheme(DCQCN, fixedScheme(Scheme{Kind: KindCC, ECN: DCQCNECN, Alg: cc.DCQCNBuilder()}))
+	mustRegisterScheme(Swift, fixedScheme(Scheme{Kind: KindCC, Alg: cc.SwiftBuilder()}))
+	mustRegisterScheme(DCTCP, fixedScheme(Scheme{Kind: KindCC, ECN: DCTCPECN, Alg: cc.DCTCPBuilder()}))
+	mustRegisterScheme(Reno, fixedScheme(Scheme{Kind: KindCC, Alg: cc.RenoBuilder()}))
+	mustRegisterScheme(Cubic, fixedScheme(Scheme{Kind: KindCC, Alg: cc.CubicBuilder()}))
+	mustRegisterScheme(Homa, fixedScheme(Scheme{Kind: KindHoma, PrioQueues: true, Overcommit: 1}))
+
+	// homa-oc<N>: overcommitment composed from the name.
+	if err := RegisterSchemeFamily("homa-oc", func(name string) (Scheme, error) {
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "homa-oc"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("exp: malformed HOMA overcommit scheme %q", name)
+		}
+		s := Scheme{Kind: KindHoma, PrioQueues: true}
+		if err := Overcommit(n)(&s); err != nil {
+			return Scheme{}, fmt.Errorf("exp: scheme %q: %w", name, err)
+		}
+		return s, nil
+	}); err != nil {
+		panic(err)
+	}
+
+	// retcp-<µs>: prebuffering composed from the name.
+	if err := RegisterSchemeFamily("retcp-", func(name string) (Scheme, error) {
+		us, err := strconv.Atoi(strings.TrimPrefix(name, "retcp-"))
+		if err != nil {
+			return Scheme{}, fmt.Errorf("exp: malformed reTCP scheme %q", name)
+		}
+		s := Scheme{Kind: KindReTCP}
+		if err := Prebuffer(sim.Duration(us) * sim.Microsecond)(&s); err != nil {
+			return Scheme{}, fmt.Errorf("exp: scheme %q: %w", name, err)
+		}
+		return s, nil
+	}); err != nil {
+		panic(err)
+	}
+}

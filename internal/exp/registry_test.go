@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The registry returns errors — never panics — for unknown names and
+// malformed family parameters.
+func TestResolveSchemeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the error
+	}{
+		{"bogus", "unknown scheme"},
+		{"homa-oc0", "must be ≥1"},
+		{"homa-oc-3", "must be ≥1"},
+		{"homa-ocx", "malformed"},
+		{"retcp-", "malformed"},
+		{"retcp-0", "must be positive"},
+		{"retcp-abc", "malformed"},
+	}
+	for _, c := range cases {
+		_, err := ResolveScheme(c.name)
+		if err == nil {
+			t.Fatalf("ResolveScheme(%q) accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("ResolveScheme(%q) = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Options validate their target scheme.
+func TestSchemeOptionsRejectWrongTarget(t *testing.T) {
+	if _, err := ResolveScheme(Homa, Gamma(0.5)); err == nil {
+		t.Fatal("γ accepted on HOMA")
+	}
+	if _, err := ResolveScheme(PowerTCP, Overcommit(2)); err == nil {
+		t.Fatal("overcommit accepted on PowerTCP")
+	}
+	if _, err := ResolveScheme(PowerTCP, Prebuffer(sim.Millisecond)); err == nil {
+		t.Fatal("prebuffer accepted on PowerTCP")
+	}
+	if _, err := ResolveScheme(Timely, PerRTT(true)); err == nil {
+		t.Fatal("per-RTT accepted on TIMELY")
+	}
+	if _, err := ResolveScheme(PowerTCP, Gamma(1.5)); err == nil {
+		t.Fatal("γ > 1 accepted")
+	}
+	if _, err := ResolveScheme(PowerTCP, Alpha(-1)); err == nil {
+		t.Fatal("negative DT α accepted")
+	}
+}
+
+// Composed γ / per-RTT overrides must reach the algorithm the scheme
+// builds, and α must reach the scheme's buffer configuration.
+func TestSchemeOptionCompositionReachesAlgorithm(t *testing.T) {
+	s, err := ResolveScheme(PowerTCP, Gamma(0.55), PerRTT(true), Alpha(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, ok := s.Alg().(*core.PowerTCP)
+	if !ok {
+		t.Fatalf("powertcp built %T", s.Alg())
+	}
+	if cfg := alg.Config(); cfg.Gamma != 0.55 || !cfg.UpdatePerRTT {
+		t.Fatalf("built config = %+v, want γ=0.55 perRTT=true", cfg)
+	}
+	if s.DTAlpha != 2 {
+		t.Fatalf("DT α = %v, want 2", s.DTAlpha)
+	}
+
+	th, err := ResolveScheme(ThetaPowerTCP, Gamma(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	talg, ok := th.Alg().(*core.ThetaPowerTCP)
+	if !ok {
+		t.Fatalf("theta-powertcp built %T", th.Alg())
+	}
+	if cfg := talg.Config(); cfg.Gamma != 0.4 {
+		t.Fatalf("theta built config = %+v, want γ=0.4", cfg)
+	}
+
+	ho, err := ResolveScheme(Homa, Overcommit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ho.Overcommit != 5 {
+		t.Fatalf("homa overcommit = %d", ho.Overcommit)
+	}
+
+	re, err := ResolveScheme(ReTCP600, Prebuffer(900*sim.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.PrebufferFor != 900*sim.Microsecond {
+		t.Fatalf("prebuffer = %v", re.PrebufferFor)
+	}
+}
+
+// An option-composed γ must actually change the simulation, matching the
+// equivalent family-name resolution end to end.
+func TestGammaOptionChangesRun(t *testing.T) {
+	base := mustRun(t, NewSpec("incast", PowerTCP,
+		WithFanIn(10), WithWindow(sim.Millisecond), WithSeed(4)))
+	low := mustRun(t, NewSpec("incast", PowerTCP,
+		WithSchemeOptions(Gamma(0.1)),
+		WithFanIn(10), WithWindow(sim.Millisecond), WithSeed(4)))
+	if base.Scalar("tail_mean_queue_kb") == low.Scalar("tail_mean_queue_kb") &&
+		base.Scalar("peak_queue_kb") == low.Scalar("peak_queue_kb") {
+		t.Fatal("γ=0.1 produced a run identical to the default γ")
+	}
+}
+
+// reTCP resolves globally (it's a legitimate rdcn scheme) but provides
+// no per-flow algorithm builder; every other experiment must reject it
+// with an error rather than crash on the nil builder.
+func TestNonRDCNExperimentsRejectReTCP(t *testing.T) {
+	for _, name := range []string{"incast", "fairness", "websearch", "load-sweep"} {
+		_, err := Run(NewSpec(name, ReTCP600))
+		if err == nil || !strings.Contains(err.Error(), "does not support") {
+			t.Fatalf("%s accepted retcp-600: %v", name, err)
+		}
+	}
+}
+
+// Run reports unknown experiments as errors, not panics.
+func TestRunUnknownExperiment(t *testing.T) {
+	_, err := Run(NewSpec("bogus-experiment", PowerTCP))
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Run(NewSpec("incast", "bogus-scheme"))
+	if err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	names := ExperimentNames()
+	for _, want := range []string{"incast", "fairness", "websearch", "rdcn", "load-sweep"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %q missing from registry: %v", want, names)
+		}
+	}
+	if err := RegisterExperiment(Experiment{Name: "incast", Run: runIncast}); err == nil {
+		t.Fatal("duplicate experiment registration accepted")
+	}
+	if err := RegisterExperiment(Experiment{Name: "no-run"}); err == nil {
+		t.Fatal("experiment without a run function accepted")
+	}
+}

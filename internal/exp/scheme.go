@@ -1,22 +1,34 @@
-// Package exp is the experiment harness: one runner per figure of the
-// paper's evaluation (§4–§5, Appendix D). Each runner builds the
-// topology, generates the workload, drives the simulation, and returns
-// the data series or table rows the corresponding figure plots.
-// cmd/figures renders them; bench_test.go regenerates them under
-// `go test -bench`; EXPERIMENTS.md records paper-vs-measured.
+// Package exp is the experiment harness behind the paper's evaluation
+// (§4–§5, Appendix D). It exposes one unified API:
+//
+//   - A scheme registry: ResolveScheme(name, opts...) returns the
+//     congestion-control scheme plus the switch features it needs, with
+//     ablation variants (γ, DT α, HOMA overcommitment, reTCP
+//     prebuffering) composed as functional options instead of string
+//     parsing. Unknown names return errors, not panics.
+//   - An experiment registry: every scenario (incast, fairness,
+//     websearch, rdcn, load-sweep) is a registered Experiment; NewSpec +
+//     Run execute one, and a Suite executes many concurrently over a
+//     GOMAXPROCS-sized worker pool — each run owns an isolated
+//     sim.Engine, so results are deterministic per seed regardless of
+//     worker count.
+//   - A common Result envelope (scalar metrics map + named series) with
+//     JSON and TSV encoders.
+//
+// cmd/figures renders figures from suites; cmd/sweep runs the γ study as
+// one suite; cmd/powersim runs a single spec from flags; bench_test.go
+// regenerates headline metrics under `go test -bench`; EXPERIMENTS.md
+// records the experiment↔figure index and paper-vs-measured numbers.
 package exp
 
 import (
-	"fmt"
-	"strings"
-
 	"repro/internal/cc"
-	"repro/internal/core"
 	"repro/internal/queue"
+	"repro/internal/sim"
 	"repro/internal/swtch"
 )
 
-// Scheme names accepted by the runners (matching the paper's legends).
+// Scheme names accepted by the registry (matching the paper's legends).
 const (
 	PowerTCP      = "powertcp"
 	ThetaPowerTCP = "theta-powertcp"
@@ -30,15 +42,42 @@ const (
 	Homa          = "homa"  // overcommitment 1; "homa-oc<N>" selects N
 )
 
+// RDCN scheme names (Fig. 8 legend). reTCP variants carry their
+// prebuffering in microseconds; "retcp-<N>" selects N µs.
+const (
+	ReTCP600  = "retcp-600"
+	ReTCP1800 = "retcp-1800"
+)
+
 // Schemes lists every sender-based scheme, in the paper's legend order.
 var Schemes = []string{PowerTCP, ThetaPowerTCP, HPCC, Timely, DCQCN, Homa}
 
+// Kind classifies a scheme by the transport/plumbing it requires.
+type Kind int
+
+const (
+	// KindCC is a plain sender-based algorithm with a fixed builder.
+	KindCC Kind = iota
+	// KindPowerTCP and KindTheta rebuild their cc.Builder from the
+	// scheme's composed core.Config (γ, per-RTT updates).
+	KindPowerTCP
+	KindTheta
+	// KindHoma uses the receiver-driven HOMA transport.
+	KindHoma
+	// KindReTCP is the RDCN prebuffering baseline (§5).
+	KindReTCP
+)
+
 // Scheme bundles a congestion-control choice with the switch features it
 // needs: INT stamping for the telemetry-driven laws, RED/ECN for DCQCN,
-// and strict-priority queues for HOMA.
+// and strict-priority queues for HOMA. Ablation knobs (Gamma, PerRTT,
+// DTAlpha, Overcommit, PrebufferFor) are composed by SchemeOptions at
+// resolution time.
 type Scheme struct {
 	Name string
-	// Alg builds a per-flow algorithm; nil for HOMA (its own transport).
+	Kind Kind
+	// Alg builds a per-flow algorithm; nil for HOMA (its own transport)
+	// and reTCP (built per-network by the RDCN runner).
 	Alg cc.Builder
 	// INT enables telemetry stamping on the switches.
 	INT bool
@@ -47,16 +86,21 @@ type Scheme struct {
 	// PrioQueues replaces FIFO egress queues with 8-level strict
 	// priority (HOMA).
 	PrioQueues bool
-	// Overcommit is HOMA's concurrent-grant degree.
+	// Overcommit is HOMA's concurrent-grant degree (≥1).
 	Overcommit int
 	// Gamma overrides PowerTCP's EWMA weight (ablations); 0 = default.
 	Gamma float64
 	// PerRTT limits PowerTCP updates to once per RTT (§5).
 	PerRTT bool
+	// DTAlpha overrides the switches' Dynamic-Thresholds factor
+	// (0 keeps the default α=1) for buffer-management ablations.
+	DTAlpha float64
+	// PrebufferFor is reTCP's circuit-day prebuffering lead time.
+	PrebufferFor sim.Duration
 }
 
 // IsHoma reports whether the scheme uses the receiver-driven transport.
-func (s Scheme) IsHoma() bool { return s.Alg == nil }
+func (s Scheme) IsHoma() bool { return s.Kind == KindHoma }
 
 // DCQCNECN is the marking profile used for DCQCN runs, following the
 // HPCC paper's configuration the authors adopt (§4.1).
@@ -65,56 +109,6 @@ var DCQCNECN = swtch.ECNConfig{KMin: 100 << 10, KMax: 400 << 10, PMax: 0.2}
 // DCTCPECN is DCTCP's step marking at threshold K (the paper notes the
 // flows oscillate around K > b·τ/7, §2.2).
 var DCTCPECN = swtch.ECNConfig{KMin: 65 << 10, KMax: 65<<10 + 1, PMax: 1}
-
-// SchemeByName resolves a scheme name; it panics on unknown names so
-// misconfigured experiments fail loudly.
-func SchemeByName(name string) Scheme {
-	switch {
-	case name == PowerTCP:
-		return Scheme{Name: name, INT: true,
-			Alg: core.Builder(core.Config{})}
-	case name == ThetaPowerTCP:
-		return Scheme{Name: name,
-			Alg: core.ThetaBuilder(core.Config{})}
-	case name == HPCC:
-		return Scheme{Name: name, INT: true, Alg: cc.HPCCBuilder()}
-	case name == Timely:
-		return Scheme{Name: name, Alg: cc.TimelyBuilder()}
-	case name == DCQCN:
-		return Scheme{Name: name, ECN: DCQCNECN, Alg: cc.DCQCNBuilder()}
-	case name == Swift:
-		return Scheme{Name: name, Alg: cc.SwiftBuilder()}
-	case name == DCTCP:
-		return Scheme{Name: name, ECN: DCTCPECN, Alg: cc.DCTCPBuilder()}
-	case name == Reno:
-		return Scheme{Name: name, Alg: cc.RenoBuilder()}
-	case name == Cubic:
-		return Scheme{Name: name, Alg: cc.CubicBuilder()}
-	case name == Homa:
-		return Scheme{Name: name, PrioQueues: true, Overcommit: 1}
-	case strings.HasPrefix(name, "homa-oc"):
-		var oc int
-		if _, err := fmt.Sscanf(name, "homa-oc%d", &oc); err != nil || oc < 1 {
-			panic("exp: bad homa overcommit scheme " + name)
-		}
-		return Scheme{Name: name, PrioQueues: true, Overcommit: oc}
-	default:
-		panic("exp: unknown scheme " + name)
-	}
-}
-
-// WithGamma returns a PowerTCP-family scheme with a custom γ (ablation).
-func WithGamma(name string, gamma float64) Scheme {
-	s := SchemeByName(name)
-	s.Gamma = gamma
-	switch name {
-	case PowerTCP:
-		s.Alg = core.Builder(core.Config{Gamma: gamma})
-	case ThetaPowerTCP:
-		s.Alg = core.ThetaBuilder(core.Config{Gamma: gamma})
-	}
-	return s
-}
 
 // queueFactory returns the per-port queue constructor for the scheme.
 func (s Scheme) queueFactory() func() queue.Queue {

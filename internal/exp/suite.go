@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Suite executes many experiment specs concurrently over a worker pool.
+// Every run owns an isolated sim.Engine and network, so parallel
+// execution is safe, and each result depends only on its spec and seed —
+// a suite run is byte-identical to a serial one regardless of Workers
+// (asserted by TestSuiteParallelMatchesSerial).
+type Suite struct {
+	Specs []Spec
+	// Workers bounds the pool; ≤0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// NewSuite builds a suite from specs.
+func NewSuite(specs ...Spec) *Suite { return &Suite{Specs: specs} }
+
+// Add appends specs and returns the suite for chaining.
+func (su *Suite) Add(specs ...Spec) *Suite {
+	su.Specs = append(su.Specs, specs...)
+	return su
+}
+
+// Run executes every spec and returns results in spec order. Failed
+// specs leave a nil slot; the joined error names each failure. The
+// remaining specs still run to completion.
+func (su *Suite) Run() ([]*Result, error) {
+	n := su.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(su.Specs) {
+		n = len(su.Specs)
+	}
+	results := make([]*Result, len(su.Specs))
+	errs := make([]error, len(su.Specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := Run(su.Specs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("spec %d: %w", i, err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range su.Specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// RunSuite is shorthand for NewSuite(specs...).Run().
+func RunSuite(specs ...Spec) ([]*Result, error) {
+	return NewSuite(specs...).Run()
+}

@@ -1,45 +1,13 @@
 package exp
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
-
-// WebSearchOptions configures the workload experiments behind Figures 6
-// and 7: the web-search flow-size distribution offered as an open-loop
-// Poisson process at a target ToR-uplink load on the fat-tree, optionally
-// overlaid with the synthetic incast workload (Fig. 7c–f).
-type WebSearchOptions struct {
-	Scheme        string
-	Load          float64      // ToR-uplink load, 0.2–0.95 (§4.1)
-	ServersPerTor int          // 32 = paper scale; benches default to 8
-	Duration      sim.Duration // workload generation horizon (default 15 ms)
-	Drain         sim.Duration // extra time for in-flight flows (default 5 ms)
-	Seed          int64
-	// Incast overlays the request workload of Fig. 7c–f when RequestRate
-	// is nonzero.
-	IncastRate    float64 // requests per second across the cluster
-	IncastSize    int64   // bytes per request
-	IncastFanIn   int     // responders per request (default 16)
-	SampleBuffers bool    // collect the buffer-occupancy CDF (Fig. 7g/h)
-}
-
-func (o *WebSearchOptions) fillDefaults() {
-	if o.ServersPerTor == 0 {
-		o.ServersPerTor = 8
-	}
-	if o.Duration == 0 {
-		o.Duration = 15 * sim.Millisecond
-	}
-	if o.Drain == 0 {
-		o.Drain = 5 * sim.Millisecond
-	}
-	if o.IncastFanIn == 0 {
-		o.IncastFanIn = 16
-	}
-}
 
 // WebSearchResult is one scheme×load cell of Figures 6–7.
 type WebSearchResult struct {
@@ -63,18 +31,68 @@ type WebSearchResult struct {
 	BufferP99 float64
 }
 
-// RunWebSearch reproduces one cell of Figures 6–7.
-func RunWebSearch(o WebSearchOptions) WebSearchResult {
-	return RunWebSearchWith(SchemeByName(o.Scheme), o)
+func normalizeWebSearch(s *Spec) {
+	if s.Load == 0 {
+		s.Load = 0.6
+	}
+	if s.ServersPerTor == 0 {
+		s.ServersPerTor = 8
+	}
+	if s.Duration == 0 {
+		s.Duration = 15 * sim.Millisecond
+	}
+	if s.Drain == 0 {
+		s.Drain = 5 * sim.Millisecond
+	}
+	if s.IncastFanIn == 0 {
+		s.IncastFanIn = 16
+	}
 }
 
-// RunWebSearchWith runs the workload under a custom Scheme (ablations).
-func RunWebSearchWith(scheme Scheme, o WebSearchOptions) WebSearchResult {
-	o.fillDefaults()
-	if o.Scheme == "" {
-		o.Scheme = scheme.Name
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:      "websearch",
+		Figures:   "Fig. 6 (slowdown by size), Fig. 7 (classes, incast overlay, buffers)",
+		Normalize: normalizeWebSearch,
+		Run:       runWebSearch,
+	})
+	mustRegisterExperiment(Experiment{
+		Name:    "load-sweep",
+		Figures: "Fig. 7a/7b (slowdown vs load)",
+		Normalize: func(s *Spec) {
+			if len(s.Loads) == 0 {
+				s.Loads = []float64{0.2, 0.5, 0.8}
+			}
+			normalizeWebSearch(s)
+		},
+		Run: runLoadSweep,
+	})
+}
+
+// runWebSearch reproduces one cell of Figures 6–7: the web-search
+// flow-size distribution offered as an open-loop Poisson process at a
+// target ToR-uplink load on the fat-tree, optionally overlaid with the
+// synthetic incast workload (Fig. 7c–f).
+func runWebSearch(s Spec, scheme Scheme) (*Result, error) {
+	ws, err := webSearchCell(s, scheme)
+	if err != nil {
+		return nil, err
 	}
-	lab := NewFatTreeLab(scheme, o.ServersPerTor, o.Seed)
+	res := &Result{Raw: ws}
+	webSearchScalars(res, ws)
+	if s.SampleBuffers {
+		cdf := Series{Name: "buffer_cdf", XLabel: "occupancy_bytes"}
+		for _, p := range ws.BufferCDF {
+			cdf.Points = append(cdf.Points, SeriesPoint{X: p.V, V: p.F})
+		}
+		res.AddSeries(cdf)
+	}
+	return res, nil
+}
+
+// webSearchCell runs one scheme×load cell and returns the typed payload.
+func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
+	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
 	net := lab.Net
 	ftCfg := lab.FTCfg
 
@@ -82,32 +100,32 @@ func RunWebSearchWith(scheme Scheme, o WebSearchOptions) WebSearchResult {
 	uplinkCap := units.BitRate(ftCfg.AggsPerPod) * ftCfg.FabricRate
 
 	gen := &workload.Poisson{
-		Load:             o.Load,
+		Load:             s.Load,
 		UplinkCapPerRack: uplinkCap,
 		Racks:            racks,
-		HostsPerRack:     o.ServersPerTor,
+		HostsPerRack:     s.ServersPerTor,
 		Dist:             workload.WebSearch(),
-		Seed:             o.Seed,
+		Seed:             s.Seed,
 	}
-	lab.LaunchAll(gen.Generate(o.Duration))
+	lab.LaunchAll(gen.Generate(s.Duration))
 
-	if o.IncastRate > 0 {
+	if s.IncastRate > 0 {
 		ic := &workload.Incast{
-			RequestRate:  o.IncastRate,
-			RequestSize:  o.IncastSize,
-			FanIn:        o.IncastFanIn,
+			RequestRate:  s.IncastRate,
+			RequestSize:  s.IncastSize,
+			FanIn:        s.IncastFanIn,
 			Racks:        racks,
-			HostsPerRack: o.ServersPerTor,
-			Seed:         o.Seed + 1,
+			HostsPerRack: s.ServersPerTor,
+			Seed:         s.Seed + 1,
 		}
-		lab.LaunchAll(ic.Generate(o.Duration))
+		lab.LaunchAll(ic.Generate(s.Duration))
 	}
 
 	var bufSamples stats.Dist
-	horizon := sim.Time(o.Duration + o.Drain)
-	if o.SampleBuffers {
+	horizon := sim.Time(s.Duration + s.Drain)
+	if s.SampleBuffers {
 		tors := racks
-		SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(o.Duration), func(sim.Time) {
+		SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(s.Duration), func(sim.Time) {
 			for t := 0; t < tors; t++ {
 				bufSamples.Add(float64(net.Switches[t].Shared().Used()))
 			}
@@ -116,31 +134,63 @@ func RunWebSearchWith(scheme Scheme, o WebSearchOptions) WebSearchResult {
 
 	net.Eng.RunUntil(horizon)
 
-	res := WebSearchResult{
-		Scheme:    o.Scheme,
-		Load:      o.Load,
+	ws := &WebSearchResult{
+		Scheme:    scheme.Name,
+		Load:      s.Load,
 		Started:   lab.Started(),
 		Completed: len(lab.Records),
 		Binned:    lab.Binned(),
 	}
-	res.ShortP999 = lab.ClassP(99.9, 0, stats.ShortFlowMax)
-	res.MediumP999 = lab.ClassP(99.9, 100_000, stats.LongFlowMin)
-	res.LongP999 = lab.ClassP(99.9, stats.LongFlowMin, 0)
-	if o.SampleBuffers {
-		res.BufferCDF = bufSamples.CDF(50)
-		res.BufferP99 = bufSamples.Percentile(99)
+	ws.ShortP999 = lab.ClassP(99.9, 0, stats.ShortFlowMax)
+	ws.MediumP999 = lab.ClassP(99.9, 100_000, stats.LongFlowMin)
+	ws.LongP999 = lab.ClassP(99.9, stats.LongFlowMin, 0)
+	if s.SampleBuffers {
+		ws.BufferCDF = bufSamples.CDF(50)
+		ws.BufferP99 = bufSamples.Percentile(99)
 	}
-	return res
+	return ws, nil
 }
 
-// LoadSweep runs RunWebSearch across loads (Fig. 7a/7b).
-func LoadSweep(scheme string, loads []float64, o WebSearchOptions) []WebSearchResult {
-	out := make([]WebSearchResult, 0, len(loads))
-	for _, ld := range loads {
-		oo := o
-		oo.Scheme = scheme
-		oo.Load = ld
-		out = append(out, RunWebSearch(oo))
+func webSearchScalars(res *Result, ws *WebSearchResult) {
+	res.SetScalar("load", ws.Load)
+	res.SetScalar("started", float64(ws.Started))
+	res.SetScalar("completed", float64(ws.Completed))
+	res.SetScalar("short_p999", ws.ShortP999)
+	res.SetScalar("medium_p999", ws.MediumP999)
+	res.SetScalar("long_p999", ws.LongP999)
+	for i, v := range ws.Binned.Row(99.9) {
+		res.SetScalar(fmt.Sprintf("p999_bin_%s", stats.SizeLabel(stats.FlowSizeBins[i])), v)
 	}
-	return out
+	if ws.BufferP99 > 0 {
+		res.SetScalar("buffer_p99_bytes", ws.BufferP99)
+	}
+}
+
+// runLoadSweep runs the websearch cell across Loads (Fig. 7a/7b). Raw is
+// the []*WebSearchResult, one per load.
+func runLoadSweep(s Spec, scheme Scheme) (*Result, error) {
+	cells := make([]*WebSearchResult, 0, len(s.Loads))
+	short := Series{Name: "short_p999", XLabel: "load"}
+	long := Series{Name: "long_p999", XLabel: "load"}
+	for _, load := range s.Loads {
+		cell := s
+		cell.Load = load
+		ws, err := webSearchCell(cell, scheme)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, ws)
+		short.Points = append(short.Points, SeriesPoint{X: load, V: ws.ShortP999})
+		long.Points = append(long.Points, SeriesPoint{X: load, V: ws.LongP999})
+	}
+	res := &Result{Raw: cells}
+	res.AddSeries(short)
+	res.AddSeries(long)
+	if n := len(cells); n > 0 {
+		top := cells[n-1]
+		res.SetScalar("top_load", top.Load)
+		res.SetScalar("short_p999_top_load", top.ShortP999)
+		res.SetScalar("long_p999_top_load", top.LongP999)
+	}
+	return res, nil
 }

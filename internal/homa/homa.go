@@ -117,9 +117,10 @@ type Host struct {
 	cfg Config
 	nic *link.Port
 
-	sendQ  map[uint64]*Msg
-	recvQ  map[uint64]*recvMsg
-	nextID uint64
+	sendQ     map[uint64]*Msg
+	recvQ     map[uint64]*recvMsg
+	nextID    uint64
+	nextPktID uint64
 
 	// OnMessageDone fires at the *receiver* when a message's last byte
 	// arrives (HOMA completion is receiver-observed).
@@ -228,11 +229,11 @@ func (h *Host) emit(m *Msg, seq, n int64, prio uint8, unsched bool) {
 	})
 }
 
-var pktIDCounter uint64
-
+// pktID is per-host (not a package global) so concurrent simulations in
+// a parallel experiment suite stay race-free and deterministic.
 func (h *Host) pktID() uint64 {
-	pktIDCounter++
-	return pktIDCounter
+	h.nextPktID++
+	return h.nextPktID<<16 | uint64(h.id&0xFFFF)
 }
 
 // Receive implements link.Receiver.

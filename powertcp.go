@@ -138,36 +138,103 @@ var Monitor = monitor.Wrap
 // builders consume.
 func Hosts(cfg HostConfig) topo.HostFactory { return topo.TransportHosts(cfg) }
 
-// Experiments: one runner per figure of the paper's evaluation. See
-// DESIGN.md §4 for the experiment↔figure index.
+// Experiments: a named registry of the paper's evaluation scenarios
+// (incast, fairness, websearch, rdcn, load-sweep). Build a spec with
+// NewSpec plus With* options, run it with RunExperiment, or run many
+// concurrently with a Suite. See EXPERIMENTS.md for the
+// experiment↔figure index and the paper-vs-measured record.
 type (
-	IncastOptions    = exp.IncastOptions
-	IncastResult     = exp.IncastResult
-	FairnessOptions  = exp.FairnessOptions
-	FairnessResult   = exp.FairnessResult
-	WebSearchOptions = exp.WebSearchOptions
-	WebSearchResult  = exp.WebSearchResult
-	RDCNOptions      = exp.RDCNOptions
-	RDCNResult       = exp.RDCNResult
+	// ExperimentSpec names an experiment, a scheme, and the scenario
+	// knobs; ExperimentOption mutates one under construction.
+	ExperimentSpec   = exp.Spec
+	ExperimentOption = exp.Option
+	// Experiment is a registered scenario (RegisterExperiment extends
+	// the registry with new ones).
+	Experiment = exp.Experiment
+	// ExperimentResult is the common result envelope: scalar metrics map
+	// plus named series, JSON/TSV-encodable. Raw carries the typed
+	// payload below.
+	ExperimentResult = exp.Result
+	Series           = exp.Series
+	SeriesPoint      = exp.SeriesPoint
+	// ExperimentSuite executes many specs over a worker pool.
+	ExperimentSuite = exp.Suite
+	// Scheme bundles a congestion-control choice with the switch
+	// features it needs; SchemeOption composes ablation variants
+	// (Gamma, Alpha, Overcommit, PerRTT, Prebuffer) onto it.
+	Scheme       = exp.Scheme
+	SchemeOption = exp.SchemeOption
+
+	// Typed experiment payloads (ExperimentResult.Raw).
+	IncastResult    = exp.IncastResult
+	FairnessResult  = exp.FairnessResult
+	WebSearchResult = exp.WebSearchResult
+	RDCNResult      = exp.RDCNResult
 )
 
-// Experiment runners.
+// Experiment API entry points.
 var (
-	RunIncast    = exp.RunIncast
-	RunFairness  = exp.RunFairness
-	RunWebSearch = exp.RunWebSearch
-	RunRDCN      = exp.RunRDCN
-	LoadSweep    = exp.LoadSweep
+	NewSpec            = exp.NewSpec
+	RunExperiment      = exp.Run
+	NewSuite           = exp.NewSuite
+	RunSuite           = exp.RunSuite
+	ResolveScheme      = exp.ResolveScheme
+	RegisterScheme     = exp.RegisterScheme
+	RegisterExperiment = exp.RegisterExperiment
+	ExperimentNames    = exp.ExperimentNames
+	SchemeNames        = exp.SchemeNames
 )
 
-// Scheme names accepted by the experiment runners.
+// Spec options (see the exp package for details).
+var (
+	WithSeed           = exp.WithSeed
+	WithLabel          = exp.WithLabel
+	WithSchemeOptions  = exp.WithSchemeOptions
+	WithServersPerTor  = exp.WithServersPerTor
+	WithTors           = exp.WithTors
+	WithFanIn          = exp.WithFanIn
+	WithFlowSize       = exp.WithFlowSize
+	WithFlows          = exp.WithFlows
+	WithStagger        = exp.WithStagger
+	WithSizes          = exp.WithSizes
+	WithLoad           = exp.WithLoad
+	WithLoads          = exp.WithLoads
+	WithIncastOverlay  = exp.WithIncastOverlay
+	WithBufferSampling = exp.WithBufferSampling
+	WithPacketRate     = exp.WithPacketRate
+	WithWeeks          = exp.WithWeeks
+	WithWindow         = exp.WithWindow
+	WithWarmup         = exp.WithWarmup
+	WithDuration       = exp.WithDuration
+	WithDrain          = exp.WithDrain
+	WithSamplePeriod   = exp.WithSamplePeriod
+)
+
+// Scheme options (ablation variants composed at resolution time).
+var (
+	Gamma      = exp.Gamma
+	Alpha      = exp.Alpha
+	Overcommit = exp.Overcommit
+	PerRTT     = exp.PerRTT
+	Prebuffer  = exp.Prebuffer
+)
+
+// Scheme names accepted by the scheme registry. The parameterized
+// families "homa-oc<N>" (overcommitment) and "retcp-<µs>" (prebuffering)
+// are resolvable too.
 const (
 	SchemePowerTCP      = exp.PowerTCP
 	SchemeThetaPowerTCP = exp.ThetaPowerTCP
 	SchemeHPCC          = exp.HPCC
 	SchemeTimely        = exp.Timely
 	SchemeDCQCN         = exp.DCQCN
+	SchemeSwift         = exp.Swift
+	SchemeDCTCP         = exp.DCTCP
+	SchemeReno          = exp.Reno
+	SchemeCubic         = exp.Cubic
 	SchemeHoma          = exp.Homa
+	SchemeReTCP600      = exp.ReTCP600
+	SchemeReTCP1800     = exp.ReTCP1800
 )
 
 // Fluid model (Figures 2–3 and Theorems 1–2).
