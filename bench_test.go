@@ -34,9 +34,20 @@ func mustRun(b *testing.B, spec exp.Spec) *exp.Result {
 	return r
 }
 
+// reportEventsPerSec attaches simulator throughput — discrete events
+// executed per wall-clock second, from the run's engine_steps scalar —
+// so the bench log records the engine's speed alongside each figure.
+func reportEventsPerSec(b *testing.B, r *exp.Result) {
+	b.Helper()
+	if s := r.Scalar("engine_steps"); s > 0 {
+		b.ReportMetric(s*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
 // BenchmarkFig2_ResponseCurves regenerates the multiplicative-decrease
 // response surfaces and the three-case table of Figure 2.
 func BenchmarkFig2_ResponseCurves(b *testing.B) {
+	b.ReportAllocs()
 	s := fluidSys(fluid.Power)
 	bps := (100 * units.Gbps).BytesPerSec()
 	var sink float64
@@ -60,6 +71,7 @@ func BenchmarkFig2_ResponseCurves(b *testing.B) {
 // BenchmarkFig3_PhasePlots integrates the phase-plot trajectories of all
 // three control-law families (Figure 3).
 func BenchmarkFig3_PhasePlots(b *testing.B) {
+	b.ReportAllocs()
 	inits := []fluid.State{{W: 2e4, Q: 0}, {W: 5e5, Q: 1e5}, {W: 1.5e6, Q: 3e5}}
 	for i := 0; i < b.N; i++ {
 		for _, law := range []fluid.Law{fluid.Voltage, fluid.Current, fluid.Power} {
@@ -77,8 +89,10 @@ func BenchmarkFig3_PhasePlots(b *testing.B) {
 // BenchmarkFig4_Incast10 runs the 10:1 incast of Figure 4 (top row) for
 // each scheme and reports the post-incast queue and goodput.
 func BenchmarkFig4_Incast10(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.Homa} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", scheme,
@@ -87,6 +101,7 @@ func BenchmarkFig4_Incast10(b *testing.B) {
 			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
 			b.ReportMetric(r.Scalar("end_queue_kb"), "end-queue-KB")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -94,8 +109,10 @@ func BenchmarkFig4_Incast10(b *testing.B) {
 // BenchmarkFig4_Incast255 runs the large-scale incast of Figure 4
 // (bottom row) on the full 256-server fat-tree.
 func BenchmarkFig4_Incast255(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", scheme,
@@ -105,6 +122,7 @@ func BenchmarkFig4_Incast255(b *testing.B) {
 			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
 			b.ReportMetric(r.Scalar("end_queue_kb"), "end-queue-KB")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -112,13 +130,16 @@ func BenchmarkFig4_Incast255(b *testing.B) {
 // BenchmarkFig5_Fairness runs the staggered-arrival fairness scenario of
 // Figure 5 and reports the Jain index.
 func BenchmarkFig5_Fairness(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.Homa} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("fairness", scheme, exp.WithSeed(1)))
 			}
 			b.ReportMetric(r.Scalar("jain"), "jain")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -126,9 +147,11 @@ func BenchmarkFig5_Fairness(b *testing.B) {
 // BenchmarkFig6_FCTvsSize runs the websearch workload at 20% and 60%
 // load (Figure 6) and reports per-class 99.9p slowdowns.
 func BenchmarkFig6_FCTvsSize(b *testing.B) {
+	b.ReportAllocs()
 	for _, load := range []float64{0.2, 0.6} {
 		for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.DCQCN} {
 			b.Run(fmt.Sprintf("%s/load%.0f", scheme, load*100), func(b *testing.B) {
+				b.ReportAllocs()
 				var r *exp.Result
 				for i := 0; i < b.N; i++ {
 					r = mustRun(b, exp.NewSpec("websearch", scheme,
@@ -137,6 +160,7 @@ func BenchmarkFig6_FCTvsSize(b *testing.B) {
 				b.ReportMetric(r.Scalar("short_p999"), "short-p999-slowdown")
 				b.ReportMetric(r.Scalar("medium_p999"), "medium-p999-slowdown")
 				b.ReportMetric(r.Scalar("long_p999"), "long-p999-slowdown")
+				reportEventsPerSec(b, r)
 			})
 		}
 	}
@@ -144,8 +168,10 @@ func BenchmarkFig6_FCTvsSize(b *testing.B) {
 
 // BenchmarkFig7ab_LoadSweep sweeps load for short/long flows (Fig. 7a/b).
 func BenchmarkFig7ab_LoadSweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("load-sweep", scheme,
@@ -153,6 +179,7 @@ func BenchmarkFig7ab_LoadSweep(b *testing.B) {
 			}
 			b.ReportMetric(r.Scalar("short_p999_top_load"), "short-p999@80")
 			b.ReportMetric(r.Scalar("long_p999_top_load"), "long-p999@80")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -160,8 +187,10 @@ func BenchmarkFig7ab_LoadSweep(b *testing.B) {
 // BenchmarkFig7cd_RequestRate sweeps incast request rate over websearch
 // background (Fig. 7c/d).
 func BenchmarkFig7cd_RequestRate(b *testing.B) {
+	b.ReportAllocs()
 	for _, rate := range []float64{1000, 4000} {
 		b.Run(fmt.Sprintf("rate%.0f", rate), func(b *testing.B) {
+			b.ReportAllocs()
 			var pt, hp *exp.Result
 			for i := 0; i < b.N; i++ {
 				pt = mustRun(b, exp.NewSpec("websearch", exp.PowerTCP,
@@ -179,8 +208,10 @@ func BenchmarkFig7cd_RequestRate(b *testing.B) {
 
 // BenchmarkFig7ef_RequestSize sweeps incast request size (Fig. 7e/f).
 func BenchmarkFig7ef_RequestSize(b *testing.B) {
+	b.ReportAllocs()
 	for _, mb := range []int64{1, 8} {
 		b.Run(fmt.Sprintf("size%dMB", mb), func(b *testing.B) {
+			b.ReportAllocs()
 			var pt *exp.Result
 			for i := 0; i < b.N; i++ {
 				pt = mustRun(b, exp.NewSpec("websearch", exp.PowerTCP,
@@ -196,14 +227,17 @@ func BenchmarkFig7ef_RequestSize(b *testing.B) {
 // BenchmarkFig7gh_BufferCDF collects the buffer-occupancy CDFs at 80%
 // load (Fig. 7g/h) and reports the p99 occupancy.
 func BenchmarkFig7gh_BufferCDF(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("websearch", scheme,
 					exp.WithLoad(0.8), exp.WithSeed(1), exp.WithBufferSampling(true)))
 			}
 			b.ReportMetric(r.Scalar("buffer_p99_bytes")/1024, "p99-buffer-KB")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -211,14 +245,17 @@ func BenchmarkFig7gh_BufferCDF(b *testing.B) {
 // BenchmarkFig8a_RDCNTimeseries runs the RDCN case study's time series
 // (Fig. 8a) and reports circuit utilization — the 80–85% headline.
 func BenchmarkFig8a_RDCNTimeseries(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.HPCC, exp.ReTCP600, exp.ReTCP1800} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("rdcn", scheme, exp.WithSeed(1)))
 			}
 			b.ReportMetric(r.Scalar("circuit_utilization")*100, "circuit-util-pct")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -226,15 +263,18 @@ func BenchmarkFig8a_RDCNTimeseries(b *testing.B) {
 // BenchmarkFig8b_RDCNTail sweeps the packet-network bandwidth and
 // reports tail queuing latency (Fig. 8b).
 func BenchmarkFig8b_RDCNTail(b *testing.B) {
+	b.ReportAllocs()
 	for _, pg := range []units.BitRate{25 * units.Gbps, 50 * units.Gbps} {
 		for _, scheme := range []string{exp.ReTCP1800, exp.PowerTCP} {
 			b.Run(fmt.Sprintf("%s/%v", scheme, pg), func(b *testing.B) {
+				b.ReportAllocs()
 				var r *exp.Result
 				for i := 0; i < b.N; i++ {
 					r = mustRun(b, exp.NewSpec("rdcn", scheme,
 						exp.WithPacketRate(pg), exp.WithSeed(1)))
 				}
 				b.ReportMetric(r.Scalar("tail_queuing_us"), "tail-queuing-us")
+				reportEventsPerSec(b, r)
 			})
 		}
 	}
@@ -243,14 +283,17 @@ func BenchmarkFig8b_RDCNTail(b *testing.B) {
 // BenchmarkFig9_HomaOvercommit sweeps HOMA's overcommitment level in the
 // fairness scenario (Figure 9 / Appendix D).
 func BenchmarkFig9_HomaOvercommit(b *testing.B) {
+	b.ReportAllocs()
 	for oc := 1; oc <= 6; oc += 1 {
 		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("fairness", fmt.Sprintf("homa-oc%d", oc),
 					exp.WithSeed(1)))
 			}
 			b.ReportMetric(r.Scalar("jain"), "jain")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -259,8 +302,10 @@ func BenchmarkFig9_HomaOvercommit(b *testing.B) {
 // overcommitment levels (Figures 10–11). The overcommitment composes as
 // a scheme option instead of a parsed name, exercising that path too.
 func BenchmarkFig10_11_HomaIncast(b *testing.B) {
+	b.ReportAllocs()
 	for _, oc := range []int{1, 3, 6} {
 		b.Run(fmt.Sprintf("oc%d", oc), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", exp.Homa,
@@ -269,6 +314,7 @@ func BenchmarkFig10_11_HomaIncast(b *testing.B) {
 			}
 			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -277,8 +323,10 @@ func BenchmarkFig10_11_HomaIncast(b *testing.B) {
 // scenario — the design-choice ablation behind the paper's γ=0.9
 // recommendation (§3.3).
 func BenchmarkAblation_Gamma(b *testing.B) {
+	b.ReportAllocs()
 	for _, gamma := range []float64{0.5, 0.7, 0.9, 1.0} {
 		b.Run(fmt.Sprintf("gamma%.1f", gamma), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
@@ -287,6 +335,7 @@ func BenchmarkAblation_Gamma(b *testing.B) {
 			}
 			b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -294,8 +343,10 @@ func BenchmarkAblation_Gamma(b *testing.B) {
 // BenchmarkAblation_PerRTTUpdates compares per-ACK vs once-per-RTT
 // window updates (the RDCN configuration of §5) in the incast scenario.
 func BenchmarkAblation_PerRTTUpdates(b *testing.B) {
+	b.ReportAllocs()
 	for _, perRTT := range []bool{false, true} {
 		b.Run(fmt.Sprintf("perRTT=%v", perRTT), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
@@ -313,8 +364,10 @@ func BenchmarkAblation_PerRTTUpdates(b *testing.B) {
 // PowerTCP's near-zero equilibrium: the end-of-run queue after the same
 // incast tells the story.
 func BenchmarkAblation_StandingQueue(b *testing.B) {
+	b.ReportAllocs()
 	for _, scheme := range []string{exp.PowerTCP, exp.DCTCP, exp.Reno} {
 		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", scheme,
@@ -322,6 +375,7 @@ func BenchmarkAblation_StandingQueue(b *testing.B) {
 			}
 			b.ReportMetric(r.Scalar("tail_mean_queue_kb"), "standing-queue-KB")
 			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			reportEventsPerSec(b, r)
 		})
 	}
 }
@@ -329,8 +383,10 @@ func BenchmarkAblation_StandingQueue(b *testing.B) {
 // BenchmarkAblation_DTAlpha sweeps the Dynamic Thresholds factor to show
 // buffer management's effect on the large incast.
 func BenchmarkAblation_DTAlpha(b *testing.B) {
+	b.ReportAllocs()
 	for _, alpha := range []float64{0.25, 1, 4} {
 		b.Run(fmt.Sprintf("alpha%.2f", alpha), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *exp.Result
 			for i := 0; i < b.N; i++ {
 				r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
@@ -346,16 +402,20 @@ func BenchmarkAblation_DTAlpha(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second pushing an unbounded PowerTCP flow across the fat-tree.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var r *exp.Result
 	for i := 0; i < b.N; i++ {
-		mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+		r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
 			exp.WithFanIn(4), exp.WithWindow(sim.Millisecond), exp.WithSeed(1)))
 	}
+	reportEventsPerSec(b, r)
 }
 
 // BenchmarkSuiteParallelism runs the same five-spec suite serially and
 // with the full worker pool — the speedup is the parallel harness's
 // reason to exist.
 func BenchmarkSuiteParallelism(b *testing.B) {
+	b.ReportAllocs()
 	specs := func() []exp.Spec {
 		var out []exp.Spec
 		for _, scheme := range []string{exp.PowerTCP, exp.ThetaPowerTCP, exp.HPCC, exp.Timely, exp.Homa} {
@@ -370,6 +430,7 @@ func BenchmarkSuiteParallelism(b *testing.B) {
 			name = "gomaxprocs"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				suite := exp.Suite{Specs: specs(), Workers: workers}
 				if _, err := suite.Run(); err != nil {

@@ -43,8 +43,8 @@ type DCQCN struct {
 	byteStage  int
 	byteAcc    int64
 
-	alphaTimer *sim.Event
-	incTimer   *sim.Event
+	alphaTimer *sim.Timer
+	incTimer   *sim.Timer
 }
 
 // NewDCQCN returns a DCQCN reaction point with published defaults.
@@ -89,6 +89,19 @@ func (d *DCQCN) Init(lim Limits) {
 	d.rate = lim.HostRate
 	d.target = lim.HostRate
 	d.alpha = 1
+	if lim.Engine != nil {
+		// Pre-bound, reschedulable timers: the per-CNP α-timer reset and
+		// the periodic increase both re-arm without allocating.
+		d.alphaTimer = lim.Engine.NewTimer(func() {
+			d.alpha *= 1 - d.G
+			d.armAlphaTimer()
+		})
+		d.incTimer = lim.Engine.NewTimer(func() {
+			d.timerStage++
+			d.raise()
+			d.armIncTimer()
+		})
+	}
 	d.armAlphaTimer()
 	d.armIncTimer()
 }
@@ -140,26 +153,15 @@ func (d *DCQCN) resetIncrease() {
 }
 
 func (d *DCQCN) armAlphaTimer() {
-	if d.lim.Engine == nil {
-		return
+	if d.alphaTimer != nil {
+		d.alphaTimer.ArmAfter(d.AlphaTimer)
 	}
-	d.lim.Engine.Cancel(d.alphaTimer)
-	d.alphaTimer = d.lim.Engine.After(d.AlphaTimer, func() {
-		d.alpha *= 1 - d.G
-		d.armAlphaTimer()
-	})
 }
 
 func (d *DCQCN) armIncTimer() {
-	if d.lim.Engine == nil {
-		return
+	if d.incTimer != nil {
+		d.incTimer.ArmAfter(d.IncTimer)
 	}
-	d.lim.Engine.Cancel(d.incTimer)
-	d.incTimer = d.lim.Engine.After(d.IncTimer, func() {
-		d.timerStage++
-		d.raise()
-		d.armIncTimer()
-	})
 }
 
 // raise performs one increase event: fast recovery toward the target for
@@ -180,8 +182,10 @@ func (d *DCQCN) Alpha() float64 { return d.alpha }
 
 // Stop cancels the algorithm's timers (flow teardown in long sweeps).
 func (d *DCQCN) Stop() {
-	if d.lim.Engine != nil {
-		d.lim.Engine.Cancel(d.alphaTimer)
-		d.lim.Engine.Cancel(d.incTimer)
+	if d.alphaTimer != nil {
+		d.alphaTimer.Stop()
+	}
+	if d.incTimer != nil {
+		d.incTimer.Stop()
 	}
 }

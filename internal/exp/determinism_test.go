@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/packet"
 	"repro/internal/sim"
 )
 
@@ -107,6 +108,59 @@ func TestSuiteParallelMatchesSerial(t *testing.T) {
 		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
 			t.Fatalf("spec %d: parallel result differs from serial\nserial:   %.200s\nparallel: %.200s",
 				i, sb.String(), pb.String())
+		}
+	}
+}
+
+// Packet pooling is an allocation strategy, not a model change: a suite
+// covering every experiment family must produce byte-identical encoded
+// results with the free lists disabled. This is the guardrail for the
+// zero-allocation hot path — any pooled packet or INT slice that is still
+// referenced after Put would corrupt a run and diverge here.
+func TestSuitePooledMatchesUnpooled(t *testing.T) {
+	specs := func() []Spec {
+		var out []Spec
+		for _, scheme := range []string{PowerTCP, HPCC, Timely, DCQCN, Reno, Homa} {
+			out = append(out, NewSpec("incast", scheme,
+				WithFanIn(6), WithWindow(sim.Millisecond), WithSeed(5)))
+		}
+		out = append(out, NewSpec("fairness", PowerTCP,
+			WithWindow(2*sim.Millisecond), WithSeed(5)))
+		out = append(out, NewSpec("websearch", PowerTCP,
+			WithLoad(0.15), WithServersPerTor(4),
+			WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(5)))
+		out = append(out, NewSpec("rdcn", PowerTCP, WithTors(4), WithSeed(5)))
+		return out
+	}
+
+	pooledSuite := Suite{Specs: specs(), Workers: 1}
+	pooled, err := pooledSuite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	packet.SetPooling(false)
+	defer packet.SetPooling(true)
+	unpooledSuite := Suite{Specs: specs(), Workers: 1}
+	unpooled, err := unpooledSuite.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pooled) != len(unpooled) {
+		t.Fatalf("result counts differ: %d vs %d", len(pooled), len(unpooled))
+	}
+	for i := range pooled {
+		var pb, ub bytes.Buffer
+		if err := pooled[i].EncodeJSON(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if err := unpooled[i].EncodeJSON(&ub); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pb.Bytes(), ub.Bytes()) {
+			t.Fatalf("spec %d (%s/%s): pooled result differs from unpooled\npooled:   %.300s\nunpooled: %.300s",
+				i, pooled[i].Experiment, pooled[i].Scheme, pb.String(), ub.String())
 		}
 	}
 }

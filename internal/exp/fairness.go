@@ -96,6 +96,7 @@ func runFairness(s Spec, scheme Scheme) (*Result, error) {
 	res := &Result{Raw: fr}
 	res.SetScalar("jain", fr.JainAvg)
 	res.SetScalar("flows", float64(s.Flows))
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
 	for i := range fr.Per {
 		res.AddSeries(TimeSeries(fmt.Sprintf("flow%d_gbps", i+1), fr.T, fr.Per[i]))
 	}

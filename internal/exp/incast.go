@@ -129,6 +129,7 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 
 	res := &Result{Raw: ic}
 	res.SetScalar("fan_in", float64(ic.FanIn))
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
 	res.SetScalar("peak_queue_kb", ic.PeakQueueKB)
 	res.SetScalar("end_queue_kb", ic.EndQueueKB)
 	res.SetScalar("tail_mean_queue_kb", ic.TailMeanQueueKB)

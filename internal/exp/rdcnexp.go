@@ -156,6 +156,7 @@ func runRDCN(s Spec, scheme Scheme) (*Result, error) {
 
 	res := &Result{Raw: rr}
 	res.SetScalar("circuit_utilization", rr.CircuitUtilization)
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
 	res.SetScalar("tail_queuing_us", rr.TailQueuingUs)
 	res.SetScalar("avg_goodput_gbps", rr.AvgGoodputGbps)
 	res.AddSeries(TimeSeries("throughput_gbps", rr.T, rr.Throughput))

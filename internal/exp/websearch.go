@@ -29,6 +29,10 @@ type WebSearchResult struct {
 	// samples (Fig. 7g/h), in bytes.
 	BufferCDF []stats.CDFPoint
 	BufferP99 float64
+
+	// EngineSteps is the number of discrete events the run executed
+	// (simulator-throughput accounting for the bench harness).
+	EngineSteps uint64
 }
 
 func normalizeWebSearch(s *Spec) {
@@ -148,6 +152,7 @@ func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
 		ws.BufferCDF = bufSamples.CDF(50)
 		ws.BufferP99 = bufSamples.Percentile(99)
 	}
+	ws.EngineSteps = net.Eng.Steps()
 	return ws, nil
 }
 
@@ -164,6 +169,7 @@ func webSearchScalars(res *Result, ws *WebSearchResult) {
 	if ws.BufferP99 > 0 {
 		res.SetScalar("buffer_p99_bytes", ws.BufferP99)
 	}
+	res.SetScalar("engine_steps", float64(ws.EngineSteps))
 }
 
 // runLoadSweep runs the websearch cell across Loads (Fig. 7a/7b). Raw is
@@ -192,5 +198,10 @@ func runLoadSweep(s Spec, scheme Scheme) (*Result, error) {
 		res.SetScalar("short_p999_top_load", top.ShortP999)
 		res.SetScalar("long_p999_top_load", top.LongP999)
 	}
+	var steps uint64
+	for _, ws := range cells {
+		steps += ws.EngineSteps
+	}
+	res.SetScalar("engine_steps", float64(steps))
 	return res, nil
 }

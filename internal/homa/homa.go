@@ -103,7 +103,7 @@ type recvMsg struct {
 	granted int64
 	start   sim.Time // SentAt of the earliest packet seen
 	lastHit sim.Time
-	resend  *sim.Event
+	resend  *sim.Timer // hole-repair timer, bound once per message
 	done    bool
 }
 
@@ -112,10 +112,11 @@ func (m *recvMsg) remaining() int64 { return m.size - m.received() }
 
 // Host is a HOMA endpoint. It satisfies the topo.Node interface.
 type Host struct {
-	id  packet.NodeID
-	eng *sim.Engine
-	cfg Config
-	nic *link.Port
+	id   packet.NodeID
+	eng  *sim.Engine
+	cfg  Config
+	nic  *link.Port
+	pool *packet.Pool
 
 	sendQ     map[uint64]*Msg
 	recvQ     map[uint64]*recvMsg
@@ -134,6 +135,7 @@ func NewHost(eng *sim.Engine, id packet.NodeID, cfg Config) *Host {
 	cfg.fillDefaults()
 	return &Host{
 		id: id, eng: eng, cfg: cfg,
+		pool:  packet.NewPool(),
 		sendQ: map[uint64]*Msg{},
 		recvQ: map[uint64]*recvMsg{},
 	}
@@ -144,6 +146,13 @@ func (h *Host) ID() packet.NodeID { return h.id }
 
 // SetUplink implements topo.Node.
 func (h *Host) SetUplink(p *link.Port) { h.nic = p }
+
+// SetPool shares an engine-wide packet free list (see transport.Host.SetPool).
+func (h *Host) SetPool(pl *packet.Pool) {
+	if pl != nil {
+		h.pool = pl
+	}
+}
 
 // NIC implements topo.Node.
 func (h *Host) NIC() *link.Port { return h.nic }
@@ -213,20 +222,20 @@ func (h *Host) pump(m *Msg) {
 }
 
 func (h *Host) emit(m *Msg, seq, n int64, prio uint8, unsched bool) {
-	h.nic.Send(&packet.Packet{
-		ID:          h.pktID(),
-		Kind:        packet.Data,
-		Flow:        m.Flow,
-		Src:         h.id,
-		Dst:         m.Dst,
-		Seq:         seq,
-		PayloadLen:  int32(n),
-		MsgID:       m.ID,
-		MsgLen:      m.Size,
-		Priority:    prio,
-		Unscheduled: unsched,
-		SentAt:      h.eng.Now(),
-	})
+	p := h.pool.Get()
+	p.ID = h.pktID()
+	p.Kind = packet.Data
+	p.Flow = m.Flow
+	p.Src = h.id
+	p.Dst = m.Dst
+	p.Seq = seq
+	p.PayloadLen = int32(n)
+	p.MsgID = m.ID
+	p.MsgLen = m.Size
+	p.Priority = prio
+	p.Unscheduled = unsched
+	p.SentAt = h.eng.Now()
+	h.nic.Send(p)
 }
 
 // pktID is per-host (not a package global) so concurrent simulations in
@@ -236,7 +245,8 @@ func (h *Host) pktID() uint64 {
 	return h.nextPktID<<16 | uint64(h.id&0xFFFF)
 }
 
-// Receive implements link.Receiver.
+// Receive implements link.Receiver. Data and grant packets are fully
+// consumed here and recycled into the pool on return.
 func (h *Host) Receive(p *packet.Packet) {
 	switch p.Kind {
 	case packet.Data:
@@ -244,6 +254,7 @@ func (h *Host) Receive(p *packet.Packet) {
 	case packet.Grant:
 		h.onGrant(p)
 	}
+	h.pool.Put(p)
 }
 
 // grant Seq sentinels: -1 = plain grant, msgComplete = receiver got all
@@ -297,7 +308,9 @@ func (h *Host) onData(p *packet.Packet) {
 
 	if m.remaining() <= 0 {
 		m.done = true
-		h.eng.Cancel(m.resend)
+		if m.resend != nil {
+			m.resend.Stop()
+		}
 		fct := h.eng.Now().Sub(m.start)
 		// Completion notice releases sender state.
 		h.sendGrant(m, m.size, 0, msgComplete, 0)
@@ -350,42 +363,46 @@ func (h *Host) schedule() {
 // sendGrant emits a grant/control packet. resendSeq ≥ 0 requests a
 // retransmission of [resendSeq, resendSeq+resendLen).
 func (h *Host) sendGrant(m *recvMsg, offset int64, prio uint8, resendSeq int64, resendLen int32) {
-	h.nic.Send(&packet.Packet{
-		ID:          h.pktID(),
-		Kind:        packet.Grant,
-		Flow:        m.flow,
-		Src:         h.id,
-		Dst:         m.src,
-		MsgID:       m.id,
-		GrantOffset: offset,
-		Priority:    prio,
-		Seq:         resendSeq,
-		PayloadLen:  resendLen,
-		SentAt:      h.eng.Now(),
-	})
+	p := h.pool.Get()
+	p.ID = h.pktID()
+	p.Kind = packet.Grant
+	p.Flow = m.flow
+	p.Src = h.id
+	p.Dst = m.src
+	p.MsgID = m.id
+	p.GrantOffset = offset
+	p.Priority = prio
+	p.Seq = resendSeq
+	p.PayloadLen = resendLen
+	p.SentAt = h.eng.Now()
+	h.nic.Send(p)
 }
 
 func (h *Host) armResend(m *recvMsg) {
-	if m.resend != nil && !m.resend.Cancelled() {
+	if m.resend == nil {
+		m.resend = h.eng.NewTimer(func() { h.onResendTimeout(m) })
+	}
+	if m.resend.Armed() {
 		return
 	}
-	m.resend = h.eng.After(h.cfg.ResendTimeout, func() {
-		m.resend = nil
-		if m.done {
-			return
-		}
-		if h.eng.Now().Sub(m.lastHit) < h.cfg.ResendTimeout {
-			h.armResend(m)
-			return
-		}
-		// Request the first hole below the granted boundary.
-		holeStart := m.got.CumulativeFrom(0)
-		n := min64(h.cfg.MSS, m.granted-holeStart)
-		if n > 0 {
-			h.sendGrant(m, m.granted, m.prio, holeStart, int32(n))
-		}
+	m.resend.ArmAfter(h.cfg.ResendTimeout)
+}
+
+func (h *Host) onResendTimeout(m *recvMsg) {
+	if m.done {
+		return
+	}
+	if h.eng.Now().Sub(m.lastHit) < h.cfg.ResendTimeout {
 		h.armResend(m)
-	})
+		return
+	}
+	// Request the first hole below the granted boundary.
+	holeStart := m.got.CumulativeFrom(0)
+	n := min64(h.cfg.MSS, m.granted-holeStart)
+	if n > 0 {
+		h.sendGrant(m, m.granted, m.prio, holeStart, int32(n))
+	}
+	h.armResend(m)
 }
 
 // String implements fmt.Stringer.

@@ -6,6 +6,14 @@
 // Ports expose hooks that the owning device uses to implement INT
 // stamping, ECN marking, and shared-buffer accounting at dequeue time,
 // mirroring where a real traffic manager takes those actions.
+//
+// The drain loop is allocation-free in steady state: the serializer is a
+// pre-bound sim.Timer, and each delivery is an argument-carrying engine
+// event (sim.Engine.AtCall) whose callback is bound once per port —
+// kick() schedules zero new objects per packet. Scheduling the delivery
+// at dequeue time (rather than chaining deliveries off one timer) keeps
+// same-instant cross-port event ordering identical to a per-closure
+// implementation, which the determinism suite relies on.
 package link
 
 import (
@@ -38,12 +46,21 @@ type Port struct {
 	OnDequeue func(p *packet.Packet)
 	// OnDrop observes admission drops (for metrics).
 	OnDrop func(p *packet.Packet)
+	// Pool, when set, recycles admission-dropped packets (the
+	// NIC/switch-side Put point of the engine's packet free list).
+	Pool *packet.Pool
 
 	txBytes uint64 // cumulative wire bytes transmitted
 	txPkts  uint64
 	drops   uint64
 	busy    bool
 	paused  bool
+
+	// Reusable transmit state, bound lazily on first kick: the timer that
+	// ends the current serialization and the delivery callback shared by
+	// every packet this port puts on the wire.
+	txDone    *sim.Timer
+	deliverFn func(any)
 }
 
 // NewPort builds a port with a fresh FIFO queue.
@@ -71,6 +88,7 @@ func (pt *Port) Send(p *packet.Packet) {
 		if pt.OnDrop != nil {
 			pt.OnDrop(p)
 		}
+		pt.Pool.Put(p)
 		return
 	}
 	pt.Q.Push(p)
@@ -110,10 +128,22 @@ func (pt *Port) kick() {
 	pt.txPkts++
 	tx := pt.Rate.TxTime(wire)
 	pt.busy = true
-	pt.Eng.After(tx, func() {
-		pt.busy = false
-		pt.kick()
-	})
-	peer := pt.Peer
-	pt.Eng.After(tx+pt.Delay, func() { peer.Receive(p) })
+	if pt.txDone == nil {
+		pt.txDone = pt.Eng.NewTimer(pt.onTxDone)
+		pt.deliverFn = pt.deliver
+	}
+	now := pt.Eng.Now()
+	pt.txDone.Arm(now.Add(tx))
+	pt.Eng.AtCall(now.Add(tx+pt.Delay), pt.deliverFn, p)
+}
+
+func (pt *Port) onTxDone() {
+	pt.busy = false
+	pt.kick()
+}
+
+// deliver hands one packet to the peer; it is the shared AtCall callback
+// for every delivery this port schedules.
+func (pt *Port) deliver(arg any) {
+	pt.Peer.Receive(arg.(*packet.Packet))
 }

@@ -1,0 +1,88 @@
+package packet
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// poolingEnabled is the global kill-switch used by determinism tests to
+// compare pooled against pool-disabled runs. It defaults to on; flipping
+// it must not change any simulation output, only allocation behavior.
+var poolingEnabled atomic.Bool
+
+func init() { poolingEnabled.Store(true) }
+
+// SetPooling turns packet pooling on or off process-wide. It exists for
+// the pooled-vs-unpooled determinism comparison; production code leaves
+// pooling on.
+func SetPooling(on bool) { poolingEnabled.Store(on) }
+
+// PoolingEnabled reports whether packet pooling is active.
+func PoolingEnabled() bool { return poolingEnabled.Load() }
+
+// Pool is a free list of packets. Every simulation engine gets one pool
+// shared by its hosts, switches and ports; packets are taken with Get at
+// every send point and returned with Put at every consume point (NIC
+// receive of a data/control packet, ACK consumption at the sender, and
+// admission drops).
+//
+// Invariants (see PERF.md):
+//   - After Put(p) the caller must not touch p or p.Hops again: both are
+//     recycled in place and will be handed to an unrelated sender.
+//   - A packet may be Put at most once per Get.
+//   - Pools are engine-local and therefore goroutine-local; they are NOT
+//     safe for concurrent use, matching the single-threaded engine.
+//
+// The nil *Pool is valid and degrades to plain allocation, so optional
+// integration points can call through unconditionally.
+type Pool struct {
+	free []*Packet
+
+	gets uint64 // total Get calls
+	news uint64 // Gets that had to allocate
+	puts uint64 // total Put calls
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet. The INT hop slice keeps its previous
+// capacity (emptied in place), so steady-state INT stamping allocates
+// nothing.
+func (pl *Pool) Get() *Packet {
+	if pl == nil || !poolingEnabled.Load() {
+		return &Packet{Hops: make([]telemetry.HopRecord, 0, telemetry.PathHopCap)}
+	}
+	pl.gets++
+	if k := len(pl.free); k > 0 {
+		p := pl.free[k-1]
+		pl.free[k-1] = nil
+		pl.free = pl.free[:k-1]
+		return p
+	}
+	pl.news++
+	return &Packet{Hops: make([]telemetry.HopRecord, 0, telemetry.PathHopCap)}
+}
+
+// Put recycles p. The hop slice is truncated but its backing array is
+// kept, and every other field is zeroed. Put of nil is a no-op.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil || !poolingEnabled.Load() {
+		return
+	}
+	pl.puts++
+	hops := p.Hops[:0]
+	*p = Packet{}
+	p.Hops = hops
+	pl.free = append(pl.free, p)
+}
+
+// Stats reports pool traffic: total Gets, how many of them allocated, and
+// total Puts. Benchmarks use it to report allocs/packet.
+func (pl *Pool) Stats() (gets, news, puts uint64) {
+	if pl == nil {
+		return 0, 0, 0
+	}
+	return pl.gets, pl.news, pl.puts
+}

@@ -17,7 +17,9 @@ type Queue interface {
 }
 
 // FIFO is a first-in-first-out packet queue backed by a growable ring.
-// The zero value is an empty queue ready for use.
+// The ring's capacity is always a power of two so index wrapping is a
+// bit-mask instead of a modulo — this is the innermost loop of every
+// port's drain path. The zero value is an empty queue ready for use.
 type FIFO struct {
 	buf   []*packet.Packet
 	head  int
@@ -33,15 +35,17 @@ func (q *FIFO) Push(p *packet.Packet) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
 	q.n++
 	q.bytes += p.WireLen()
 }
 
 func (q *FIFO) grow() {
+	// 8 and doubling keep the capacity a power of two.
 	next := make([]*packet.Packet, max(8, 2*len(q.buf)))
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+		next[i] = q.buf[(q.head+i)&mask]
 	}
 	q.buf = next
 	q.head = 0
@@ -54,7 +58,7 @@ func (q *FIFO) Pop() *packet.Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	q.bytes -= p.WireLen()
 	return p

@@ -77,6 +77,7 @@ type Network struct {
 	Tors  []*Tor
 	Core  *swtch.Switch
 	Hosts []*transport.Host
+	Pool  *packet.Pool
 
 	BaseRTT  sim.Duration
 	nextFlow uint64
@@ -151,7 +152,7 @@ func (f *circuitFabric) Receive(p *packet.Packet) {
 func Build(cfg Config) *Network {
 	cfg.fillDefaults()
 	eng := sim.New()
-	n := &Network{Eng: eng, Cfg: cfg}
+	n := &Network{Eng: eng, Cfg: cfg, Pool: packet.NewPool()}
 	n.Sched = &Schedule{Tors: cfg.Tors, Day: cfg.Day, Night: cfg.Night}
 	// A prebuffer lead approaching the rotor week would classify every
 	// destination as "upcoming" and starve the packet path (including
@@ -174,7 +175,7 @@ func Build(cfg Config) *Network {
 		hostCfg.DupAckThreshold = -1
 	}
 
-	n.Core = swtch.New(eng, packet.NodeID(1<<18), swtch.Config{INT: cfg.INT})
+	n.Core = swtch.New(eng, packet.NodeID(1<<18), swtch.Config{INT: cfg.INT, Pool: n.Pool})
 
 	fabric := &circuitFabric{net: n}
 	for ti := 0; ti < cfg.Tors; ti++ {
@@ -184,9 +185,11 @@ func Build(cfg Config) *Network {
 		for s := 0; s < cfg.ServersPerTor; s++ {
 			id := packet.NodeID(ti*cfg.ServersPerTor + s)
 			h := transport.NewHost(eng, id, hostCfg)
+			h.SetPool(n.Pool)
 			n.Hosts = append(n.Hosts, h)
 			up := link.NewPort(eng, cfg.HostRate, cfg.EdgeDelay, tor)
 			up.Name = fmt.Sprintf("rdcn-host%d.nic", id)
+			up.Pool = n.Pool
 			h.SetUplink(up)
 			down := newINTPort(eng, cfg.HostRate, cfg.EdgeDelay, h, nil, cfg.INT)
 			down.Name = fmt.Sprintf("tor%d.host%d", ti, s)

@@ -39,7 +39,8 @@ type ReTCP struct {
 	lim     cc.Limits
 	cwnd    float64
 	boosted bool
-	timer   *sim.Event
+	timer   *sim.Timer // pre-bound ramp timer; alternates up/down phases
+	dayEnd  sim.Time   // end of the day being ridden while boosted
 }
 
 // Name implements cc.Algorithm.
@@ -62,13 +63,16 @@ func (r *ReTCP) Init(lim cc.Limits) {
 		r.PktWindow = float64(lim.MSS)
 	}
 	r.cwnd = r.PktWindow
+	if lim.Engine != nil && r.Sched != nil {
+		r.timer = lim.Engine.NewTimer(r.onTimer)
+	}
 	r.schedule()
 }
 
 // schedule arms the ramp-up timer Δ before the next day connecting
-// SrcTor→DstTor, and from there the ramp-down timer at that day's end.
+// SrcTor→DstTor; onTimer then chains the ramp-down at that day's end.
 func (r *ReTCP) schedule() {
-	if r.lim.Engine == nil || r.Sched == nil {
+	if r.timer == nil {
 		return
 	}
 	eng := r.lim.Engine
@@ -77,15 +81,22 @@ func (r *ReTCP) schedule() {
 	if up < eng.Now() {
 		up = eng.Now()
 	}
-	r.timer = eng.At(up, func() {
+	r.dayEnd = day.Add(r.Sched.Day)
+	r.timer.Arm(up)
+}
+
+// onTimer alternates between the two operating points: ramp up Δ before
+// the day, ramp down when the day ends.
+func (r *ReTCP) onTimer() {
+	if !r.boosted {
 		r.boosted = true
 		r.cwnd = r.CircuitWindow
-		r.timer = eng.At(day.Add(r.Sched.Day), func() {
-			r.boosted = false
-			r.cwnd = r.PktWindow
-			r.schedule()
-		})
-	})
+		r.timer.Arm(r.dayEnd)
+		return
+	}
+	r.boosted = false
+	r.cwnd = r.PktWindow
+	r.schedule()
 }
 
 // OnAck implements cc.Algorithm (reTCP's reaction is schedule-driven).
@@ -113,7 +124,7 @@ func (r *ReTCP) Rate() units.BitRate {
 
 // Stop implements the transport teardown hook.
 func (r *ReTCP) Stop() {
-	if r.lim.Engine != nil {
-		r.lim.Engine.Cancel(r.timer)
+	if r.timer != nil {
+		r.timer.Stop()
 	}
 }

@@ -1,33 +1,74 @@
 package sim
 
-import "container/heap"
-
-// Event is a scheduled callback. Events are created by the Engine and may
-// be cancelled until they fire. The zero Event is not useful; always use
-// Engine.At or Engine.After.
-type Event struct {
-	at        Time
-	seq       uint64 // tiebreaker: FIFO among events at the same instant
+// node is the engine-owned storage behind a scheduled event. Nodes are
+// recycled through a free list: when an event fires, or a cancelled event
+// reaches the head of the heap and is skipped, its node's generation is
+// bumped and the node returns to the pool. Handles (Event values) carry
+// the generation they were issued with, so a handle to a recycled node
+// goes stale instead of aliasing whatever the node holds next.
+type node struct {
 	fn        func()
-	index     int // position in the heap, -1 once popped
+	afn       func(any) // argument-carrying callback (AtCall); nil for At
+	arg       any
+	gen       uint64
 	cancelled bool
 }
 
-// At returns the time the event is scheduled to fire.
-func (ev *Event) At() Time { return ev.at }
+// Event is a handle to one scheduled event instance. It is a small value,
+// cheap to copy and compare; the zero Event refers to nothing and is safe
+// to Cancel or query.
+//
+// Lifecycle semantics (the fine print of the pooled engine):
+//
+//   - Scheduled() is true from At/After until the instance fires or is
+//     cancelled.
+//   - Cancelled() is true from Cancel until the engine reaps the dead
+//     instance (lazily, when its deadline reaches the head of the queue).
+//   - Once an instance has fired or been reaped the handle is stale:
+//     Scheduled and Cancelled both report false, and Cancel is a no-op.
+//     In particular, cancelling an already-fired event does NOT mark it
+//     cancelled — post-fire Cancel has no effect of any kind.
+//
+// Code that needs a long-lived, re-armable callback should use Timer,
+// which tracks its own armed state exactly and never goes stale.
+type Event struct {
+	n   *node
+	gen uint64
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (ev *Event) Cancelled() bool { return ev.cancelled }
+// Scheduled reports whether the event instance is still pending.
+func (ev Event) Scheduled() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && !ev.n.cancelled
+}
+
+// Cancelled reports whether this instance was cancelled and has not yet
+// been reaped. Stale handles (fired or reaped instances) report false.
+func (ev Event) Cancelled() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.cancelled
+}
+
+// entry is one element of the event queue. Entries are stored by value so
+// heap sift operations compare (at, seq) without chasing pointers.
+type entry struct {
+	at  Time
+	seq uint64
+	n   *node
+}
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 //
 // All callbacks run on the goroutine that calls Run/RunUntil/Step; the
 // Engine itself is not safe for concurrent use, matching the deterministic
 // single-threaded execution model described in the package comment.
+//
+// The engine allocates nothing per event in steady state: event nodes are
+// pooled, cancellation is lazy (dead entries are skipped when popped, not
+// removed), and the queue is a manual binary heap of value entries.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	heap   []entry
+	free   []*node
 	nSteps uint64
 }
 
@@ -41,60 +82,100 @@ func (e *Engine) Now() Time { return e.now }
 // reporting simulator throughput in benchmarks).
 func (e *Engine) Steps() uint64 { return e.nSteps }
 
-// Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of queue entries waiting, including
+// cancelled instances that have not been reaped yet.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a model bug, and silently
 // reordering time would destroy determinism.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
+	n := e.take(t)
+	n.fn = fn
+	e.push(entry{at: t, seq: e.seq, n: n})
+	e.seq++
+	return Event{n: n, gen: n.gen}
+}
+
+// AtCall schedules fn(arg) at absolute time t. It is the hot-path variant
+// of At for per-packet work: the callback is a long-lived pre-bound
+// function and the per-event payload rides in arg, so scheduling
+// allocates nothing (a pointer in an interface does not escape). Same
+// past-scheduling panic and ordering semantics as At.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) Event {
+	n := e.take(t)
+	n.afn = fn
+	n.arg = arg
+	e.push(entry{at: t, seq: e.seq, n: n})
+	e.seq++
+	return Event{n: n, gen: n.gen}
+}
+
+// take pops a node from the free list (or allocates one) for an event at
+// time t, panicking on past scheduling.
+func (e *Engine) take(t Time) *node {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	if k := len(e.free); k > 0 {
+		n := e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+		return n
+	}
+	return &node{}
 }
 
 // After schedules fn to run d from now. A non-positive d fires at the
 // current instant, after all callbacks already queued for this instant.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel prevents ev from firing. Cancelling a nil, fired, or already
-// cancelled event is a no-op, so callers can unconditionally cancel timers
-// they may or may not hold.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		ev.markCancelled()
+// Cancel prevents ev from firing. Cancellation is lazy: the instance is
+// marked dead and skipped (and its node recycled) when it reaches the
+// head of the queue. Cancelling the zero Event, a stale handle, or an
+// already-cancelled instance is a no-op, so callers can unconditionally
+// cancel timers they may or may not hold.
+func (e *Engine) Cancel(ev Event) {
+	if ev.n == nil || ev.n.gen != ev.gen {
 		return
 	}
-	ev.cancelled = true
-	heap.Remove(&e.events, ev.index)
+	ev.n.cancelled = true
 }
 
-func (ev *Event) markCancelled() {
-	if ev != nil {
-		ev.cancelled = true
-	}
+// reap recycles a node whose queue entry has been popped.
+func (e *Engine) reap(n *node) {
+	n.fn = nil
+	n.afn = nil
+	n.arg = nil
+	n.cancelled = false
+	n.gen++
+	e.free = append(e.free, n)
 }
 
 // Step executes the single earliest pending event and returns true, or
-// returns false if no events remain.
+// returns false if no live events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
+	for len(e.heap) > 0 {
+		ent := e.pop()
+		n := ent.n
+		if n.cancelled {
+			e.reap(n)
 			continue
 		}
-		e.now = ev.at
+		e.now = ent.at
 		e.nSteps++
-		ev.fn()
+		fn, afn, arg := n.fn, n.afn, n.arg
+		e.reap(n)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -109,7 +190,17 @@ func (e *Engine) Run() {
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to t. Events scheduled after t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.heap) > 0 {
+		// Reap cancelled entries at the head eagerly so the horizon check
+		// below sees the earliest *live* event (Step would otherwise skip
+		// past a dead head and run an event beyond t).
+		if e.heap[0].n.cancelled {
+			e.reap(e.pop().n)
+			continue
+		}
+		if e.heap[0].at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -117,36 +208,54 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (at, seq): FIFO among events at the same instant.
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push inserts an entry and sifts it up.
+func (e *Engine) push(ent entry) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the minimum entry.
+func (e *Engine) pop() entry {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = entry{}
+	h = h[:last]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && h[r].less(h[l]) {
+			m = r
+		}
+		if !h[m].less(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
 }

@@ -44,22 +44,68 @@ func TestEngineCancel(t *testing.T) {
 	e := New()
 	fired := false
 	ev := e.After(Microsecond, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("fresh event not Scheduled")
+	}
 	e.Cancel(ev)
-	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(ev)      // double cancel is a no-op
+	e.Cancel(Event{}) // zero handle is a no-op
+	if !ev.Cancelled() || ev.Scheduled() {
+		t.Fatal("event not marked cancelled before reaping")
+	}
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	// After the run the dead instance has been reaped: the handle is
+	// stale and reports neither scheduled nor cancelled.
+	if ev.Cancelled() || ev.Scheduled() {
+		t.Fatal("reaped handle did not go stale")
 	}
+}
+
+// Post-fire semantics (the old engine lied here: cancelling a fired event
+// marked it cancelled). Now a fired instance is stale: Cancel is a no-op,
+// Cancelled reports false, and — critically, because event storage is
+// pooled — a stale Cancel must not kill an unrelated event that happens
+// to reuse the same storage.
+func TestEventPostFireSemantics(t *testing.T) {
+	e := New()
+	aFired := false
+	a := e.After(Microsecond, func() { aFired = true })
+	e.Run()
+	if !aFired {
+		t.Fatal("event did not fire")
+	}
+	if a.Cancelled() {
+		t.Fatal("fired event reports Cancelled")
+	}
+	if a.Scheduled() {
+		t.Fatal("fired event reports Scheduled")
+	}
+	e.Cancel(a) // no-op on a fired instance
+	if a.Cancelled() {
+		t.Fatal("post-fire Cancel marked the event cancelled")
+	}
+
+	// b reuses a's pooled storage; a stale cancel of a must not touch it.
+	bFired := false
+	b := e.After(Microsecond, func() { bFired = true })
+	e.Cancel(a)
+	if !b.Scheduled() {
+		t.Fatal("stale Cancel killed an unrelated event")
+	}
+	e.Run()
+	if !bFired {
+		t.Fatal("recycled event did not fire")
+	}
+	_ = b
 }
 
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.After(Duration(i+1)*Microsecond, func() { got = append(got, i) })
@@ -178,7 +224,7 @@ func TestEngineCancelProperty(t *testing.T) {
 		e := New()
 		fired := map[int]bool{}
 		cancelled := map[int]bool{}
-		evs := map[int]*Event{}
+		evs := map[int]Event{}
 		for i := 0; i < int(n); i++ {
 			i := i
 			evs[i] = e.After(Duration(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
@@ -215,4 +261,49 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		}
 	}
 	e.Run()
+	b.ReportMetric(float64(e.Steps())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// Steady-state scheduling must not allocate: nodes come from the free
+// list and the heap's backing array has stabilized.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i)*Nanosecond, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.After(Duration(i)*Nanosecond, fn)
+		}
+		e.Run()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state scheduling allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// Lazy cancellation must not leak nodes: a cancel-heavy workload reuses
+// the same pooled storage round after round.
+func TestEngineCancelRecycles(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for round := 0; round < 3; round++ {
+		evs := make([]Event, 0, 100)
+		for i := 0; i < 100; i++ {
+			evs = append(evs, e.After(Duration(i)*Nanosecond, fn))
+		}
+		for _, ev := range evs {
+			e.Cancel(ev)
+		}
+		e.Run()
+		if got := e.Pending(); got != 0 {
+			t.Fatalf("round %d: %d entries left after Run", round, got)
+		}
+	}
+	if len(e.free) < 100 {
+		t.Fatalf("free list holds %d nodes, want >= 100", len(e.free))
+	}
 }

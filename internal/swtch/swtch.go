@@ -47,6 +47,9 @@ type Config struct {
 	ECN ECNConfig
 	// Seed feeds the marking RNG so runs stay deterministic.
 	Seed int64
+	// Pool, when set, recycles admission-dropped packets into the
+	// engine's shared packet free list.
+	Pool *packet.Pool
 }
 
 // Switch is one switch instance. It implements link.Receiver.
@@ -100,6 +103,7 @@ func (s *Switch) Dropped() uint64 { return s.dropped }
 func (s *Switch) AddPort(rate units.BitRate, delay sim.Duration, peer link.Receiver, q queue.Queue) int {
 	pt := link.NewPort(s.eng, rate, delay, peer)
 	pt.Name = fmt.Sprintf("sw%d.p%d", s.id, len(s.ports))
+	pt.Pool = s.cfg.Pool
 	if q != nil {
 		pt.Q = q
 	}

@@ -37,6 +37,13 @@ type HopRecord struct {
 // for four 8-byte hop records (§5 of the paper notes the same limit).
 const MaxHops = 4
 
+// PathHopCap is the hop capacity packet pools preallocate for the INT
+// stack. The simulator's native (non-wire) mode stamps one record per
+// switch egress over the whole round trip; the deepest path in the
+// repository's topologies — fat-tree host→ToR→agg→core→agg→ToR→host and
+// back — stamps 10, so 12 leaves slack without wasting memory.
+const PathHopCap = 12
+
 // Wire format constants.
 const (
 	BaseHeaderLen = 4                   // magic+version, hop count

@@ -71,6 +71,9 @@ type Network struct {
 	Switches []*swtch.Switch
 	BaseRTT  sim.Duration
 	HostRate units.BitRate
+	// Pool is the engine-wide packet free list every endpoint and switch
+	// recycles through.
+	Pool *packet.Pool
 
 	nextFlow uint64
 	swPeers  [][]peerRef // per switch, per port: what the port points at
@@ -102,12 +105,22 @@ func (n *Network) HostID(i int) packet.NodeID { return n.Hosts[i].ID() }
 
 // newNetwork allocates the shell all builders fill in.
 func newNetwork(hostRate units.BitRate) *Network {
-	return &Network{Eng: sim.New(), HostRate: hostRate}
+	return &Network{Eng: sim.New(), HostRate: hostRate, Pool: packet.NewPool()}
+}
+
+// poolUser lets endpoints opt into the network-wide packet free list
+// without widening the HostFactory signature.
+type poolUser interface {
+	SetPool(*packet.Pool)
 }
 
 func (n *Network) addHost(f HostFactory) int {
 	id := packet.NodeID(len(n.Hosts))
-	n.Hosts = append(n.Hosts, f(n.Eng, id))
+	h := f(n.Eng, id)
+	if pu, ok := h.(poolUser); ok {
+		pu.SetPool(n.Pool)
+	}
+	n.Hosts = append(n.Hosts, h)
 	return len(n.Hosts) - 1
 }
 
@@ -121,6 +134,7 @@ func (n *Network) addSwitch(opts Options) int {
 		QuantizeINT: opts.QuantizeINT,
 		ECN:         opts.ECN,
 		Seed:        opts.Seed,
+		Pool:        n.Pool,
 	})
 	n.Switches = append(n.Switches, s)
 	n.swPeers = append(n.swPeers, nil)
@@ -140,6 +154,7 @@ func (n *Network) wireHost(hi, si int, rate units.BitRate, delay sim.Duration, o
 	s := n.Switches[si]
 	up := link.NewPort(n.Eng, rate, delay, s)
 	up.Name = fmt.Sprintf("host%d.nic", hi)
+	up.Pool = n.Pool
 	h.SetUplink(up)
 	s.AddPort(rate, delay, h, n.qFor(opts))
 	n.swPeers[si] = append(n.swPeers[si], peerRef{isHost: true, idx: hi})

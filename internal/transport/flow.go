@@ -32,8 +32,10 @@ type Flow struct {
 	recover    int64
 	nextSendAt sim.Time
 
-	sendTimer *sim.Event
-	rtoTimer  *sim.Event
+	// Pre-bound timers: pacing credit arrival and retransmission timeout.
+	// Both are armed and re-armed without allocating (see sim.Timer).
+	pacer *sim.Timer
+	rto   *sim.Timer
 
 	Retransmits uint64
 	started     bool
@@ -51,6 +53,8 @@ func (h *Host) StartFlow(id packet.FlowID, dst packet.NodeID, size int64, alg cc
 		CC:      alg,
 		StartAt: at,
 	}
+	f.pacer = h.eng.NewTimer(f.trySend)
+	f.rto = h.eng.NewTimer(f.onRTO)
 	h.flows[id] = f
 	h.eng.At(at, f.start)
 	return f
@@ -107,11 +111,8 @@ func (f *Flow) trySend() {
 	// Blocked on pacing: wake up when the next credit arrives. Blocked on
 	// the window: the next ACK wakes us.
 	if f.remaining() > 0 && float64(f.Inflight()) < f.CC.Cwnd() && now < f.nextSendAt {
-		if f.sendTimer == nil || f.sendTimer.Cancelled() {
-			f.sendTimer = eng.At(f.nextSendAt, func() {
-				f.sendTimer = nil
-				f.trySend()
-			})
+		if !f.pacer.Armed() {
+			f.pacer.Arm(f.nextSendAt)
 		}
 	}
 	f.armRTO()
@@ -127,18 +128,17 @@ func (f *Flow) emit(seq, n int64, rtx bool) {
 	if seq+n > f.maxSent {
 		f.maxSent = seq + n
 	}
-	p := &packet.Packet{
-		ID:         f.Src.pktID(),
-		Kind:       packet.Data,
-		Flow:       f.ID,
-		Src:        f.Src.id,
-		Dst:        f.Dst,
-		Seq:        seq,
-		PayloadLen: int32(n),
-		Rtx:        rtx,
-		Priority:   f.Priority,
-		ECT:        f.ect,
-	}
+	p := f.Src.pool.Get()
+	p.ID = f.Src.pktID()
+	p.Kind = packet.Data
+	p.Flow = f.ID
+	p.Src = f.Src.id
+	p.Dst = f.Dst
+	p.Seq = seq
+	p.PayloadLen = int32(n)
+	p.Rtx = rtx
+	p.Priority = f.Priority
+	p.ECT = f.ect
 	f.Src.send(p)
 	if rtx {
 		f.Retransmits++
@@ -215,10 +215,8 @@ func (f *Flow) retransmitHead() {
 func (f *Flow) finish(now sim.Time) {
 	f.Done = true
 	f.FinishAt = now
-	eng := f.Src.eng
-	eng.Cancel(f.sendTimer)
-	eng.Cancel(f.rtoTimer)
-	f.sendTimer, f.rtoTimer = nil, nil
+	f.pacer.Stop()
+	f.rto.Stop()
 	if s, ok := f.CC.(interface{ Stop() }); ok {
 		s.Stop() // timer-driven algorithms must release their timers
 	}
@@ -231,19 +229,23 @@ func (f *Flow) armRTO() {
 	if f.Inflight() == 0 || f.Done {
 		return
 	}
-	if f.rtoTimer == nil || f.rtoTimer.Cancelled() {
-		f.rtoTimer = f.Src.eng.After(f.Src.cfg.RTO, f.onRTO)
+	if !f.rto.Armed() {
+		f.rto.ArmAfter(f.Src.cfg.RTO)
 	}
 }
 
+// resetRTO pushes the timeout a full RTO out from now. With the lazy
+// Timer this is a pair of field writes per ACK, not a heap delete and
+// re-insert.
 func (f *Flow) resetRTO() {
-	f.Src.eng.Cancel(f.rtoTimer)
-	f.rtoTimer = nil
-	f.armRTO()
+	if f.Inflight() == 0 || f.Done {
+		f.rto.Stop()
+		return
+	}
+	f.rto.ArmAfter(f.Src.cfg.RTO)
 }
 
 func (f *Flow) onRTO() {
-	f.rtoTimer = nil
 	if f.Done || f.Inflight() == 0 {
 		return
 	}

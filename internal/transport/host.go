@@ -15,7 +15,6 @@ import (
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/sim"
-	"repro/internal/telemetry"
 )
 
 // Config carries host-wide transport parameters.
@@ -51,10 +50,11 @@ func (c *Config) fillDefaults() {
 
 // Host is a server endpoint running the window transport.
 type Host struct {
-	id  packet.NodeID
-	eng *sim.Engine
-	cfg Config
-	nic *link.Port
+	id   packet.NodeID
+	eng  *sim.Engine
+	cfg  Config
+	nic  *link.Port
+	pool *packet.Pool
 
 	flows  map[packet.FlowID]*Flow
 	rcv    map[packet.FlowID]*rcvState
@@ -86,6 +86,7 @@ func NewHost(eng *sim.Engine, id packet.NodeID, cfg Config) *Host {
 		id:    id,
 		eng:   eng,
 		cfg:   cfg,
+		pool:  packet.NewPool(),
 		flows: map[packet.FlowID]*Flow{},
 		rcv:   map[packet.FlowID]*rcvState{},
 	}
@@ -96,6 +97,19 @@ func (h *Host) ID() packet.NodeID { return h.id }
 
 // SetUplink attaches the NIC egress port.
 func (h *Host) SetUplink(p *link.Port) { h.nic = p }
+
+// SetPool shares an engine-wide packet free list with the host (topology
+// builders call this so every endpoint and switch recycles through one
+// pool). Hosts start with a private pool, so standalone use needs no
+// setup.
+func (h *Host) SetPool(pl *packet.Pool) {
+	if pl != nil {
+		h.pool = pl
+	}
+}
+
+// Pool returns the host's packet free list (benchmark instrumentation).
+func (h *Host) Pool() *packet.Pool { return h.pool }
 
 // NIC returns the host's egress port.
 func (h *Host) NIC() *link.Port { return h.nic }
@@ -117,7 +131,11 @@ func (h *Host) ReceivedBytes(id packet.FlowID) int64 {
 // ReceivedTotal returns payload bytes received across all flows.
 func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
 
-// Receive implements link.Receiver.
+// Receive implements link.Receiver. Every arriving packet is consumed
+// here: data packets are recycled after receiver bookkeeping (and the
+// OnData hook), ACKs after the sending flow processed them, CNPs after
+// notifying the reaction point. Nothing downstream may retain a *Packet
+// past these calls — see the pooling invariants in PERF.md.
 func (h *Host) Receive(p *packet.Packet) {
 	switch p.Kind {
 	case packet.Data:
@@ -133,6 +151,7 @@ func (h *Host) Receive(p *packet.Packet) {
 			}
 		}
 	}
+	h.pool.Put(p)
 }
 
 func (h *Host) onData(p *packet.Packet) {
@@ -152,34 +171,32 @@ func (h *Host) onData(p *packet.Packet) {
 		if !rs.sawCNP || now.Sub(rs.lastCNP) >= h.cfg.CNPInterval {
 			rs.lastCNP = now
 			rs.sawCNP = true
-			h.send(&packet.Packet{
-				ID:       h.pktID(),
-				Kind:     packet.CNP,
-				Flow:     p.Flow,
-				Src:      h.id,
-				Dst:      p.Src,
-				Priority: h.cfg.AckPriority,
-			})
+			cnp := h.pool.Get()
+			cnp.ID = h.pktID()
+			cnp.Kind = packet.CNP
+			cnp.Flow = p.Flow
+			cnp.Src = h.id
+			cnp.Dst = p.Src
+			cnp.Priority = h.cfg.AckPriority
+			h.send(cnp)
 		}
 	}
 
-	ack := &packet.Packet{
-		ID:       h.pktID(),
-		Kind:     packet.Ack,
-		Flow:     p.Flow,
-		Src:      h.id,
-		Dst:      p.Src,
-		AckSeq:   rs.got.CumulativeFrom(0),
-		EchoSent: p.SentAt,
-		EchoECN:  p.CE,
-		Priority: h.cfg.AckPriority,
-	}
+	ack := h.pool.Get()
+	ack.ID = h.pktID()
+	ack.Kind = packet.Ack
+	ack.Flow = p.Flow
+	ack.Src = h.id
+	ack.Dst = p.Src
+	ack.AckSeq = rs.got.CumulativeFrom(0)
+	ack.EchoSent = p.SentAt
+	ack.EchoECN = p.CE
+	ack.Priority = h.cfg.AckPriority
 	// The ACK carries the INT records collected on the data path and
 	// keeps collecting on the return path (§3.3: the sender receives
-	// metadata from all switches along the round trip).
-	if len(p.Hops) > 0 {
-		ack.Hops = append([]telemetry.HopRecord(nil), p.Hops...)
-	}
+	// metadata from all switches along the round trip). The copy lands in
+	// the recycled hop slice, so it allocates nothing in steady state.
+	ack.Hops = append(ack.Hops, p.Hops...)
 	h.send(ack)
 	if h.OnData != nil {
 		h.OnData(p)
