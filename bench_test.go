@@ -399,6 +399,65 @@ func BenchmarkAblation_DTAlpha(b *testing.B) {
 	}
 }
 
+// BenchmarkMP_Permutation runs the host-permutation multipath stress
+// (supplementary figure, panel A) under single-path and ECMP routing —
+// the goodput/fairness gap is the cost of not spreading.
+func BenchmarkMP_Permutation(b *testing.B) {
+	b.ReportAllocs()
+	for _, routing := range []string{"single", "ecmp"} {
+		b.Run(routing, func(b *testing.B) {
+			b.ReportAllocs()
+			var r *exp.Result
+			for i := 0; i < b.N; i++ {
+				r = mustRun(b, exp.NewSpec("permutation", exp.PowerTCP,
+					exp.WithRouting(routing), exp.WithWindow(2*sim.Millisecond), exp.WithSeed(1)))
+			}
+			b.ReportMetric(r.Scalar("jain"), "jain")
+			b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+			b.ReportMetric(r.Scalar("uplinks_used"), "uplinks-used")
+			reportEventsPerSec(b, r)
+		})
+	}
+}
+
+// BenchmarkMP_Asymmetry crosses an unequal-spine fabric (100G + 50G)
+// with capacity-blind ECMP vs weighted ECMP (panel B).
+func BenchmarkMP_Asymmetry(b *testing.B) {
+	b.ReportAllocs()
+	for _, routing := range []string{"ecmp", "wecmp"} {
+		b.Run(routing, func(b *testing.B) {
+			b.ReportAllocs()
+			var r *exp.Result
+			for i := 0; i < b.N; i++ {
+				r = mustRun(b, exp.NewSpec("asymmetry", exp.PowerTCP,
+					exp.WithRouting(routing), exp.WithWindow(2*sim.Millisecond), exp.WithSeed(1)))
+			}
+			b.ReportMetric(r.Scalar("efficiency"), "efficiency")
+			b.ReportMetric(r.Scalar("jain"), "jain")
+			reportEventsPerSec(b, r)
+		})
+	}
+}
+
+// BenchmarkMP_Failover cuts a spine link mid-run (panel C) and reports
+// per-scheme recovery time and queue spike.
+func BenchmarkMP_Failover(b *testing.B) {
+	b.ReportAllocs()
+	for _, scheme := range []string{exp.PowerTCP, exp.HPCC, exp.Timely} {
+		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
+			var r *exp.Result
+			for i := 0; i < b.N; i++ {
+				r = mustRun(b, exp.NewSpec("failover", scheme, exp.WithSeed(1)))
+			}
+			b.ReportMetric(r.Scalar("recovery_us"), "recovery-us")
+			b.ReportMetric(r.Scalar("queue_spike_kb"), "queue-spike-KB")
+			b.ReportMetric(r.Scalar("lost_packets"), "lost-pkts")
+			reportEventsPerSec(b, r)
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second pushing an unbounded PowerTCP flow across the fat-tree.
 func BenchmarkSimulatorThroughput(b *testing.B) {

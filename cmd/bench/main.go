@@ -80,6 +80,13 @@ var specBenches = []struct {
 		exp.WithFlowSize(100_000), exp.WithSeed(1))},
 	{"Fig6_WebSearch/powertcp-load20", exp.NewSpec("websearch", exp.PowerTCP,
 		exp.WithLoad(0.2), exp.WithSeed(1))},
+	// PR 3: the multipath lab rides the same zero-allocation forwarding
+	// path — tracked here so an allocating ECMP hash or rebuild would
+	// show up as an allocs/op regression.
+	{"MP_Permutation/ecmp", exp.NewSpec("permutation", exp.PowerTCP,
+		exp.WithRouting("ecmp"), exp.WithWindow(2*sim.Millisecond), exp.WithSeed(1))},
+	{"MP_Failover/powertcp", exp.NewSpec("failover", exp.PowerTCP,
+		exp.WithSeed(1))},
 }
 
 func measureSpec(name string, spec exp.Spec) (Measurement, error) {
@@ -143,7 +150,7 @@ func measureEngine() Measurement {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_2.json", "output snapshot path")
+	out := flag.String("o", "BENCH_3.json", "output snapshot path")
 	list := flag.Bool("list", false, "print the benchmark set and exit")
 	flag.Parse()
 
@@ -156,10 +163,10 @@ func main() {
 	}
 
 	snap := Snapshot{
-		PR: 2,
-		Note: "Zero-allocation event & packet hot path: pooled engine events, " +
-			"Timer-driven serializers/RTO/pacing, per-engine packet free lists. " +
-			"Baselines recorded immediately before the change on the same machine.",
+		PR: 3,
+		Note: "Routing control plane (internal/route): pluggable multipath " +
+			"strategies and link failures. The forwarding path keeps the PR 2 " +
+			"zero-allocation invariant; PR 2 baselines stay the fixed 'before'.",
 	}
 
 	add := func(m Measurement) {

@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,theory,all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,mp,theory,all")
 	fullFlag    = flag.Bool("full", false, "paper-scale topology (256 servers / 25 ToRs); slow")
 	seedFlag    = flag.Int64("seed", 1, "base RNG seed")
 	workersFlag = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
@@ -53,6 +53,8 @@ func main() {
 		fig8()
 	case "9":
 		fig9()
+	case "mp":
+		figMultipath()
 	case "theory":
 		theory()
 	case "all":
@@ -64,6 +66,7 @@ func main() {
 		fig7()
 		fig8()
 		fig9()
+		figMultipath()
 		theory()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
@@ -401,6 +404,76 @@ func fig9() {
 		i255 := results[(oc-1)*3+2].Raw.(*exp.IncastResult)
 		fmt.Printf("%d\t%.3f\t%.0f\t%d\t%.0f\t%d\n",
 			oc, f.JainAvg, i10.PeakQueueKB, i10.Completed, i255.PeakQueueKB, i255.Completed)
+	}
+	fmt.Println()
+}
+
+// figMultipath renders the supplementary multipath & failure figure:
+// the scenarios PR 3's routing control plane opened. Panel A is the
+// permutation stress (hash imbalance on the fat tree), panel B the
+// unequal-spine fabric (ECMP vs WCMP), panel C the mid-run link failure
+// (per-scheme recovery).
+func figMultipath() {
+	schemes := []string{exp.PowerTCP, exp.HPCC, exp.Timely}
+	spt := serversPerTor()
+
+	var specs []exp.Spec
+	permStart := len(specs)
+	for _, routing := range []string{"single", "ecmp"} {
+		for _, sc := range schemes {
+			specs = append(specs, exp.NewSpec("permutation", sc,
+				exp.WithRouting(routing), exp.WithServersPerTor(spt), exp.WithSeed(*seedFlag)))
+		}
+	}
+	asymStart := len(specs)
+	for _, routing := range []string{"single", "ecmp", "wecmp"} {
+		for _, sc := range []string{exp.PowerTCP, exp.HPCC} {
+			specs = append(specs, exp.NewSpec("asymmetry", sc,
+				exp.WithRouting(routing), exp.WithSeed(*seedFlag)))
+		}
+	}
+	failStart := len(specs)
+	failSchemes := []string{exp.PowerTCP, exp.HPCC, exp.Timely, exp.Homa}
+	for _, sc := range failSchemes {
+		specs = append(specs, exp.NewSpec("failover", sc, exp.WithSeed(*seedFlag)))
+	}
+	results := runSuite(specs)
+
+	fmt.Println("# Supplementary MP-A: host-permutation goodput fairness under hash imbalance")
+	fmt.Println("# routing\tscheme\tjain\tavg_gbps\tmin_gbps\tuplinks_used\tuplink_imbalance")
+	for i := permStart; i < asymStart; i++ {
+		r := results[i].Raw.(*exp.PermutationResult)
+		fmt.Printf("%s\t%s\t%.3f\t%.2f\t%.2f\t%d/%d\t%.2f\n",
+			r.Routing, r.Scheme, r.Jain, results[i].Scalar("avg_goodput_gbps"),
+			r.MinGbps, r.UplinksUsed, r.UplinksTotal, r.UplinkImbalance)
+	}
+
+	fmt.Println("\n# Supplementary MP-B: unequal spines (100G + 50G), ECMP vs WCMP")
+	fmt.Println("# routing\tscheme\tefficiency\tjain\tspine_utils")
+	for i := asymStart; i < failStart; i++ {
+		r := results[i].Raw.(*exp.AsymmetryResult)
+		fmt.Printf("%s\t%s\t%.3f\t%.3f", r.Routing, r.Scheme, r.Efficiency, r.Jain)
+		for _, u := range r.SpineUtil {
+			fmt.Printf("\t%.2f", u)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n# Supplementary MP-C: spine-link failure at 1ms, restore at 3ms")
+	fmt.Println("# scheme\trecovery_us\tqueue_spike_kb\tlost_pkts\tpre_gbps\tpost_gbps")
+	for i := failStart; i < len(specs); i++ {
+		r := results[i].Raw.(*exp.FailoverResult)
+		fmt.Printf("%s\t%.0f\t%.1f\t%d\t%.1f\t%.1f\n",
+			r.Scheme, r.RecoveryUs, r.QueueSpikeKB, r.LostPackets, r.PreFailGbps, r.PostFailGbps)
+	}
+	for i := failStart; i < len(specs); i++ {
+		r := results[i].Raw.(*exp.FailoverResult)
+		fmt.Printf("\n# MP-C series %s\n# time_ms\tgoodput_gbps\tqueue_kb\n", r.Scheme)
+		for k := range r.T {
+			if k%10 == 0 {
+				fmt.Printf("%.3f\t%.2f\t%.1f\n", r.T[k].Seconds()*1e3, r.Gbps[k], r.QueueKB[k])
+			}
+		}
 	}
 	fmt.Println()
 }

@@ -38,6 +38,11 @@ var (
 	icSizeFlag  = flag.Int64("icmb", 2, "websearch incast request size (MB)")
 	gammaFlag   = flag.Float64("gamma", 0, "override PowerTCP-family γ (ablation)")
 	alphaFlag   = flag.Float64("alpha", 0, "override the Dynamic-Thresholds α (ablation)")
+	routeFlag   = flag.String("route", "", "multipath strategy: ecmp, single, wecmp (multipath lab)")
+	failMsFlag  = flag.Float64("failms", 0, "failover: link failure time (milliseconds)")
+	restoreMs   = flag.Float64("restorems", 0, "failover: link restore time (milliseconds; negative keeps it down)")
+	reconvMs    = flag.Float64("reconvms", 0, "failover: control-plane reconvergence delay (milliseconds)")
+	flowsFlag   = flag.Int("flows", 0, "flow count (fairness, failover)")
 	jsonFlag    = flag.Bool("json", false, "emit the result envelope as JSON")
 	tsvFlag     = flag.Bool("tsv", false, "emit the result envelope as TSV blocks")
 )
@@ -69,6 +74,22 @@ func main() {
 	}
 	if *icRateFlag > 0 {
 		opts = append(opts, exp.WithIncastOverlay(*icRateFlag, *icSizeFlag<<20, 0))
+	}
+	if *routeFlag != "" {
+		opts = append(opts, exp.WithRouting(*routeFlag))
+	}
+	if *failMsFlag > 0 || *restoreMs != 0 {
+		restore := sim.Millis(*restoreMs)
+		if *restoreMs < 0 {
+			restore = exp.KeepLinkDown
+		}
+		opts = append(opts, exp.WithFailure(sim.Millis(*failMsFlag), restore))
+	}
+	if *reconvMs > 0 {
+		opts = append(opts, exp.WithReconverge(sim.Millis(*reconvMs)))
+	}
+	if *flowsFlag > 0 {
+		opts = append(opts, exp.WithFlows(*flowsFlag))
 	}
 	if *expFlag == "websearch" {
 		opts = append(opts, exp.WithBufferSampling(true))

@@ -1,0 +1,167 @@
+package powertcp_test
+
+// The docs gate: CI runs `go test -run TestDocs .` so the front-door
+// documentation cannot rot. It enforces two properties:
+//
+//  1. Every package under internal/ (and the root package) carries a
+//     godoc package comment.
+//  2. Every Go snippet in README.md parses, and every `powertcp.X`
+//     identifier it references is actually exported by the root package.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// packageDoc reports whether any non-test Go file in dir carries a
+// package doc comment, and the package name found.
+func packageDoc(t *testing.T, dir string) (documented bool, pkg string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		pkg = f.Name.Name
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 20 {
+			return true, pkg
+		}
+	}
+	return false, pkg
+}
+
+func TestDocsInternalPackagesHaveGodoc(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("found only %d internal packages — wrong working directory?", len(dirs))
+	}
+	check := append(dirs, ".")
+	for _, dir := range check {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		ok, pkg := packageDoc(t, dir)
+		if pkg == "" {
+			continue // no Go files (shouldn't happen)
+		}
+		if !ok {
+			t.Errorf("package %s (%s) has no godoc package comment", pkg, dir)
+		}
+	}
+}
+
+// rootExports collects the exported top-level identifiers of the root
+// powertcp package.
+func rootExports(t *testing.T) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					out[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							out[s.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() {
+								out[n.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+var goFence = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+func TestDocsReadmeSnippetsBuild(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snippets := goFence.FindAllStringSubmatch(string(readme), -1)
+	if len(snippets) == 0 {
+		t.Fatal("README.md has no Go snippets — the front-door example is gone")
+	}
+	exports := rootExports(t)
+	fset := token.NewFileSet()
+	for i, m := range snippets {
+		snippet := m[1]
+		src := snippet
+		if !strings.Contains(snippet, "func ") && !strings.Contains(snippet, "package ") {
+			src = "func _() {\n" + snippet + "\n}"
+		}
+		if !strings.Contains(src, "package ") {
+			src = "package readme\n" + src
+		}
+		f, err := parser.ParseFile(fset, "snippet.go", src, 0)
+		if err != nil {
+			t.Errorf("README snippet %d does not parse: %v\n%s", i+1, err, snippet)
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok || base.Name != "powertcp" {
+				return true
+			}
+			if !exports[sel.Sel.Name] {
+				t.Errorf("README snippet %d references powertcp.%s, which the root package does not export",
+					i+1, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+
+	// Shell snippets: every `go run ./cmd/...` target must exist.
+	for _, m := range regexp.MustCompile(`go run (\./cmd/[a-z]+)`).FindAllStringSubmatch(string(readme), -1) {
+		if _, err := os.Stat(m[1]); err != nil {
+			t.Errorf("README references %s, which does not exist", m[1])
+		}
+	}
+}

@@ -25,6 +25,21 @@ func ExampleNew() {
 	// Output: done=true bytes=1048576 retransmits=0
 }
 
+// ExampleRunExperiment runs one registered experiment through the
+// spec/registry API — the same path cmd/figures and the benchmarks use.
+func ExampleRunExperiment() {
+	res, err := powertcp.RunExperiment(powertcp.NewSpec(
+		"incast", powertcp.SchemePowerTCP,
+		powertcp.WithFanIn(10), powertcp.WithSeed(1),
+	))
+	if err != nil {
+		panic(err)
+	}
+	ic := res.Raw.(*powertcp.IncastResult)
+	fmt.Printf("completed=%d/%d\n", ic.Completed, ic.FanIn)
+	// Output: completed=10/10
+}
+
 // ExampleFluidSystem checks Theorem 1 numerically: both eigenvalues of
 // the linearized PowerTCP system are negative, so the equilibrium
 // (bτ+β̂, β̂) is asymptotically stable.

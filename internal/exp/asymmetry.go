@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// AsymmetryResult is the typed payload of the unequal-spine experiment:
+// how a routing strategy shares an asymmetric core, per spine.
+type AsymmetryResult struct {
+	Scheme     string
+	Routing    string
+	Flows      int
+	SpineGbps  []float64 // configured per-spine capacity
+	SpineUtil  []float64 // fraction of that capacity actually carried
+	AggGbps    float64   // aggregate goodput over the window
+	Jain       float64   // fairness across per-flow goodputs
+	Efficiency float64   // AggGbps / min(total spine, offered) capacity
+}
+
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "asymmetry",
+		Figures: "Supplementary (multipath lab): ECMP vs WCMP across unequal spine capacities",
+		Normalize: func(s *Spec) {
+			if s.Tors == 0 {
+				s.Tors = 2 // leaves
+			}
+			if s.Spines == 0 {
+				s.Spines = 2
+			}
+			if s.ServersPerTor == 0 {
+				s.ServersPerTor = 8
+			}
+			if len(s.SpineRates) == 0 {
+				// One full-rate spine, one at half rate: the classic
+				// heterogeneous-upgrade fabric WCMP papers target.
+				s.SpineRates = []units.BitRate{100 * units.Gbps, 50 * units.Gbps}
+			}
+			if s.Window == 0 {
+				s.Window = 4 * sim.Millisecond
+			}
+		},
+		Run: runAsymmetry,
+	})
+}
+
+// runAsymmetry sends one long flow from every server on the first leaf
+// to its counterpart on the last leaf, so all traffic crosses the
+// spines. Plain ECMP hashes flows uniformly and overloads the slow
+// spine; weighted ECMP shares in proportion to capacity.
+func runAsymmetry(s Spec, scheme Scheme) (*Result, error) {
+	strategy, err := route.StrategyByName(s.Routing)
+	if err != nil {
+		return nil, err
+	}
+	if s.Tors < 2 {
+		return nil, fmt.Errorf("asymmetry needs ≥2 leaves, got %d", s.Tors)
+	}
+	cfg := topo.LeafSpineConfig{
+		Leaves:         s.Tors,
+		Spines:         s.Spines,
+		ServersPerLeaf: s.ServersPerTor,
+		SpineRates:     s.SpineRates,
+	}
+	lab := NewLeafSpineLab(scheme, cfg, s.Seed, strategy)
+	net := lab.Net
+	ls := lab.LSCfg
+
+	// Senders on leaf 0, receivers on the last leaf.
+	perLeaf := ls.ServersPerLeaf
+	rxBase := (ls.Leaves - 1) * perLeaf
+	for i := 0; i < perLeaf; i++ {
+		lab.Launch(workload.Flow{Start: 0, Src: i, Dst: rxBase + i, Size: lab.UnboundedSize()})
+	}
+
+	net.Eng.RunUntil(sim.Time(s.Window))
+
+	ar := &AsymmetryResult{Scheme: scheme.Name, Routing: strategy.Name(), Flows: perLeaf}
+	var sum, sumSq float64
+	var aggBytes int64
+	for i := 0; i < perLeaf; i++ {
+		g := stats.Gbps(lab.ReceivedTotal(rxBase+i), s.Window)
+		aggBytes += lab.ReceivedTotal(rxBase + i)
+		sum += g
+		sumSq += g * g
+	}
+	ar.AggGbps = stats.Gbps(aggBytes, s.Window)
+	if sumSq > 0 {
+		ar.Jain = sum * sum / (float64(perLeaf) * sumSq)
+	}
+
+	// Spine utilization, measured on leaf 0's uplinks (ports follow the
+	// servers, in spine order).
+	var totalSpine units.BitRate
+	for sp := 0; sp < ls.Spines; sp++ {
+		rate := ls.SpineRate(sp)
+		totalSpine += rate
+		pt := net.Switches[ls.LeafSwitch(0)].Ports()[perLeaf+sp]
+		carried := stats.Gbps(int64(pt.TxBytes()), s.Window)
+		ar.SpineGbps = append(ar.SpineGbps, float64(rate/units.Gbps))
+		ar.SpineUtil = append(ar.SpineUtil, carried/float64(rate/units.Gbps))
+	}
+	offered := float64(perLeaf) * float64(lab.Net.HostRate/units.Gbps)
+	capacity := float64(totalSpine / units.Gbps)
+	if offered < capacity {
+		capacity = offered
+	}
+	if capacity > 0 {
+		ar.Efficiency = ar.AggGbps / capacity
+	}
+
+	res := &Result{Raw: ar}
+	res.SetScalar("flows", float64(ar.Flows))
+	res.SetScalar("agg_goodput_gbps", ar.AggGbps)
+	res.SetScalar("jain", ar.Jain)
+	res.SetScalar("efficiency", ar.Efficiency)
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	spineSeries := Series{Name: "spine_util", XLabel: "spine"}
+	for sp, u := range ar.SpineUtil {
+		res.SetScalar(fmt.Sprintf("spine%d_util", sp), u)
+		spineSeries.Points = append(spineSeries.Points, SeriesPoint{X: float64(sp), V: u})
+	}
+	res.AddSeries(spineSeries)
+	return res, nil
+}

@@ -81,6 +81,18 @@ func TestSuiteParallelMatchesSerial(t *testing.T) {
 		out = append(out, NewSpec("websearch", PowerTCP,
 			WithLoad(0.15), WithServersPerTor(4),
 			WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(3)))
+		// The multipath lab: hashing, weighted tables, and scheduled link
+		// failures must all be worker-count independent too.
+		for _, routing := range []string{"ecmp", "wecmp"} {
+			out = append(out, NewSpec("permutation", PowerTCP,
+				WithRouting(routing), WithServersPerTor(4),
+				WithWindow(sim.Millisecond), WithSeed(13)))
+		}
+		out = append(out,
+			NewSpec("asymmetry", PowerTCP, WithRouting("wecmp"), WithServersPerTor(4),
+				WithWindow(sim.Millisecond), WithSeed(13)),
+			NewSpec("failover", PowerTCP, WithServersPerTor(4), WithFlows(2),
+				WithWindow(3*sim.Millisecond), WithSeed(13)))
 		return out
 	}
 

@@ -1,0 +1,36 @@
+// Package exp is the experiment harness behind the paper's evaluation
+// (§4–§5, Appendix D) and the repository's extension scenarios. It
+// exposes one unified API:
+//
+//   - A scheme registry: ResolveScheme(name, opts...) returns the
+//     congestion-control scheme plus the switch features it needs, with
+//     ablation variants (γ, DT α, HOMA overcommitment, reTCP
+//     prebuffering) composed as functional options instead of string
+//     parsing. Unknown names return errors, not panics.
+//   - An experiment registry: every scenario — the paper's incast,
+//     fairness, websearch, load-sweep and rdcn, plus the multipath lab's
+//     permutation, asymmetry and failover — is a registered Experiment;
+//     NewSpec + Run execute one, and a Suite executes many concurrently
+//     over a GOMAXPROCS-sized worker pool.
+//   - A common Result envelope (scalar metrics map + named series) with
+//     JSON and TSV encoders.
+//
+// # Invariants
+//
+//   - Each Run builds its own network and sim.Engine, so suite results
+//     are deterministic per seed regardless of worker count: a parallel
+//     suite is byte-identical to a serial one
+//     (TestSuiteParallelMatchesSerial), including under multipath
+//     routing and scheduled link failures.
+//   - Workload randomness is seeded independently of the scheme, so two
+//     schemes at the same seed see the same trace.
+//   - Packet pooling is an allocation strategy, never a model change:
+//     pooled and pool-disabled runs encode to identical bytes
+//     (TestSuitePooledMatchesUnpooled).
+//
+// cmd/figures renders figures from suites; cmd/sweep runs the γ study
+// as one suite; cmd/powersim runs a single spec from flags;
+// bench_test.go regenerates headline metrics under `go test -bench`;
+// EXPERIMENTS.md records the experiment↔figure index and
+// paper-vs-measured numbers.
+package exp

@@ -49,6 +49,14 @@ type Spec struct {
 	PacketRate units.BitRate
 	Weeks      int
 
+	// Multipath & failure lab (permutation, asymmetry, failover).
+	Routing      string          // route strategy name: "", "ecmp", "single", "wecmp"
+	Spines       int             // leaf-spine spine count
+	SpineRates   []units.BitRate // per-spine fabric rates (asymmetry)
+	FailAfter    sim.Duration    // link-failure instant (failover)
+	RestoreAfter sim.Duration    // link-restore instant; 0 defaults, KeepLinkDown suppresses
+	Reconverge   sim.Duration    // control-plane reconvergence delay
+
 	// Horizons and sampling.
 	Window       sim.Duration
 	Warmup       sim.Duration
@@ -117,6 +125,38 @@ func WithBufferSampling(on bool) Option { return func(s *Spec) { s.SampleBuffers
 
 // WithPacketRate sets the RDCN packet-network bandwidth (Fig. 8b).
 func WithPacketRate(r units.BitRate) Option { return func(s *Spec) { s.PacketRate = r } }
+
+// WithRouting selects the multipath strategy ("ecmp", "single",
+// "wecmp") for the experiments that exercise the routing control plane.
+func WithRouting(name string) Option { return func(s *Spec) { s.Routing = name } }
+
+// WithSpines sets the leaf-spine spine count.
+func WithSpines(n int) Option { return func(s *Spec) { s.Spines = n } }
+
+// WithSpineRates sets per-spine fabric rates (the asymmetry scenario's
+// unequal core capacities).
+func WithSpineRates(rates ...units.BitRate) Option {
+	return func(s *Spec) { s.SpineRates = rates }
+}
+
+// KeepLinkDown, passed as WithFailure's restoreAt, leaves the failed
+// link down for the rest of the run.
+const KeepLinkDown sim.Duration = -1
+
+// WithFailure schedules a link failure at failAt and its repair at
+// restoreAt (failover scenario). Zero values take the experiment's
+// defaults; restoreAt = KeepLinkDown suppresses the repair. A positive
+// restoreAt at or before the failure is rejected at run time.
+func WithFailure(failAt, restoreAt sim.Duration) Option {
+	return func(s *Spec) {
+		s.FailAfter = failAt
+		s.RestoreAfter = restoreAt
+	}
+}
+
+// WithReconverge sets the control-plane delay between a link event and
+// the routing tables reflecting it.
+func WithReconverge(d sim.Duration) Option { return func(s *Spec) { s.Reconverge = d } }
 
 // WithWeeks sets the simulated RDCN rotor weeks.
 func WithWeeks(n int) Option { return func(s *Spec) { s.Weeks = n } }

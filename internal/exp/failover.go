@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// FailoverResult is the typed payload of the link-failure experiment:
+// goodput and queue trajectories around a mid-run spine-link cut, and
+// how fast the scheme recovered once routing reconverged.
+type FailoverResult struct {
+	Scheme  string
+	Routing string
+	T       []sim.Time
+	Gbps    []float64 // aggregate goodput per sample
+	QueueKB []float64 // max uplink queue on the sending leaf
+
+	PreFailGbps  float64 // mean goodput before the cut
+	PostFailGbps float64 // mean goodput after recovery (before restore)
+	RecoveryUs   float64 // cut → goodput back to ≥90% of pre-fail
+	Recovered    bool
+	QueueSpikeKB float64 // max queue seen after the cut
+	LostPackets  uint64  // packets black-holed on downed wires
+}
+
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "failover",
+		Figures: "Supplementary (multipath lab): mid-run link failure, per-scheme recovery",
+		Normalize: func(s *Spec) {
+			if s.Tors == 0 {
+				s.Tors = 2 // leaves
+			}
+			if s.Spines == 0 {
+				s.Spines = 2
+			}
+			if s.ServersPerTor == 0 {
+				s.ServersPerTor = 8
+			}
+			if s.Flows == 0 {
+				// Sized so the surviving spines can still carry the whole
+				// offered load: recovery measures rerouting + loss
+				// repair, not a capacity cliff.
+				s.Flows = 4
+			}
+			if s.Flows > s.ServersPerTor {
+				s.Flows = s.ServersPerTor
+			}
+			if s.Window == 0 {
+				s.Window = 5 * sim.Millisecond
+			}
+			if s.FailAfter == 0 {
+				s.FailAfter = sim.Millisecond
+			}
+			if s.RestoreAfter == 0 {
+				// KeepLinkDown (negative) suppresses the repair instead.
+				s.RestoreAfter = s.FailAfter + 2*sim.Millisecond
+			}
+			if s.Reconverge == 0 {
+				s.Reconverge = 200 * sim.Microsecond
+			}
+			if s.SamplePeriod == 0 {
+				s.SamplePeriod = 20 * sim.Microsecond
+			}
+		},
+		Run: runFailover,
+	})
+}
+
+// runFailover cuts the first leaf's link to spine 0 mid-run. Flows
+// hashed onto the dead path black-hole until the control plane
+// reconverges (s.Reconverge later), then recover at the pace the
+// scheme's loss detection allows; the link comes back at RestoreAfter.
+func runFailover(s Spec, scheme Scheme) (*Result, error) {
+	strategy, err := route.StrategyByName(s.Routing)
+	if err != nil {
+		return nil, err
+	}
+	if s.Spines < 2 {
+		return nil, fmt.Errorf("failover needs ≥2 spines to reroute, got %d", s.Spines)
+	}
+	if s.RestoreAfter > 0 && s.RestoreAfter <= s.FailAfter {
+		return nil, fmt.Errorf("failover restore at %v is not after the failure at %v",
+			s.RestoreAfter, s.FailAfter)
+	}
+	cfg := topo.LeafSpineConfig{
+		Leaves:         s.Tors,
+		Spines:         s.Spines,
+		ServersPerLeaf: s.ServersPerTor,
+		SpineRates:     s.SpineRates,
+	}
+	lab := NewLeafSpineLab(scheme, cfg, s.Seed, strategy)
+	net := lab.Net
+	ls := lab.LSCfg
+
+	perLeaf := ls.ServersPerLeaf
+	rxBase := (ls.Leaves - 1) * perLeaf
+	for i := 0; i < s.Flows; i++ {
+		lab.Launch(workload.Flow{Start: 0, Src: i, Dst: rxBase + i, Size: lab.UnboundedSize()})
+	}
+
+	events := []route.LinkEvent{
+		{At: sim.Time(s.FailAfter), A: ls.LeafSwitch(0), B: ls.SpineSwitch(0), Down: true},
+	}
+	if s.RestoreAfter > s.FailAfter {
+		events = append(events, route.LinkEvent{
+			At: sim.Time(s.RestoreAfter), A: ls.LeafSwitch(0), B: ls.SpineSwitch(0),
+		})
+	}
+	net.Router.Schedule(events, s.Reconverge)
+
+	fr := &FailoverResult{Scheme: scheme.Name, Routing: strategy.Name()}
+	uplinks := net.Switches[ls.LeafSwitch(0)].Ports()[perLeaf : perLeaf+ls.Spines]
+	var lastBytes int64
+	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
+		var cur int64
+		for i := 0; i < s.Flows; i++ {
+			cur += lab.ReceivedTotal(rxBase + i)
+		}
+		var q int64
+		for _, pt := range uplinks {
+			if b := pt.QueueBytes(); b > q {
+				q = b
+			}
+		}
+		fr.T = append(fr.T, now)
+		fr.Gbps = append(fr.Gbps, stats.Gbps(cur-lastBytes, s.SamplePeriod))
+		fr.QueueKB = append(fr.QueueKB, float64(q)/1024)
+		lastBytes = cur
+	})
+	net.Eng.RunUntil(sim.Time(s.Window))
+
+	for _, sw := range net.Switches {
+		for _, pt := range sw.Ports() {
+			fr.LostPackets += pt.Lost()
+		}
+	}
+
+	// Pre-failure baseline: the second half of the pre-cut samples
+	// (skipping slow-start).
+	failT := sim.Time(s.FailAfter)
+	restoreT := sim.Time(s.Window)
+	if s.RestoreAfter > s.FailAfter {
+		restoreT = sim.Time(s.RestoreAfter)
+	}
+	var preSum float64
+	var preN int
+	for i, t := range fr.T {
+		if t >= failT {
+			break
+		}
+		if t >= failT/2 {
+			preSum += fr.Gbps[i]
+			preN++
+		}
+	}
+	if preN > 0 {
+		fr.PreFailGbps = preSum / float64(preN)
+	}
+
+	// Recovery: first post-cut sample back at ≥90% of the baseline.
+	target := 0.9 * fr.PreFailGbps
+	recoveredAt := sim.Time(s.Window)
+	for i, t := range fr.T {
+		if t <= failT {
+			continue
+		}
+		if fr.QueueKB[i] > fr.QueueSpikeKB {
+			fr.QueueSpikeKB = fr.QueueKB[i]
+		}
+		if !fr.Recovered && fr.Gbps[i] >= target {
+			fr.Recovered = true
+			recoveredAt = t
+		}
+	}
+	fr.RecoveryUs = (recoveredAt - failT).Seconds() * 1e6
+
+	// Post-recovery plateau: recovery point to the restore instant.
+	var postSum float64
+	var postN int
+	for i, t := range fr.T {
+		if t > recoveredAt && t < restoreT {
+			postSum += fr.Gbps[i]
+			postN++
+		}
+	}
+	if postN > 0 {
+		fr.PostFailGbps = postSum / float64(postN)
+	}
+
+	res := &Result{Raw: fr}
+	res.SetScalar("pre_fail_gbps", fr.PreFailGbps)
+	res.SetScalar("post_fail_gbps", fr.PostFailGbps)
+	res.SetScalar("recovery_us", fr.RecoveryUs)
+	res.SetScalar("recovered", b2f(fr.Recovered))
+	res.SetScalar("queue_spike_kb", fr.QueueSpikeKB)
+	res.SetScalar("lost_packets", float64(fr.LostPackets))
+	res.SetScalar("route_rebuilds", float64(net.Router.Rebuilds()))
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.AddSeries(TimeSeries("goodput_gbps", fr.T, fr.Gbps))
+	res.AddSeries(TimeSeries("queue_kb", fr.T, fr.QueueKB))
+	return res, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

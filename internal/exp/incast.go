@@ -3,7 +3,6 @@ package exp
 import (
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -67,11 +66,7 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 
 	// Long flow from the last rack toward the receiver.
 	longSrc := hosts - 1
-	longSize := int64(1) << 33 // effectively unbounded for the window
-	if !scheme.IsHoma() {
-		longSize = transport.Unbounded
-	}
-	lab.Launch(workload.Flow{Start: 0, Src: longSrc, Dst: receiver, Size: longSize})
+	lab.Launch(workload.Flow{Start: 0, Src: longSrc, Dst: receiver, Size: lab.UnboundedSize()})
 
 	// FanIn cross-rack senders fire together at Warmup.
 	launched := 0

@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/homa"
 	"repro/internal/packet"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -24,29 +25,42 @@ type Lab struct {
 	Scheme  Scheme
 	Net     *topo.Network
 	FTCfg   topo.FatTreeConfig
+	LSCfg   topo.LeafSpineConfig
 	Records []FlowRecord
 
 	started int
 }
 
+// labOpts assembles the switch/buffer options every lab shares. The
+// scheme's DTAlpha (composed via the Alpha scheme option) overrides the
+// Dynamic Thresholds factor; 0 keeps the default α=1.
+func (l *Lab) labOpts(seed int64, routing route.Strategy) topo.Options {
+	return topo.Options{
+		BufferPerGbps: topo.TofinoBufferPerGbps,
+		Alpha:         l.Scheme.DTAlpha,
+		INT:           l.Scheme.INT,
+		ECN:           l.Scheme.ECN,
+		Queues:        l.Scheme.queueFactory(),
+		Seed:          seed,
+		Routing:       routing,
+	}
+}
+
 // NewFatTreeLab builds the paper's fat-tree (§4.1) scaled to
-// serversPerTor servers per rack and wires flow-completion collection.
-// The scheme's DTAlpha (composed via the Alpha scheme option) overrides
-// the Dynamic Thresholds factor; 0 keeps the default α=1.
+// serversPerTor servers per rack under default per-flow ECMP.
 func NewFatTreeLab(scheme Scheme, serversPerTor int, seed int64) *Lab {
+	return NewRoutedFatTreeLab(scheme, serversPerTor, seed, nil)
+}
+
+// NewRoutedFatTreeLab is NewFatTreeLab with an explicit multipath
+// strategy (nil keeps per-flow ECMP).
+func NewRoutedFatTreeLab(scheme Scheme, serversPerTor int, seed int64, routing route.Strategy) *Lab {
 	l := &Lab{Scheme: scheme}
 	cfg := topo.FatTreeConfig{
 		ServersPerTor: serversPerTor,
-		Opts: topo.Options{
-			BufferPerGbps: topo.TofinoBufferPerGbps,
-			Alpha:         scheme.DTAlpha,
-			INT:           scheme.INT,
-			ECN:           scheme.ECN,
-			Queues:        scheme.queueFactory(),
-			Seed:          seed,
-		},
+		Opts:          l.labOpts(seed, routing),
 	}.WithDefaults()
-	cfg.Opts.Hosts = l.hostFactory(&cfg)
+	cfg.Opts.Hosts = l.hostFactory(30 * sim.Microsecond)
 	l.Net = topo.FatTree(cfg)
 	l.FTCfg = cfg
 	l.wireCollectors()
@@ -59,44 +73,38 @@ func NewStarLab(scheme Scheme, hosts int, seed int64) *Lab {
 	cfg := topo.StarConfig{
 		Hosts:    hosts,
 		HostRate: 25 * units.Gbps,
-		Opts: topo.Options{
-			BufferPerGbps: topo.TofinoBufferPerGbps,
-			Alpha:         scheme.DTAlpha,
-			INT:           scheme.INT,
-			ECN:           scheme.ECN,
-			Queues:        scheme.queueFactory(),
-			Seed:          seed,
-		},
+		Opts:     l.labOpts(seed, nil),
 	}
-	cfg.Opts.Hosts = l.starHostFactory()
+	cfg.Opts.Hosts = l.hostFactory(12 * sim.Microsecond)
 	l.Net = topo.Star(cfg)
 	l.wireCollectors()
 	return l
 }
 
-// hostFactory builds hosts for a fat-tree, deferring BaseRTT to the
-// built network (the paper configures τ as the topology's max RTT).
-func (l *Lab) hostFactory(cfg *topo.FatTreeConfig) topo.HostFactory {
-	return func(eng *sim.Engine, id packet.NodeID) topo.Node {
-		if l.Scheme.IsHoma() {
-			return homa.NewHost(eng, id, homa.Config{
-				BaseRTT:    30 * sim.Microsecond,
-				Overcommit: l.Scheme.Overcommit,
-			})
-		}
-		return transport.NewHost(eng, id, transport.Config{BaseRTT: 30 * sim.Microsecond})
-	}
+// NewLeafSpineLab builds a two-tier Clos fabric under the given
+// multipath strategy; cfg carries the structural knobs (leaves, spines,
+// per-spine rates) and the lab fills in the shared options.
+func NewLeafSpineLab(scheme Scheme, cfg topo.LeafSpineConfig, seed int64, routing route.Strategy) *Lab {
+	l := &Lab{Scheme: scheme}
+	cfg.Opts = l.labOpts(seed, routing)
+	cfg.Opts.Hosts = l.hostFactory(16 * sim.Microsecond)
+	l.Net = topo.LeafSpine(cfg)
+	l.LSCfg = cfg.WithDefaults()
+	l.wireCollectors()
+	return l
 }
 
-func (l *Lab) starHostFactory() topo.HostFactory {
+// hostFactory builds scheme-appropriate hosts at the topology's base
+// RTT (the paper configures τ as the fabric's maximum RTT).
+func (l *Lab) hostFactory(baseRTT sim.Duration) topo.HostFactory {
 	return func(eng *sim.Engine, id packet.NodeID) topo.Node {
 		if l.Scheme.IsHoma() {
 			return homa.NewHost(eng, id, homa.Config{
-				BaseRTT:    12 * sim.Microsecond,
+				BaseRTT:    baseRTT,
 				Overcommit: l.Scheme.Overcommit,
 			})
 		}
-		return transport.NewHost(eng, id, transport.Config{BaseRTT: 12 * sim.Microsecond})
+		return transport.NewHost(eng, id, transport.Config{BaseRTT: baseRTT})
 	}
 }
 
@@ -120,6 +128,16 @@ func (l *Lab) record(size int64, fct sim.Duration) {
 		FCT:      fct,
 		Slowdown: stats.Slowdown(fct, size, l.Net.HostRate, l.Net.BaseRTT),
 	})
+}
+
+// UnboundedSize returns the "runs past any window" flow size for the
+// lab's scheme: the transport supports a true Unbounded marker, HOMA
+// messages need a finite (but effectively infinite) length.
+func (l *Lab) UnboundedSize() int64 {
+	if l.Scheme.IsHoma() {
+		return 1 << 33
+	}
+	return transport.Unbounded
 }
 
 // Launch starts one workload flow (transport flow or HOMA message) and

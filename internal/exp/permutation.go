@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PermutationResult is the typed payload of the host-permutation
+// multipath experiment: per-flow goodput under hash-based path
+// assignment, plus how the ToR uplinks actually shared the load.
+type PermutationResult struct {
+	Scheme          string
+	Routing         string
+	Flows           int
+	T               []sim.Time
+	AggGbps         []float64 // aggregate receive rate per sample
+	PerFlowGbps     []float64 // per-flow mean goodput over the window
+	Jain            float64   // fairness across the per-flow goodputs
+	MinGbps         float64
+	MaxGbps         float64
+	UplinksUsed     int     // distinct ToR uplink ports that carried traffic
+	UplinksTotal    int     // uplink ports available across all ToRs
+	UplinkImbalance float64 // max/mean bytes across used ToR uplinks
+}
+
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:    "permutation",
+		Figures: "Supplementary (multipath lab): ECMP hash imbalance on the §4.1 fat-tree",
+		Normalize: func(s *Spec) {
+			if s.ServersPerTor == 0 {
+				s.ServersPerTor = 8
+			}
+			if s.Window == 0 {
+				s.Window = 4 * sim.Millisecond
+			}
+			if s.SamplePeriod == 0 {
+				s.SamplePeriod = 50 * sim.Microsecond
+			}
+		},
+		Run: runPermutation,
+	})
+}
+
+// permutation derives a fixed-point-free host permutation from the seed:
+// every host sends to exactly one host and receives from exactly one.
+func permutation(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed ^ 0x5EED_0F_9E37))
+	p := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		if p[i] == i { // break fixed points deterministically
+			j := (i + 1) % n
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	return p
+}
+
+// runPermutation drives host-permutation traffic — the canonical
+// multipath stress — across the fat tree and measures how evenly the
+// routing strategy spreads it: per-flow goodput fairness and ToR-uplink
+// load imbalance.
+func runPermutation(s Spec, scheme Scheme) (*Result, error) {
+	strategy, err := route.StrategyByName(s.Routing)
+	if err != nil {
+		return nil, err
+	}
+	lab := NewRoutedFatTreeLab(scheme, s.ServersPerTor, s.Seed, strategy)
+	net := lab.Net
+	n := len(net.Hosts)
+
+	perm := permutation(n, s.Seed)
+	for src, dst := range perm {
+		lab.Launch(workload.Flow{Start: 0, Src: src, Dst: dst, Size: lab.UnboundedSize()})
+	}
+
+	pr := &PermutationResult{Scheme: scheme.Name, Routing: strategy.Name(), Flows: n}
+	last := make([]int64, n)
+	perFlow := make([]int64, n) // received bytes per destination host
+	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
+		var delta int64
+		for i := 0; i < n; i++ {
+			cur := lab.ReceivedTotal(i)
+			delta += cur - last[i]
+			perFlow[i] = cur
+			last[i] = cur
+		}
+		pr.T = append(pr.T, now)
+		pr.AggGbps = append(pr.AggGbps, stats.Gbps(delta, s.SamplePeriod))
+	})
+	net.Eng.RunUntil(sim.Time(s.Window))
+
+	// Per-flow goodput over the whole window (keyed by receiver; each
+	// host receives exactly one flow of the permutation).
+	var sum, sumSq float64
+	pr.MinGbps = 1e18
+	for i := 0; i < n; i++ {
+		g := stats.Gbps(perFlow[i], s.Window)
+		pr.PerFlowGbps = append(pr.PerFlowGbps, g)
+		sum += g
+		sumSq += g * g
+		if g < pr.MinGbps {
+			pr.MinGbps = g
+		}
+		if g > pr.MaxGbps {
+			pr.MaxGbps = g
+		}
+	}
+	if sumSq > 0 {
+		pr.Jain = sum * sum / (float64(n) * sumSq)
+	}
+
+	// Uplink spread: walk every ToR's aggregation-facing ports.
+	nTors := lab.FTCfg.Pods * lab.FTCfg.TorsPerPod
+	var used int
+	var maxB, totB uint64
+	var nUp int
+	for t := 0; t < nTors; t++ {
+		for _, pi := range net.TorUplinkPorts(t) {
+			b := net.Switches[t].Ports()[pi].TxBytes()
+			nUp++
+			totB += b
+			if b > 0 {
+				used++
+			}
+			if b > maxB {
+				maxB = b
+			}
+		}
+	}
+	pr.UplinksTotal = nUp
+	pr.UplinksUsed = used
+	if totB > 0 && used > 0 {
+		pr.UplinkImbalance = float64(maxB) / (float64(totB) / float64(used))
+	}
+
+	res := &Result{Raw: pr}
+	res.SetScalar("flows", float64(pr.Flows))
+	res.SetScalar("jain", pr.Jain)
+	res.SetScalar("avg_goodput_gbps", sum/float64(n))
+	res.SetScalar("min_goodput_gbps", pr.MinGbps)
+	res.SetScalar("max_goodput_gbps", pr.MaxGbps)
+	res.SetScalar("uplinks_used", float64(pr.UplinksUsed))
+	res.SetScalar("uplinks_total", float64(pr.UplinksTotal))
+	res.SetScalar("uplink_imbalance", pr.UplinkImbalance)
+	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.AddSeries(TimeSeries("agg_goodput_gbps", pr.T, pr.AggGbps))
+	flowSeries := Series{Name: "flow_goodput_gbps", XLabel: "flow"}
+	for i, g := range pr.PerFlowGbps {
+		flowSeries.Points = append(flowSeries.Points, SeriesPoint{X: float64(i), V: g})
+	}
+	res.AddSeries(flowSeries)
+	return res, nil
+}

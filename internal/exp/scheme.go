@@ -1,24 +1,3 @@
-// Package exp is the experiment harness behind the paper's evaluation
-// (§4–§5, Appendix D). It exposes one unified API:
-//
-//   - A scheme registry: ResolveScheme(name, opts...) returns the
-//     congestion-control scheme plus the switch features it needs, with
-//     ablation variants (γ, DT α, HOMA overcommitment, reTCP
-//     prebuffering) composed as functional options instead of string
-//     parsing. Unknown names return errors, not panics.
-//   - An experiment registry: every scenario (incast, fairness,
-//     websearch, rdcn, load-sweep) is a registered Experiment; NewSpec +
-//     Run execute one, and a Suite executes many concurrently over a
-//     GOMAXPROCS-sized worker pool — each run owns an isolated
-//     sim.Engine, so results are deterministic per seed regardless of
-//     worker count.
-//   - A common Result envelope (scalar metrics map + named series) with
-//     JSON and TSV encoders.
-//
-// cmd/figures renders figures from suites; cmd/sweep runs the γ study as
-// one suite; cmd/powersim runs a single spec from flags; bench_test.go
-// regenerates headline metrics under `go test -bench`; EXPERIMENTS.md
-// records the experiment↔figure index and paper-vs-measured numbers.
 package exp
 
 import (

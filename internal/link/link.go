@@ -53,8 +53,10 @@ type Port struct {
 	txBytes uint64 // cumulative wire bytes transmitted
 	txPkts  uint64
 	drops   uint64
+	lost    uint64 // packets lost on a downed wire
 	busy    bool
 	paused  bool
+	down    bool
 
 	// Reusable transmit state, bound lazily on first kick: the timer that
 	// ends the current serialization and the delivery callback shared by
@@ -112,6 +114,22 @@ func (pt *Port) Resume() {
 // packets drainable (e.g. a VOQ class becoming active).
 func (pt *Port) Kick() { pt.kick() }
 
+// SetDown cuts (or restores) the wire — the data-plane half of a link
+// failure (see internal/route). While down the serializer keeps
+// draining, so device-side buffer accounting at dequeue stays exact,
+// but everything serialized onto the dead wire is discarded into the
+// pool at transmit time, and packets already in flight when the cut
+// lands are lost at their delivery instant. Restoring the wire only
+// resumes delivery — the control plane decides when routes may use the
+// link again.
+func (pt *Port) SetDown(down bool) { pt.down = down }
+
+// IsDown reports whether the wire is currently cut.
+func (pt *Port) IsDown() bool { return pt.down }
+
+// Lost returns the number of packets discarded on the downed wire.
+func (pt *Port) Lost() uint64 { return pt.lost }
+
 func (pt *Port) kick() {
 	if pt.busy || pt.paused {
 		return
@@ -134,6 +152,13 @@ func (pt *Port) kick() {
 	}
 	now := pt.Eng.Now()
 	pt.txDone.Arm(now.Add(tx))
+	if pt.down {
+		// Serialized into a cut cable: lost immediately, whatever the
+		// wire's state by the time a delivery would have fired.
+		pt.lost++
+		pt.Pool.Put(p)
+		return
+	}
 	pt.Eng.AtCall(now.Add(tx+pt.Delay), pt.deliverFn, p)
 }
 
@@ -143,7 +168,16 @@ func (pt *Port) onTxDone() {
 }
 
 // deliver hands one packet to the peer; it is the shared AtCall callback
-// for every delivery this port schedules.
+// for every delivery this port schedules. Packets already in flight
+// when a cut lands are lost here, at what would have been their
+// delivery instant (packets transmitted while the wire was down never
+// get a delivery scheduled — see kick).
 func (pt *Port) deliver(arg any) {
-	pt.Peer.Receive(arg.(*packet.Packet))
+	p := arg.(*packet.Packet)
+	if pt.down {
+		pt.lost++
+		pt.Pool.Put(p)
+		return
+	}
+	pt.Peer.Receive(p)
 }

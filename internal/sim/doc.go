@@ -1,0 +1,29 @@
+// Package sim provides the deterministic discrete-event simulation
+// engine every experiment runs on: a picosecond-resolution clock and a
+// binary heap of scheduled events.
+//
+// # Role in the stack
+//
+// sim is the bottom layer. links, switches, transports and experiment
+// runners all schedule callbacks here; nothing in the engine knows about
+// packets or networks.
+//
+// # Invariants
+//
+//   - Single-threaded by design: one goroutine drives the heap, so
+//     reproducible event ordering is structural, not locked-in. Ties in
+//     event time are broken by scheduling order; two runs with the same
+//     seed are byte-identical on every platform. Run concurrent
+//     simulations on separate Engines (the exp.Suite does exactly that).
+//   - The steady-state hot path allocates nothing: event nodes are
+//     recycled through a free list with generation counters, so an Event
+//     handle to recycled storage goes stale instead of aliasing a new
+//     event. Cancel is lazy mark-and-skip (no heap surgery).
+//   - Once an event has fired or been reaped its handle is inert:
+//     Scheduled and Cancelled report false and Cancel is a no-op.
+//   - Timer is the re-armable variant for long-lived callbacks (pacing,
+//     RTO, serializers): allocated once, deadline extensions are lazy
+//     field writes, never a heap delete + insert.
+//
+// See PERF.md at the repository root for the full pooling contract.
+package sim

@@ -1,12 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation engine
-// with a picosecond-resolution clock.
-//
-// The engine is single-threaded by design: datacenter congestion-control
-// experiments need reproducible event ordering far more than they need
-// parallelism, and a single goroutine driving a binary heap of events is
-// fast enough to push hundreds of millions of packet events per minute.
-// Ties in event time are broken by scheduling order, so two runs with the
-// same seed produce byte-identical results on every platform.
 package sim
 
 import (

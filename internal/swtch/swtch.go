@@ -13,6 +13,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/queue"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -164,7 +165,9 @@ func (s *Switch) SetRoute(dst packet.NodeID, portIdx []int) {
 func (s *Switch) Route(dst packet.NodeID) []int { return s.table[dst] }
 
 // Receive implements link.Receiver: forward the packet toward its
-// destination, hashing the flow ID over equal-cost ports.
+// destination, hashing the flow's addressing tuple over the candidate
+// ports the routing control plane installed (see internal/route). The
+// path is a table lookup plus one hash — no allocation per packet.
 func (s *Switch) Receive(p *packet.Packet) {
 	cand := s.table[p.Dst]
 	if len(cand) == 0 {
@@ -172,15 +175,7 @@ func (s *Switch) Receive(p *packet.Packet) {
 	}
 	idx := cand[0]
 	if len(cand) > 1 {
-		idx = cand[ecmpHash(uint64(p.Flow))%uint64(len(cand))]
+		idx = cand[route.FlowHash(p.Src, p.Dst, p.Flow)%uint64(len(cand))]
 	}
 	s.ports[idx].Send(p)
-}
-
-// ecmpHash is splitmix64: cheap, well-mixed, deterministic across runs.
-func ecmpHash(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
 }

@@ -97,31 +97,65 @@ type LeafSpineConfig struct {
 	ServersPerLeaf int           // default 8
 	HostRate       units.BitRate // default 25 Gbps
 	FabricRate     units.BitRate // default 100 Gbps
-	LinkDelay      sim.Duration  // default 1 µs
-	Opts           Options
+	// SpineRates overrides FabricRate per spine (spine i's leaf links run
+	// at SpineRates[i]) — the asymmetric-capacity fabric the multipath
+	// experiments stress. Shorter slices leave later spines at FabricRate.
+	SpineRates []units.BitRate
+	LinkDelay  sim.Duration // default 1 µs
+	Opts       Options
+}
+
+func (c *LeafSpineConfig) fillDefaults() {
+	if c.Leaves == 0 {
+		c.Leaves = 4
+	}
+	if c.Spines == 0 {
+		c.Spines = 2
+	}
+	if c.ServersPerLeaf == 0 {
+		c.ServersPerLeaf = 8
+	}
+	if c.HostRate == 0 {
+		c.HostRate = 25 * units.Gbps
+	}
+	if c.FabricRate == 0 {
+		c.FabricRate = 100 * units.Gbps
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = sim.Microsecond
+	}
+}
+
+// WithDefaults returns the config with every zero field filled, so
+// callers can inspect the effective fabric.
+func (c LeafSpineConfig) WithDefaults() LeafSpineConfig {
+	c.fillDefaults()
+	return c
+}
+
+// LeafSwitch returns the switch index of leaf l (leaves come first).
+func (c LeafSpineConfig) LeafSwitch(l int) int { return l }
+
+// SpineRate returns the effective leaf-link rate of spine sp: its
+// SpineRates override when set, FabricRate otherwise. Builders and
+// experiments share this rule.
+func (c LeafSpineConfig) SpineRate(sp int) units.BitRate {
+	if sp < len(c.SpineRates) && c.SpineRates[sp] > 0 {
+		return c.SpineRates[sp]
+	}
+	return c.FabricRate
+}
+
+// SpineSwitch returns the switch index of spine s (after the leaves).
+func (c LeafSpineConfig) SpineSwitch(s int) int {
+	c.fillDefaults()
+	return c.Leaves + s
 }
 
 // LeafSpine builds the fabric. Servers [l·ServersPerLeaf,
 // (l+1)·ServersPerLeaf) share leaf l; Switches lists leaves then spines.
 func LeafSpine(cfg LeafSpineConfig) *Network {
-	if cfg.Leaves == 0 {
-		cfg.Leaves = 4
-	}
-	if cfg.Spines == 0 {
-		cfg.Spines = 2
-	}
-	if cfg.ServersPerLeaf == 0 {
-		cfg.ServersPerLeaf = 8
-	}
-	if cfg.HostRate == 0 {
-		cfg.HostRate = 25 * units.Gbps
-	}
-	if cfg.FabricRate == 0 {
-		cfg.FabricRate = 100 * units.Gbps
-	}
-	if cfg.LinkDelay == 0 {
-		cfg.LinkDelay = sim.Microsecond
-	}
+	cfg.fillDefaults()
 	n := newNetwork(cfg.HostRate)
 	leaves := make([]int, cfg.Leaves)
 	spines := make([]int, cfg.Spines)
@@ -137,7 +171,7 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 			n.wireHost(hi, leaves[l], cfg.HostRate, cfg.LinkDelay, cfg.Opts)
 		}
 		for sp := range spines {
-			n.wireSwitches(leaves[l], spines[sp], cfg.FabricRate, cfg.LinkDelay, cfg.Opts)
+			n.wireSwitches(leaves[l], spines[sp], cfg.SpineRate(sp), cfg.LinkDelay, cfg.Opts)
 		}
 	}
 	// Cross-leaf path: host→leaf→spine→leaf→host.
@@ -317,7 +351,7 @@ func TorOf(cfg FatTreeConfig, hi int) int {
 
 // TorUplinkPorts returns the port indexes on ToR t that face the
 // aggregation layer (the load metric of §4.1 is offered on ToR uplinks).
-func (n *Network) TorUplinkPorts(t int, serversPerTor int) []int {
+func (n *Network) TorUplinkPorts(t int) []int {
 	var up []int
 	for pi, ref := range n.swPeers[t] {
 		if !ref.isHost {

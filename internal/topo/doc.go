@@ -1,0 +1,31 @@
+// Package topo builds the networks the paper evaluates on and wires
+// every layer below the experiments together: hosts (transport or
+// HOMA), switches, links, the shared packet pool, and the routing
+// control plane.
+//
+// # Topologies
+//
+//   - Star and Dumbbell: single- and shared-bottleneck microbenchmarks.
+//   - FatTree: the 4:1-oversubscribed fabric of §4.1 (2 cores, 4 pods
+//     with 2 aggregation and 2 ToR switches each, 256 servers, 100 Gbps
+//     fabric and 25 Gbps server links, 5 µs core and 1 µs edge
+//     propagation), scalable down via ServersPerTor for tests.
+//   - LeafSpine: the two-tier Clos of the incast literature, with
+//     optional per-spine rate overrides (SpineRates) for asymmetric
+//     fabrics.
+//   - ParkingLot: the multi-bottleneck chain behind §3.5's INT-vs-RTT
+//     argument.
+//
+// # Invariants
+//
+//   - Builders only wire; routing tables are computed and installed by
+//     internal/route from the finished graph. Options.Routing picks the
+//     multipath strategy (per-flow ECMP when nil), and Network.Router
+//     can fail/restore links mid-run with reconvergence.
+//   - Host and switch port creation order is deterministic and
+//     documented per builder (servers first, then fabric ports in peer
+//     order), so tests and experiments may index ports structurally.
+//   - Every endpoint and switch shares the Network's packet free list;
+//     BaseRTT is computed from the built topology so transports can use
+//     the fabric's true τ.
+package topo

@@ -1,9 +1,3 @@
-// Package topo builds the networks the paper evaluates on: a star and a
-// dumbbell for microbenchmarks, and the 4:1-oversubscribed fat-tree of
-// §4.1 (2 cores, 4 pods with 2 aggregation and 2 ToR switches each, 256
-// servers, 100 Gbps fabric and 25 Gbps server links, 5 µs core and 1 µs
-// edge propagation). Routing tables are derived by per-destination BFS,
-// with equal-cost next hops hashed per flow (ECMP).
 package topo
 
 import (
@@ -12,6 +6,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/queue"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/swtch"
 	"repro/internal/transport"
@@ -59,6 +54,10 @@ type Options struct {
 	Queues func() queue.Queue
 	// Seed feeds all deterministic randomness derived from the topology.
 	Seed int64
+	// Routing selects the multipath strategy the control plane installs
+	// (route.SinglePath, route.ECMP, route.WeightedECMP); nil means
+	// per-flow ECMP, the behavior fabrics default to.
+	Routing route.Strategy
 }
 
 // TofinoBufferPerGbps is the default buffer/bandwidth ratio (§4.1).
@@ -74,6 +73,9 @@ type Network struct {
 	// Pool is the engine-wide packet free list every endpoint and switch
 	// recycles through.
 	Pool *packet.Pool
+	// Router is the routing control plane: it computed the installed
+	// tables and can fail/restore links and reconverge (internal/route).
+	Router *route.Router
 
 	nextFlow uint64
 	swPeers  [][]peerRef // per switch, per port: what the port points at
@@ -168,73 +170,36 @@ func (n *Network) wireSwitches(ai, bi int, rate units.BitRate, delay sim.Duratio
 	n.swPeers[bi] = append(n.swPeers[bi], peerRef{idx: ai})
 }
 
-// finish sizes the shared buffers and computes routing tables.
+// finish sizes the shared buffers and hands the wired graph to the
+// routing control plane, which computes and installs the tables under
+// the configured strategy (per-flow ECMP by default).
 func (n *Network) finish(opts Options) {
 	if opts.BufferPerGbps > 0 {
-		for si, s := range n.Switches {
+		for _, s := range n.Switches {
 			var gbps int64
 			for _, pt := range s.Ports() {
 				gbps += int64(pt.Rate / units.Gbps)
 			}
 			s.Shared().Total = opts.BufferPerGbps * gbps
-			_ = si
 		}
 	}
-	n.buildRoutes()
-}
-
-// buildRoutes runs a BFS over the switch graph per destination host and
-// installs every shortest-path next hop as an ECMP candidate.
-func (n *Network) buildRoutes() {
-	for hi := range n.Hosts {
-		dst := n.Hosts[hi].ID()
-		const inf = int(1e9)
-		dist := make([]int, len(n.Switches))
-		for i := range dist {
-			dist[i] = inf
-		}
-		var frontier []int
-		// Seed: switches directly attached to the host.
-		for si := range n.Switches {
-			for _, ref := range n.swPeers[si] {
-				if ref.isHost && ref.idx == hi {
-					dist[si] = 1
-					frontier = append(frontier, si)
-				}
+	graph := make([][]route.PortRef, len(n.Switches))
+	installers := make([]route.Installer, len(n.Switches))
+	for si, s := range n.Switches {
+		installers[si] = s
+		ports := s.Ports()
+		refs := make([]route.PortRef, len(n.swPeers[si]))
+		for pi, peer := range n.swPeers[si] {
+			refs[pi] = route.PortRef{Link: ports[pi]}
+			if peer.isHost {
+				refs[pi].ToHost = true
+				refs[pi].Host = peer.idx
+				refs[pi].HostID = n.Hosts[peer.idx].ID()
+			} else {
+				refs[pi].Peer = peer.idx
 			}
 		}
-		for len(frontier) > 0 {
-			var next []int
-			for _, si := range frontier {
-				for _, ref := range n.swPeers[si] {
-					if ref.isHost {
-						continue
-					}
-					if dist[ref.idx] == inf {
-						dist[ref.idx] = dist[si] + 1
-						next = append(next, ref.idx)
-					}
-				}
-			}
-			frontier = next
-		}
-		for si, s := range n.Switches {
-			if dist[si] == inf {
-				continue
-			}
-			var cand []int
-			for pi, ref := range n.swPeers[si] {
-				if ref.isHost && ref.idx == hi {
-					cand = []int{pi} // direct delivery wins
-					break
-				}
-				if !ref.isHost && dist[ref.idx] == dist[si]-1 {
-					cand = append(cand, pi)
-				}
-			}
-			if len(cand) > 0 {
-				s.SetRoute(dst, cand)
-			}
-		}
+		graph[si] = refs
 	}
+	n.Router = route.NewRouter(n.Eng, graph, installers, opts.Routing)
 }

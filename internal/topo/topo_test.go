@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/cc"
+	"repro/internal/packet"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -179,5 +181,130 @@ func TestBaseRTTSanity(t *testing.T) {
 	lo := sim.Duration(28 * sim.Microsecond)
 	if net.BaseRTT < lo || net.BaseRTT > 2*lo {
 		t.Fatalf("BaseRTT = %v, want within [%v, %v]", net.BaseRTT, lo, 2*lo)
+	}
+}
+
+func TestTorUplinkPortsFaceAggregation(t *testing.T) {
+	net, cfg := smallFatTree()
+	nTors := cfg.WithDefaults().Pods * cfg.WithDefaults().TorsPerPod
+	for tor := 0; tor < nTors; tor++ {
+		up := net.TorUplinkPorts(tor)
+		if len(up) != 2 { // AggsPerPod
+			t.Fatalf("ToR %d uplinks = %v, want 2", tor, up)
+		}
+		// Ports are created servers-first, so uplinks are the tail ports.
+		for i, pi := range up {
+			if pi != 4+i {
+				t.Fatalf("ToR %d uplink ports = %v, want [4 5]", tor, up)
+			}
+		}
+		// Uplink ports run at fabric rate, host ports at host rate.
+		ports := net.Switches[tor].Ports()
+		for _, pi := range up {
+			if ports[pi].Rate != 100*units.Gbps {
+				t.Fatalf("uplink port rate = %v", ports[pi].Rate)
+			}
+		}
+		if ports[0].Rate != 25*units.Gbps {
+			t.Fatalf("host port rate = %v", ports[0].Rate)
+		}
+	}
+}
+
+// Every ToR's installed ECMP tables must cover all of its uplinks for
+// remote-pod destinations — the "no silent single-path fallback" guard.
+func TestFatTreeECMPTablesCoverAllUplinks(t *testing.T) {
+	net, cfg := smallFatTree()
+	c := cfg.WithDefaults()
+	nTors := c.Pods * c.TorsPerPod
+	for tor := 0; tor < nTors; tor++ {
+		var remote []packet.NodeID
+		for hi := range net.Hosts {
+			if topo.TorOf(cfg, hi) != tor {
+				remote = append(remote, net.HostID(hi))
+			}
+		}
+		spread := route.PathSpread(net.Switches[tor].Route, remote)
+		up := net.TorUplinkPorts(tor)
+		if len(spread) != len(up) {
+			t.Fatalf("ToR %d tables use ports %v, want all uplinks %v", tor, spread, up)
+		}
+	}
+}
+
+// A permutation-style workload must put traffic on every ToR uplink
+// under ECMP — and on exactly one per ToR under single-path routing.
+func TestFatTreeECMPSpreadsPermutationTraffic(t *testing.T) {
+	run := func(strategy route.Strategy) (used, total int) {
+		o := opts()
+		o.Routing = strategy
+		cfg := topo.FatTreeConfig{ServersPerTor: 4, Opts: o}
+		net := topo.FatTree(cfg)
+		n := len(net.Hosts)
+		// Each host sends 4 flows to its cross-pod partner: distinct flow
+		// IDs hash independently, exercising the uplink choice densely.
+		for i := 0; i < n; i++ {
+			dst := net.TransportHost((i + n/2) % n)
+			src := net.TransportHost(i)
+			for k := 0; k < 4; k++ {
+				src.StartFlow(net.NextFlowID(), dst.ID(), 20_000, &cc.FixedWindow{}, 0)
+			}
+		}
+		net.Eng.Run()
+		c := cfg.WithDefaults()
+		for tor := 0; tor < c.Pods*c.TorsPerPod; tor++ {
+			for _, pi := range net.TorUplinkPorts(tor) {
+				total++
+				if net.Switches[tor].Ports()[pi].TxPackets() > 0 {
+					used++
+				}
+			}
+		}
+		return used, total
+	}
+
+	used, total := run(route.ECMP{})
+	if used != total {
+		t.Fatalf("ECMP left uplinks idle: %d/%d carried traffic", used, total)
+	}
+	used, total = run(route.SinglePath{})
+	if used >= total {
+		t.Fatalf("single-path used every uplink (%d/%d): spreading detector is blind", used, total)
+	}
+}
+
+func TestLeafSpineSpineRatesOverride(t *testing.T) {
+	cfg := topo.LeafSpineConfig{
+		Leaves: 2, Spines: 2, ServersPerLeaf: 2,
+		SpineRates: []units.BitRate{100 * units.Gbps, 50 * units.Gbps},
+		Opts:       opts(),
+	}
+	net := topo.LeafSpine(cfg)
+	ports := net.Switches[cfg.LeafSwitch(0)].Ports()
+	// Ports: 2 servers, then one uplink per spine.
+	if ports[2].Rate != 100*units.Gbps || ports[3].Rate != 50*units.Gbps {
+		t.Fatalf("uplink rates = %v, %v", ports[2].Rate, ports[3].Rate)
+	}
+	if net.Switches[cfg.SpineSwitch(1)].Ports()[0].Rate != 50*units.Gbps {
+		t.Fatal("spine-side rate does not match its override")
+	}
+}
+
+// Cutting a leaf-spine link and reconverging must keep end-to-end
+// transfers working through the surviving spine.
+func TestNetworkSurvivesLinkFailure(t *testing.T) {
+	cfg := topo.LeafSpineConfig{Leaves: 2, Spines: 2, ServersPerLeaf: 1, Opts: opts()}
+	net := topo.LeafSpine(cfg)
+	net.Router.FailLink(cfg.LeafSwitch(0), cfg.SpineSwitch(0))
+	net.Router.FailLink(cfg.LeafSwitch(1), cfg.SpineSwitch(0))
+	net.Router.Rebuild()
+	src, dst := net.TransportHost(0), net.TransportHost(1)
+	src.StartFlow(net.NextFlowID(), dst.ID(), 200_000, &cc.FixedWindow{}, 0)
+	net.Eng.Run()
+	if got := dst.ReceivedTotal(); got != 200_000 {
+		t.Fatalf("transfer over surviving spine delivered %d", got)
+	}
+	if net.Switches[cfg.SpineSwitch(0)].Ports()[0].TxPackets() != 0 {
+		t.Fatal("failed spine still forwarded traffic")
 	}
 }

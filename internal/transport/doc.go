@@ -1,0 +1,25 @@
+// Package transport implements the sender-based reliable transport the
+// congestion-control algorithms ride on: window-limited, rate-paced
+// senders (rate = cwnd/τ, §3.3), per-packet cumulative ACKs that echo
+// the INT stack and ECN marks, NewReno-style fast retransmit, and a
+// retransmission timeout. Receivers additionally generate DCQCN CNPs.
+//
+// # Role in the stack
+//
+// A transport Host is one server NIC: it terminates flows in both
+// directions and owns the egress port toward its ToR. Experiment labs
+// (internal/exp) attach a cc.Algorithm per flow; the algorithms never
+// see the transport, only OnAck/OnLoss-style signals.
+//
+// # Invariants
+//
+//   - Packets handed to Receive are consumed: the host copies what it
+//     needs and recycles them into the engine's pool. Hooks (OnData,
+//     OnFlowDone, monitor taps) must not retain packet pointers.
+//   - Pacing and RTO run on pre-bound sim.Timers; the steady-state send
+//     path allocates nothing beyond pool misses.
+//   - A flow with Size = Unbounded never finishes on its own —
+//     background traffic for windows measured by the experiment.
+//   - Retransmissions are excluded from goodput accounting (Rtx flag),
+//     so receiver-side ReceivedBytes measures useful bytes only.
+package transport

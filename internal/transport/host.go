@@ -1,11 +1,3 @@
-// Package transport implements the sender-based reliable transport the
-// congestion-control algorithms ride on: window-limited, rate-paced
-// senders (rate = cwnd/τ, §3.3), per-packet cumulative ACKs that echo the
-// INT stack and ECN marks, NewReno-style fast retransmit, and a
-// retransmission timeout. Receivers additionally generate DCQCN CNPs.
-//
-// A transport Host is one server NIC: it terminates flows in both
-// directions and owns the egress port toward its ToR.
 package transport
 
 import (

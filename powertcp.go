@@ -1,38 +1,3 @@
-// Package powertcp is a from-scratch Go reproduction of "PowerTCP:
-// Pushing the Performance Limits of Datacenter Networks" (Addanki,
-// Michel, Schmid — USENIX NSDI 2022).
-//
-// PowerTCP is a congestion-control law that reacts to network *power*:
-// the product of voltage ν = q + b·τ (buffered bytes plus
-// bandwidth-delay product — the absolute state voltage-based schemes like
-// HPCC and Swift react to) and current λ = q̇ + µ (the state's trend,
-// which current-based schemes like TIMELY react to). Reacting to the
-// product captures both dimensions at once: congestion onset is visible
-// at near-zero queues, and the reaction strength still scales with how
-// much standing queue there is.
-//
-// The package re-exports the reproduction's layers:
-//
-//   - The control laws (PowerTCP, θ-PowerTCP) and every baseline the
-//     paper compares against (HPCC, TIMELY, DCQCN, Swift, HOMA, reTCP).
-//   - A deterministic packet-level network simulator: event engine,
-//     switches with shared-memory Dynamic-Thresholds buffers, INT
-//     telemetry, priority queues, a reliable paced transport, fat-tree /
-//     star / dumbbell topologies, and a reconfigurable (rotor-based) DCN.
-//   - Experiment runners that regenerate every figure of the paper's
-//     evaluation, plus the fluid model behind its analytic figures and
-//     theorems.
-//
-// Quick start (two hosts, one bottleneck):
-//
-//	net := powertcp.Dumbbell(powertcp.DumbbellConfig{Left: 1, Right: 1,
-//	    Opts: powertcp.NetOptions{Hosts: powertcp.Hosts(powertcp.HostConfig{BaseRTT: 16 * powertcp.Microsecond}), INT: true}})
-//	src, dst := net.TransportHost(0), net.TransportHost(1)
-//	src.StartFlow(net.NextFlowID(), dst.ID(), 1<<20, powertcp.New(powertcp.Config{}), 0)
-//	net.Eng.Run()
-//
-// See examples/ for runnable programs and EXPERIMENTS.md for the
-// paper-vs-measured record.
 package powertcp
 
 import (
@@ -42,6 +7,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/monitor"
 	"repro/internal/rdcn"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -130,6 +96,28 @@ var (
 	BuildRDCN  = rdcn.Build
 )
 
+// Routing control plane (internal/route): pluggable multipath
+// strategies for NetOptions.Routing, and the per-network Router that
+// fails/restores links with control-plane reconvergence.
+type (
+	// RoutingStrategy decides how equal-cost paths are installed.
+	RoutingStrategy = route.Strategy
+	// Router is a built network's routing control plane (Network.Router).
+	Router = route.Router
+	// LinkEvent schedules one link failure or repair (Router.Schedule).
+	LinkEvent = route.LinkEvent
+)
+
+// Routing strategies and helpers.
+var (
+	// RoutingSinglePath, RoutingECMP, RoutingWeightedECMP are the three
+	// built-in strategies; RoutingByName resolves "single"/"ecmp"/"wecmp".
+	RoutingSinglePath   = route.SinglePath{}
+	RoutingECMP         = route.ECMP{}
+	RoutingWeightedECMP = route.WeightedECMP{}
+	RoutingByName       = route.StrategyByName
+)
+
 // Monitor wraps a congestion-control algorithm so every update is
 // recorded (cwnd/rate/RTT time series; see internal/monitor).
 var Monitor = monitor.Wrap
@@ -166,10 +154,13 @@ type (
 	SchemeOption = exp.SchemeOption
 
 	// Typed experiment payloads (ExperimentResult.Raw).
-	IncastResult    = exp.IncastResult
-	FairnessResult  = exp.FairnessResult
-	WebSearchResult = exp.WebSearchResult
-	RDCNResult      = exp.RDCNResult
+	IncastResult      = exp.IncastResult
+	FairnessResult    = exp.FairnessResult
+	WebSearchResult   = exp.WebSearchResult
+	RDCNResult        = exp.RDCNResult
+	PermutationResult = exp.PermutationResult
+	AsymmetryResult   = exp.AsymmetryResult
+	FailoverResult    = exp.FailoverResult
 )
 
 // Experiment API entry points.
@@ -208,6 +199,11 @@ var (
 	WithDuration       = exp.WithDuration
 	WithDrain          = exp.WithDrain
 	WithSamplePeriod   = exp.WithSamplePeriod
+	WithRouting        = exp.WithRouting
+	WithSpines         = exp.WithSpines
+	WithSpineRates     = exp.WithSpineRates
+	WithFailure        = exp.WithFailure
+	WithReconverge     = exp.WithReconverge
 )
 
 // Scheme options (ablation variants composed at resolution time).
