@@ -458,6 +458,24 @@ func BenchmarkMP_Failover(b *testing.B) {
 	}
 }
 
+// BenchmarkScale_Incast1024 stresses the scheduler at scale: a 1024:1
+// incast across a 1280-server fat-tree keeps tens of thousands of
+// events pending at once — the regime where the old binary heap paid
+// O(log n) per pop and the timing wheel stays O(1) (PERF.md, BENCH_4).
+func BenchmarkScale_Incast1024(b *testing.B) {
+	b.ReportAllocs()
+	var r *exp.Result
+	for i := 0; i < b.N; i++ {
+		r = mustRun(b, exp.NewSpec("incast", exp.PowerTCP,
+			exp.WithFanIn(1024), exp.WithServersPerTor(160),
+			exp.WithFlowSize(50_000), exp.WithWindow(2*sim.Millisecond), exp.WithSeed(1)))
+	}
+	b.ReportMetric(r.Scalar("peak_queue_kb"), "peak-queue-KB")
+	b.ReportMetric(r.Scalar("avg_goodput_gbps"), "goodput-Gbps")
+	b.ReportMetric(r.Scalar("completed"), "flows-done")
+	reportEventsPerSec(b, r)
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second pushing an unbounded PowerTCP flow across the fat-tree.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -93,6 +93,21 @@ func TestSuiteParallelMatchesSerial(t *testing.T) {
 				WithWindow(sim.Millisecond), WithSeed(13)),
 			NewSpec("failover", PowerTCP, WithServersPerTor(4), WithFlows(2),
 				WithWindow(3*sim.Millisecond), WithSeed(13)))
+		// Wheel-engine stress (PR 4): failure/restore schedules a few
+		// milliseconds out live in the wheel's coarsest level and cascade
+		// down across many level-0/1 rotations before firing, and the
+		// timing must still be byte-exact under any worker count. One
+		// cell also routes single-path so reconvergence rebuilds tables
+		// from the arena mid-run.
+		out = append(out,
+			NewSpec("failover", PowerTCP, WithServersPerTor(4), WithFlows(2),
+				WithFailure(2*sim.Millisecond, 5*sim.Millisecond),
+				WithReconverge(400*sim.Microsecond),
+				WithWindow(7*sim.Millisecond), WithSeed(17)),
+			NewSpec("failover", HPCC, WithServersPerTor(4), WithFlows(2),
+				WithRouting("single"),
+				WithFailure(1500*sim.Microsecond, KeepLinkDown),
+				WithWindow(4*sim.Millisecond), WithSeed(17)))
 		return out
 	}
 
@@ -173,6 +188,36 @@ func TestSuitePooledMatchesUnpooled(t *testing.T) {
 		if !bytes.Equal(pb.Bytes(), ub.Bytes()) {
 			t.Fatalf("spec %d (%s/%s): pooled result differs from unpooled\npooled:   %.300s\nunpooled: %.300s",
 				i, pooled[i].Experiment, pooled[i].Scheme, pb.String(), ub.String())
+		}
+	}
+}
+
+// Engine recycling is an allocation strategy, not a model change: a lab
+// released at the end of a run hands its engine (Reset) and packet free
+// list to the next run via the scratch pool, and the recycled run must
+// be byte-identical to the first. The failover spec is the sharp case —
+// its runs end with events still pending (RTOs, restore schedules), so
+// Reset's discard path runs every repetition.
+func TestWheelEngineRecycleDeterminism(t *testing.T) {
+	spec := NewSpec("failover", PowerTCP, WithServersPerTor(4), WithFlows(2),
+		WithFailure(sim.Millisecond, 3*sim.Millisecond),
+		WithWindow(5*sim.Millisecond), WithSeed(21))
+	var first []byte
+	for i := 0; i < 3; i++ {
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = append([]byte(nil), buf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("run %d on a recycled engine diverged from the first run", i)
 		}
 	}
 }

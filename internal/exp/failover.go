@@ -95,6 +95,7 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 		SpineRates:     s.SpineRates,
 	}
 	lab := NewLeafSpineLab(scheme, cfg, s.Seed, strategy)
+	defer lab.Release()
 	net := lab.Net
 	ls := lab.LSCfg
 

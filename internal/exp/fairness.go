@@ -53,6 +53,7 @@ func init() {
 // receiver over a single 25G bottleneck.
 func runFairness(s Spec, scheme Scheme) (*Result, error) {
 	lab := NewStarLab(scheme, s.Flows+1, s.Seed)
+	defer lab.Release()
 	net := lab.Net
 
 	const receiver = 0

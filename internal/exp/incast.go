@@ -58,6 +58,7 @@ func init() {
 // (senders in other racks) hits the receiver of a long flow.
 func runIncast(s Spec, scheme Scheme) (*Result, error) {
 	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
+	defer lab.Release()
 	net := lab.Net
 
 	const receiver = 0
@@ -81,7 +82,13 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 	// created per server in order, so port 0 faces host 0).
 	port := net.Switches[0].Ports()[receiver]
 
-	ic := &IncastResult{Scheme: scheme.Name, FanIn: launched}
+	// The sampler runs at a fixed period from t=0 to the fixed horizon
+	// (warmup + window), so the series length is run metadata: allocate
+	// the points once.
+	ic := &IncastResult{
+		Scheme: scheme.Name, FanIn: launched,
+		Points: make([]TimePoint, 0, int((s.Warmup+s.Window)/s.SamplePeriod)+2),
+	}
 	var lastBytes int64
 	end := sim.Time(s.Warmup + s.Window)
 	SampleEvery(net.Eng, s.SamplePeriod, end, func(now sim.Time) {

@@ -29,12 +29,15 @@ type Lab struct {
 	Records []FlowRecord
 
 	started int
+	scratch *runScratch
 }
 
 // labOpts assembles the switch/buffer options every lab shares. The
 // scheme's DTAlpha (composed via the Alpha scheme option) overrides the
-// Dynamic Thresholds factor; 0 keeps the default α=1.
+// Dynamic Thresholds factor; 0 keeps the default α=1. It also claims a
+// recycled scratch, handing its warmed engine (if any) to the builder.
 func (l *Lab) labOpts(seed int64, routing route.Strategy) topo.Options {
+	l.scratch = getScratch()
 	return topo.Options{
 		BufferPerGbps: topo.TofinoBufferPerGbps,
 		Alpha:         l.Scheme.DTAlpha,
@@ -43,6 +46,7 @@ func (l *Lab) labOpts(seed int64, routing route.Strategy) topo.Options {
 		Queues:        l.Scheme.queueFactory(),
 		Seed:          seed,
 		Routing:       routing,
+		Engine:        l.scratch.eng,
 	}
 }
 
@@ -108,8 +112,15 @@ func (l *Lab) hostFactory(baseRTT sim.Duration) topo.HostFactory {
 	}
 }
 
-// wireCollectors attaches completion callbacks on every host.
+// wireCollectors attaches completion callbacks on every host and moves
+// the scratch's recycled buffers into the freshly built network.
 func (l *Lab) wireCollectors() {
+	if sc := l.scratch; sc != nil {
+		l.Net.Pool.Adopt(sc.packets)
+		sc.packets = nil
+		l.Records = sc.records
+		sc.records = nil
+	}
 	for _, n := range l.Net.Hosts {
 		switch h := n.(type) {
 		case *transport.Host:

@@ -70,6 +70,7 @@ func runPermutation(s Spec, scheme Scheme) (*Result, error) {
 		return nil, err
 	}
 	lab := NewRoutedFatTreeLab(scheme, s.ServersPerTor, s.Seed, strategy)
+	defer lab.Release()
 	net := lab.Net
 	n := len(net.Hosts)
 

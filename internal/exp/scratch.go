@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// runScratch carries warmed, content-free buffers from a finished run to
+// the next one: the event engine (Reset keeps its slot rings, overflow
+// backing, and node free list), the packet pool's free list, and the
+// lab's flow-record accumulator. Suites repeat near-identical runs —
+// every figure is b.N repetitions or a panel of same-scale specs — so
+// recycling turns per-run pool warm-up (the dominant allocs/op of the
+// large incast) into a one-time cost.
+//
+// Scratches hold no simulation state: a recycled engine is
+// observationally identical to sim.New() and recycled packets are zeroed
+// by Pool.Put, so recycling cannot change any run's output — the
+// parallel-vs-serial and pooled-vs-unpooled determinism suites pin this.
+// The sync.Pool keeps scratches per-P, so concurrent suite workers never
+// contend or share a live scratch.
+type runScratch struct {
+	eng     *sim.Engine
+	packets []*packet.Packet
+	records []FlowRecord
+}
+
+var scratchPool = sync.Pool{New: func() any { return &runScratch{} }}
+
+func getScratch() *runScratch { return scratchPool.Get().(*runScratch) }
+
+// Release returns the lab's reusable buffers to the scratch pool. The
+// lab (network, hosts, switches) must not be used afterwards: its engine
+// is reset and its packet pool drained. Runners call this once the
+// Result is fully composed; labs that are never released just leave
+// their buffers to the garbage collector.
+func (l *Lab) Release() {
+	sc := l.scratch
+	if sc == nil || l.Net == nil {
+		return
+	}
+	l.scratch = nil
+	sc.packets = l.Net.Pool.Drain()
+	l.Net.Eng.Reset()
+	sc.eng = l.Net.Eng
+	sc.records = l.Records[:0]
+	l.Records = nil
+	scratchPool.Put(sc)
+}

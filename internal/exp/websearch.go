@@ -97,6 +97,7 @@ func runWebSearch(s Spec, scheme Scheme) (*Result, error) {
 // webSearchCell runs one scheme×load cell and returns the typed payload.
 func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
 	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
+	defer lab.Release()
 	net := lab.Net
 	ftCfg := lab.FTCfg
 
@@ -129,6 +130,9 @@ func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
 	horizon := sim.Time(s.Duration + s.Drain)
 	if s.SampleBuffers {
 		tors := racks
+		// Run metadata fixes the sample count: one sweep of every ToR per
+		// period over the generation horizon. Size the distribution once.
+		bufSamples.Presize((int(s.Duration/(20*sim.Microsecond)) + 2) * tors)
 		SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(s.Duration), func(sim.Time) {
 			for t := 0; t < tors; t++ {
 				bufSamples.Add(float64(net.Switches[t].Shared().Used()))

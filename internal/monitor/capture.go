@@ -74,6 +74,14 @@ var ErrBadCapture = errors.New("monitor: bad capture stream")
 
 // ReadCapture replays an entire capture stream.
 func ReadCapture(r io.Reader) ([]CapturedPacket, error) {
+	// When the source knows its size (bytes.Reader/Buffer, strings.Reader
+	// — checked before the buffered reader consumes it), presize the
+	// replay slice: a frame is a 12-byte header plus at least a base wire
+	// header, so size/(12+wire.BaseLen) bounds the frame count above.
+	sized := 0
+	if l, ok := r.(interface{ Len() int }); ok {
+		sized = l.Len()
+	}
 	br := bufio.NewReader(r)
 	var magic uint32
 	if err := binary.Read(br, binary.BigEndian, &magic); err != nil {
@@ -83,6 +91,9 @@ func ReadCapture(r io.Reader) ([]CapturedPacket, error) {
 		return nil, ErrBadCapture
 	}
 	var out []CapturedPacket
+	if n := sized / (12 + wire.BaseLen); n > 0 {
+		out = make([]CapturedPacket, 0, n)
+	}
 	for {
 		var hdr [12]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {

@@ -10,6 +10,7 @@ package monitor
 import (
 	"fmt"
 	"io"
+	"slices"
 
 	"repro/internal/cc"
 	"repro/internal/link"
@@ -44,6 +45,25 @@ type CC struct {
 // Wrap returns a recording wrapper around alg.
 func Wrap(alg cc.Algorithm, every sim.Duration) *CC {
 	return &CC{Inner: alg, Every: every}
+}
+
+// Presize grows the sample buffer to hold n records without further
+// allocation. Callers that know the run horizon and sampling period —
+// expected samples ≈ horizon/Every — size the monitor once so recording
+// stays off the allocator during the run.
+func (m *CC) Presize(n int) {
+	if n > len(m.Samples) {
+		m.Samples = slices.Grow(m.Samples, n-len(m.Samples))
+	}
+}
+
+// Reset drops the recorded trajectory while keeping the buffer, so a
+// monitor can be reused across suite repetitions without reallocating.
+func (m *CC) Reset() {
+	m.Samples = m.Samples[:0]
+	m.losses = 0
+	m.lastAt = 0
+	m.haveAny = false
 }
 
 // Name implements cc.Algorithm.
@@ -141,8 +161,14 @@ type Tap struct {
 }
 
 // NewTap wraps inner; now supplies timestamps (usually Engine.Now).
+// A positive capacity presizes the ring up front — the declared Cap is
+// run metadata, so the tap never grows while packets flow.
 func NewTap(inner link.Receiver, capacity int, now func() sim.Time) *Tap {
-	return &Tap{Inner: inner, Cap: capacity, now: now}
+	t := &Tap{Inner: inner, Cap: capacity, now: now}
+	if capacity > 0 {
+		t.entries = make([]TraceEntry, 0, capacity)
+	}
+	return t
 }
 
 // Receive implements link.Receiver.

@@ -86,3 +86,27 @@ func (pl *Pool) Stats() (gets, news, puts uint64) {
 	}
 	return pl.gets, pl.news, pl.puts
 }
+
+// Adopt seeds the free list with recycled packets from a finished run
+// (see Drain). Adopted packets must already be zeroed — Put leaves them
+// that way — so a pool warmed from another run hands out packets
+// indistinguishable from fresh allocations. With pooling disabled the
+// call is a no-op, keeping kill-switch runs allocation-honest.
+func (pl *Pool) Adopt(ps []*Packet) {
+	if pl == nil || len(ps) == 0 || !poolingEnabled.Load() {
+		return
+	}
+	pl.free = append(pl.free, ps...)
+}
+
+// Drain empties the free list and returns it, so a suite harness can
+// carry the warmed packets to the next run's pool. In-flight packets are
+// not tracked and simply fall to the garbage collector.
+func (pl *Pool) Drain() []*Packet {
+	if pl == nil {
+		return nil
+	}
+	free := pl.free
+	pl.free = nil
+	return free
+}

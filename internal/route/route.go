@@ -45,6 +45,14 @@ type Installer interface {
 	SetRoute(dst packet.NodeID, ports []int)
 }
 
+// TablePresizer is an optional Installer refinement: the router tells
+// each installer how many destinations the initial build will install,
+// so table maps are sized once instead of rehashing while the control
+// plane fills them.
+type TablePresizer interface {
+	PresizeRoutes(destinations int)
+}
+
 // Candidate is one equal-cost next hop offered to a Strategy.
 type Candidate struct {
 	Port int
@@ -54,10 +62,13 @@ type Candidate struct {
 // Strategy turns the equal-cost candidate set for one (switch,
 // destination) pair into the installed port list the switch hashes
 // over. Expand runs on the control plane (topology build, reconvergence)
-// — it may allocate; the data plane only indexes the returned slice.
+// and appends its ports to out, returning the extended slice — the
+// Router carves tables out of one chunked arena instead of allocating a
+// slice per (switch, destination) pair. The data plane only indexes the
+// installed slice.
 type Strategy interface {
 	Name() string
-	Expand(cand []Candidate) []int
+	Expand(cand []Candidate, out []int) []int
 }
 
 // SinglePath always installs the lowest-indexed candidate — the
@@ -69,9 +80,9 @@ type SinglePath struct{}
 func (SinglePath) Name() string { return "single" }
 
 // Expand implements Strategy.
-func (SinglePath) Expand(cand []Candidate) []int {
+func (SinglePath) Expand(cand []Candidate, out []int) []int {
 	if len(cand) == 0 {
-		return nil
+		return out
 	}
 	best := cand[0].Port
 	for _, c := range cand[1:] {
@@ -79,7 +90,7 @@ func (SinglePath) Expand(cand []Candidate) []int {
 			best = c.Port
 		}
 	}
-	return []int{best}
+	return append(out, best)
 }
 
 // ECMP installs every equal-cost candidate; the switch spreads flows
@@ -91,10 +102,9 @@ type ECMP struct{}
 func (ECMP) Name() string { return "ecmp" }
 
 // Expand implements Strategy.
-func (ECMP) Expand(cand []Candidate) []int {
-	out := make([]int, len(cand))
-	for i, c := range cand {
-		out[i] = c.Port
+func (ECMP) Expand(cand []Candidate, out []int) []int {
+	for _, c := range cand {
+		out = append(out, c.Port)
 	}
 	return out
 }
@@ -115,9 +125,9 @@ type WeightedECMP struct {
 func (WeightedECMP) Name() string { return "wecmp" }
 
 // Expand implements Strategy.
-func (w WeightedECMP) Expand(cand []Candidate) []int {
+func (w WeightedECMP) Expand(cand []Candidate, out []int) []int {
 	if len(cand) == 0 {
-		return nil
+		return out
 	}
 	cap := int64(w.MaxReplicas)
 	if cap <= 0 {
@@ -127,7 +137,12 @@ func (w WeightedECMP) Expand(cand []Candidate) []int {
 	// below 1 Gbps still gets weight 1 so no candidate vanishes.
 	g := int64(0)
 	maxW := int64(0)
-	weights := make([]int64, len(cand))
+	var wbuf [16]int64
+	weights := wbuf[:0]
+	if len(cand) > len(wbuf) {
+		weights = make([]int64, 0, len(cand))
+	}
+	weights = weights[:len(cand)]
 	for i, c := range cand {
 		weights[i] = int64(c.Rate / units.Gbps)
 		if weights[i] < 1 {
@@ -146,7 +161,6 @@ func (w WeightedECMP) Expand(cand []Candidate) []int {
 	if maxW/g > cap {
 		scaleNum, scaleDen = cap, maxW
 	}
-	var out []int
 	for i, c := range cand {
 		n := (weights[i]*scaleNum + scaleDen/2) / scaleDen
 		if n < 1 {
@@ -216,6 +230,12 @@ type Router struct {
 	frontier []int
 	next     []int
 	cand     []Candidate
+	// arena is the chunked backing store installed tables are carved
+	// from: one allocation per chunk instead of one per (switch,
+	// destination) pair. Chunks are never reset or reused within a
+	// router's lifetime, so tables installed by earlier rebuilds — and
+	// the stale entries partitioned switches keep — stay valid.
+	arena []int
 }
 
 // NewRouter builds a router over the graph and installs the initial
@@ -248,6 +268,11 @@ func NewRouter(eng *sim.Engine, graph [][]PortRef, installers []Installer, strat
 	r.hostIDs = make([]packet.NodeID, maxHost+1)
 	for hi, id := range seen {
 		r.hostIDs[hi] = id
+	}
+	for _, inst := range installers {
+		if p, ok := inst.(TablePresizer); ok {
+			p.PresizeRoutes(len(r.hostIDs))
+		}
 	}
 	r.Rebuild()
 	return r
@@ -389,12 +414,49 @@ func (r *Router) Rebuild() {
 			if len(r.cand) == 0 {
 				continue // partitioned: keep the stale table entry
 			}
-			ports := r.strategy.Expand(r.cand)
+			ports := r.expandInto(r.cand)
 			if direct || len(ports) > 0 {
 				r.installers[si].SetRoute(dst, ports)
 			}
 		}
 	}
+}
+
+// maxExpansion bounds how many ports a strategy can emit for n
+// candidates, so the arena reserves enough headroom that Expand never
+// reallocates mid-append.
+func maxExpansion(s Strategy, n int) int {
+	switch w := s.(type) {
+	case SinglePath:
+		return 1
+	case ECMP:
+		return n
+	case WeightedECMP:
+		m := int(w.MaxReplicas)
+		if m <= 0 {
+			m = 16
+		}
+		return m * n
+	default:
+		return 16 * n
+	}
+}
+
+// expandInto runs the strategy over cand, carving the installed table
+// out of the arena. The returned slice is capacity-capped, so later
+// arena appends can never write through it.
+func (r *Router) expandInto(cand []Candidate) []int {
+	need := maxExpansion(r.strategy, len(cand))
+	if cap(r.arena)-len(r.arena) < need {
+		size := 4096
+		if need > size {
+			size = need
+		}
+		r.arena = make([]int, 0, size)
+	}
+	start := len(r.arena)
+	r.arena = r.strategy.Expand(cand, r.arena)
+	return r.arena[start:len(r.arena):len(r.arena)]
 }
 
 // PathSpread reports, for the given switch, how many distinct egress

@@ -27,17 +27,17 @@ func TestStrategyByName(t *testing.T) {
 }
 
 func TestSinglePathPicksLowestPort(t *testing.T) {
-	got := SinglePath{}.Expand([]Candidate{{Port: 3}, {Port: 1}, {Port: 2}})
+	got := SinglePath{}.Expand([]Candidate{{Port: 3}, {Port: 1}, {Port: 2}}, nil)
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("SinglePath expanded to %v, want [1]", got)
 	}
-	if got := (SinglePath{}).Expand(nil); got != nil {
+	if got := (SinglePath{}).Expand(nil, nil); got != nil {
 		t.Fatalf("SinglePath on empty candidates = %v", got)
 	}
 }
 
 func TestECMPKeepsAllCandidates(t *testing.T) {
-	got := ECMP{}.Expand([]Candidate{{Port: 0}, {Port: 2}, {Port: 5}})
+	got := ECMP{}.Expand([]Candidate{{Port: 0}, {Port: 2}, {Port: 5}}, nil)
 	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 5 {
 		t.Fatalf("ECMP expanded to %v", got)
 	}
@@ -47,7 +47,7 @@ func TestWeightedECMPReplicatesByCapacity(t *testing.T) {
 	got := WeightedECMP{}.Expand([]Candidate{
 		{Port: 0, Rate: 100 * units.Gbps},
 		{Port: 1, Rate: 50 * units.Gbps},
-	})
+	}, nil)
 	// GCD(100, 50) = 50 → port 0 twice, port 1 once.
 	if len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 1 {
 		t.Fatalf("WCMP expanded to %v, want [0 0 1]", got)
@@ -56,7 +56,7 @@ func TestWeightedECMPReplicatesByCapacity(t *testing.T) {
 	eq := WeightedECMP{}.Expand([]Candidate{
 		{Port: 0, Rate: 100 * units.Gbps},
 		{Port: 1, Rate: 100 * units.Gbps},
-	})
+	}, nil)
 	if len(eq) != 2 {
 		t.Fatalf("equal-rate WCMP expanded to %v", eq)
 	}
@@ -64,7 +64,7 @@ func TestWeightedECMPReplicatesByCapacity(t *testing.T) {
 	capped := WeightedECMP{MaxReplicas: 4}.Expand([]Candidate{
 		{Port: 0, Rate: 400 * units.Gbps},
 		{Port: 1, Rate: 1 * units.Gbps},
-	})
+	}, nil)
 	n0 := 0
 	for _, p := range capped {
 		if p == 0 {

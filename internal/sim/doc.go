@@ -1,6 +1,7 @@
 // Package sim provides the deterministic discrete-event simulation
 // engine every experiment runs on: a picosecond-resolution clock and a
-// binary heap of scheduled events.
+// hierarchical timing wheel of scheduled events (with a small overflow
+// heap for the far future).
 //
 // # Role in the stack
 //
@@ -10,20 +11,28 @@
 //
 // # Invariants
 //
-//   - Single-threaded by design: one goroutine drives the heap, so
+//   - Single-threaded by design: one goroutine drives the wheel, so
 //     reproducible event ordering is structural, not locked-in. Ties in
 //     event time are broken by scheduling order; two runs with the same
 //     seed are byte-identical on every platform. Run concurrent
 //     simulations on separate Engines (the exp.Suite does exactly that).
+//   - Exact (at, seq) total order, wheel or not: a slot drains as one
+//     batch sorted by timestamp-then-scheduling-order, so bucketing by
+//     tick never reorders events — the property test pins the firing
+//     order to the retired binary heap's.
 //   - The steady-state hot path allocates nothing: event nodes are
 //     recycled through a free list with generation counters, so an Event
 //     handle to recycled storage goes stale instead of aliasing a new
-//     event. Cancel is lazy mark-and-skip (no heap surgery).
+//     event. Cancel is lazy mark-and-skip (no wheel surgery), and
+//     schedule/fire are O(1) slot appends and batch reads rather than
+//     O(log n) sifts.
 //   - Once an event has fired or been reaped its handle is inert:
 //     Scheduled and Cancelled report false and Cancel is a no-op.
 //   - Timer is the re-armable variant for long-lived callbacks (pacing,
 //     RTO, serializers): allocated once, deadline extensions are lazy
-//     field writes, never a heap delete + insert.
+//     field writes — wheel-granularity-agnostic, because the extension
+//     never moves the queued entry — never a delete + insert.
 //
-// See PERF.md at the repository root for the full pooling contract.
+// See PERF.md at the repository root for the wheel layout, the
+// determinism argument, and the full pooling contract.
 package sim

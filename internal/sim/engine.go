@@ -1,8 +1,13 @@
 package sim
 
+import (
+	"math/bits"
+	"slices"
+)
+
 // node is the engine-owned storage behind a scheduled event. Nodes are
 // recycled through a free list: when an event fires, or a cancelled event
-// reaches the head of the heap and is skipped, its node's generation is
+// reaches the firing batch and is skipped, its node's generation is
 // bumped and the node returns to the pool. Handles (Event values) carry
 // the generation they were issued with, so a handle to a recycled node
 // goes stale instead of aliasing whatever the node holds next.
@@ -23,7 +28,7 @@ type node struct {
 //   - Scheduled() is true from At/After until the instance fires or is
 //     cancelled.
 //   - Cancelled() is true from Cancel until the engine reaps the dead
-//     instance (lazily, when its deadline reaches the head of the queue).
+//     instance (lazily, when its slot is drained for firing).
 //   - Once an instance has fired or been reaped the handle is stale:
 //     Scheduled and Cancelled both report false, and Cancel is a no-op.
 //     In particular, cancelling an already-fired event does NOT mark it
@@ -47,12 +52,89 @@ func (ev Event) Cancelled() bool {
 	return ev.n != nil && ev.n.gen == ev.gen && ev.n.cancelled
 }
 
-// entry is one element of the event queue. Entries are stored by value so
-// heap sift operations compare (at, seq) without chasing pointers.
+// entry is one element of the event queue. Entries are stored by value in
+// wheel slots, the firing batch, and the overflow heap, so ordering
+// compares (at, seq) without chasing pointers.
 type entry struct {
 	at  Time
 	seq uint64
 	n   *node
+}
+
+// The event queue is a hierarchical timing wheel (Varghese & Lauck; the
+// scheduler family production discrete-event simulators such as NS-2 use
+// for exactly this workload): network events are overwhelmingly
+// near-future and bounded-horizon — serialization delays, propagation,
+// pacing ticks, RTOs — so bucketing by time makes schedule and fire O(1)
+// where a binary heap pays O(log n) pointer-chasing sifts with 10⁴–10⁵
+// events pending.
+//
+// Layout: one tick is 2^tickBits ps (8.192 ns — finer than a 1048-byte
+// serialization at 100 Gbps, so consecutive packet events land in
+// distinct slots); each of the numLevels levels has numSlots slots
+// covering numSlots^level ticks per slot. Level 0 spans ~2.1 µs (covers
+// serialization and edge propagation), level 1 ~537 µs (RTTs, pacing,
+// sampling periods), level 2 ~137 ms (RTOs, failure schedules). Events
+// beyond the wheel horizon wait in a small (at, seq)-ordered overflow
+// heap and are pulled in as the wheel turns.
+//
+// Determinism: the engine preserves the exact (at, seq) total order of
+// the binary-heap implementation it replaced. A slot is drained as a
+// whole into the firing batch and sorted by (at, seq) — entries within a
+// tick fire in precise timestamp-then-insertion order, not bucket order —
+// and cascades only re-bucket entries into finer levels, never across an
+// undrained earlier tick. The property test in engine_prop_test.go runs
+// randomized schedule/cancel/re-arm scripts against the retired heap
+// (referenceQueue) and requires identical firing orders.
+const (
+	tickBits  = 13 // one wheel tick = 8.192 ns
+	levelBits = 8  // slots per level
+	numSlots  = 1 << levelBits
+	slotMask  = numSlots - 1
+	numLevels = 3
+	// horizonTicks spans the whole wheel; farther events overflow.
+	horizonTicks = int64(1) << (numLevels * levelBits)
+)
+
+// wheelLevel is one ring of slots plus an occupancy bitmap so the scan
+// for the next pending tick skips empty slots a word at a time.
+type wheelLevel struct {
+	slot  [numSlots][]entry
+	occ   [numSlots / 64]uint64
+	count int
+}
+
+func (l *wheelLevel) add(idx int, ent entry) {
+	l.slot[idx] = append(l.slot[idx], ent)
+	l.occ[idx>>6] |= 1 << (idx & 63)
+	l.count++
+}
+
+// scan returns the first occupied slot index ≥ from, or -1.
+func (l *wheelLevel) scan(from int) int {
+	w := from >> 6
+	word := l.occ[w] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == len(l.occ) {
+			return -1
+		}
+		word = l.occ[w]
+	}
+}
+
+// take removes and returns slot idx's entries, clearing its occupancy.
+// The backing array stays with the slot (truncated in place) so a warmed
+// wheel schedules without allocating.
+func (l *wheelLevel) take(idx int) []entry {
+	s := l.slot[idx]
+	l.slot[idx] = s[:0]
+	l.occ[idx>>6] &^= 1 << (idx & 63)
+	l.count -= len(s)
+	return s
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
@@ -62,14 +144,36 @@ type entry struct {
 // single-threaded execution model described in the package comment.
 //
 // The engine allocates nothing per event in steady state: event nodes are
-// pooled, cancellation is lazy (dead entries are skipped when popped, not
-// removed), and the queue is a manual binary heap of value entries.
+// pooled, cancellation is lazy (dead entries are skipped when their slot
+// drains, not removed), and the queue is a hierarchical timing wheel of
+// value entries with batched same-tick firing.
 type Engine struct {
 	now    Time
 	seq    uint64
-	heap   []entry
-	free   []*node
 	nSteps uint64
+
+	// curTick is the wheel's drain position: every tick below it has been
+	// emptied into the firing batch. Entries scheduled into an
+	// already-drained tick (always the one being fired — scheduling in
+	// the past panics) are merged into the batch directly.
+	curTick int64
+	// cascadedTo is the highest window boundary whose cascades have run.
+	// Draining a slot can land curTick exactly on a boundary without
+	// passing through the boundary-step branch; advance compares the two
+	// so no boundary's cascade is ever skipped.
+	cascadedTo int64
+	levels     [numLevels]wheelLevel
+	over       []entry // overflow min-heap, ordered by (at, seq)
+
+	// batch holds the tick being fired, sorted by (at, seq); bi is the
+	// cursor of the next entry to fire. Run touches no other queue state
+	// between batch entries — same-tick firing is one bounds check and an
+	// index increment per event.
+	batch []entry
+	bi    int
+
+	pending int // entries anywhere in the queue, incl. cancelled unreaped
+	free    []*node
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -84,7 +188,7 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 
 // Pending returns the number of queue entries waiting, including
 // cancelled instances that have not been reaped yet.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.pending }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it always indicates a model bug, and silently
@@ -92,7 +196,8 @@ func (e *Engine) Pending() int { return len(e.heap) }
 func (e *Engine) At(t Time, fn func()) Event {
 	n := e.take(t)
 	n.fn = fn
-	e.push(entry{at: t, seq: e.seq, n: n})
+	e.pending++
+	e.place(entry{at: t, seq: e.seq, n: n})
 	e.seq++
 	return Event{n: n, gen: n.gen}
 }
@@ -106,7 +211,8 @@ func (e *Engine) AtCall(t Time, fn func(any), arg any) Event {
 	n := e.take(t)
 	n.afn = fn
 	n.arg = arg
-	e.push(entry{at: t, seq: e.seq, n: n})
+	e.pending++
+	e.place(entry{at: t, seq: e.seq, n: n})
 	e.seq++
 	return Event{n: n, gen: n.gen}
 }
@@ -136,8 +242,8 @@ func (e *Engine) After(d Duration, fn func()) Event {
 }
 
 // Cancel prevents ev from firing. Cancellation is lazy: the instance is
-// marked dead and skipped (and its node recycled) when it reaches the
-// head of the queue. Cancelling the zero Event, a stale handle, or an
+// marked dead and skipped (and its node recycled) when its slot drains
+// into the firing batch. Cancelling the zero Event, a stale handle, or an
 // already-cancelled instance is a no-op, so callers can unconditionally
 // cancel timers they may or may not hold.
 func (e *Engine) Cancel(ev Event) {
@@ -147,7 +253,7 @@ func (e *Engine) Cancel(ev Event) {
 	ev.n.cancelled = true
 }
 
-// reap recycles a node whose queue entry has been popped.
+// reap recycles a node whose queue entry has been consumed.
 func (e *Engine) reap(n *node) {
 	n.fn = nil
 	n.afn = nil
@@ -157,28 +263,215 @@ func (e *Engine) reap(n *node) {
 	e.free = append(e.free, n)
 }
 
+// place buckets an entry by its distance from the drain position. It
+// does not touch the pending count, so cascades and refills move entries
+// between structures through the same path.
+func (e *Engine) place(ent entry) {
+	tk := int64(ent.at) >> tickBits
+	delta := tk - e.curTick
+	switch {
+	case delta < 0:
+		// The tick being fired right now (at ≥ now rules out anything
+		// older): merge into the batch at the (at, seq) position.
+		e.batchInsert(ent)
+	case delta < 1<<levelBits:
+		e.levels[0].add(int(tk)&slotMask, ent)
+	case delta < 1<<(2*levelBits):
+		e.levels[1].add(int(tk>>levelBits)&slotMask, ent)
+	case delta < horizonTicks:
+		e.levels[2].add(int(tk>>(2*levelBits))&slotMask, ent)
+	default:
+		e.overPush(ent)
+	}
+}
+
+// batchInsert merges a same-tick entry into the live firing batch,
+// keeping it sorted. The entry carries the highest seq issued so far, so
+// its position is after every queued entry with the same timestamp —
+// exactly where the heap would have fired it. Scheduling cannot target
+// anything before the cursor (at ≥ now), so fired entries never move.
+func (e *Engine) batchInsert(ent entry) {
+	lo, hi := e.bi, len(e.batch)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.batch[mid].at <= ent.at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.batch = append(e.batch, entry{})
+	copy(e.batch[lo+1:], e.batch[lo:])
+	e.batch[lo] = ent
+}
+
+// cmpEntry is THE (at, seq) total order: the batch sort, the overflow
+// heap (via entry.less), and the reference-heap property test all rank
+// entries through it, so the determinism argument has a single
+// comparator to audit.
+func cmpEntry(a, b entry) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+// wheelCount reports the entries held by the wheel levels (excluding the
+// batch and the overflow heap).
+func (e *Engine) wheelCount() int {
+	return e.levels[0].count + e.levels[1].count + e.levels[2].count
+}
+
+// advance loads the next pending tick into the firing batch, cascading
+// coarser levels and refilling from the overflow heap as the wheel
+// turns. It returns false when nothing is pending anywhere.
+func (e *Engine) advance() bool {
+	if e.bi < len(e.batch) {
+		return true
+	}
+	e.batch = e.batch[:0]
+	e.bi = 0
+	for {
+		// Draining a slot can advance curTick exactly onto a window
+		// boundary; run that boundary's cascades before trusting the
+		// level-0 scan for the new window.
+		if b := e.curTick &^ int64(slotMask); b > e.cascadedTo {
+			e.runCascades(b)
+		}
+		if e.levels[0].count > 0 {
+			from := int(e.curTick) & slotMask
+			if j := e.levels[0].scan(from); j >= 0 {
+				e.loadSlot(j, e.curTick+int64(j-from))
+				return true
+			}
+		}
+		if e.wheelCount() == 0 {
+			// Only the overflow heap holds events: jump the wheel to its
+			// earliest tick and pull the next horizon in. The skipped
+			// boundaries had nothing to cascade — mark them done.
+			if len(e.over) == 0 {
+				return false
+			}
+			if tk := int64(e.over[0].at) >> tickBits; tk > e.curTick {
+				e.curTick = tk
+			}
+			if b := e.curTick &^ int64(slotMask); b > e.cascadedTo {
+				e.cascadedTo = b
+			}
+			e.refill()
+			continue
+		}
+		// Nothing below the next window boundary: advance to it and
+		// cascade the matching coarser slots down. When levels 0 and 1
+		// are both empty, whole level-1 windows are skipped at once
+		// (their cascades would be no-ops).
+		var boundary int64
+		if e.levels[0].count == 0 && e.levels[1].count == 0 {
+			boundary = (e.curTick | (1<<(2*levelBits) - 1)) + 1
+		} else {
+			boundary = (e.curTick | slotMask) + 1
+		}
+		e.curTick = boundary
+		e.runCascades(boundary)
+	}
+}
+
+// runCascades performs the cascades due at window boundary b (a multiple
+// of numSlots): a horizon refill when b opens a new overflow window, a
+// level-2 slot when b opens a new level-1 window, and always the level-1
+// slot feeding the level-0 window that starts at b.
+func (e *Engine) runCascades(b int64) {
+	e.cascadedTo = b
+	if b&(horizonTicks-1) == 0 && len(e.over) > 0 {
+		e.refill()
+	}
+	if b&(1<<(2*levelBits)-1) == 0 {
+		e.cascade(2, int(b>>(2*levelBits))&slotMask)
+	}
+	e.cascade(1, int(b>>levelBits)&slotMask)
+}
+
+// loadSlot drains level-0 slot j (holding tick tk) into the firing batch
+// and sorts it by (at, seq): batched same-tick firing with the exact
+// heap order. The batch and the slot swap backing arrays instead of
+// copying — entries carry pointers, and a bulk copy would pay a GC
+// write-barrier sweep per slot. Consumed entries linger beyond the
+// slices' lengths; they only pin pooled nodes, which the free list
+// keeps alive anyway.
+func (e *Engine) loadSlot(j int, tk int64) {
+	lv := &e.levels[0]
+	s := lv.slot[j]
+	lv.slot[j] = e.batch[:0]
+	lv.occ[j>>6] &^= 1 << (j & 63)
+	lv.count -= len(s)
+	e.batch = s
+	e.curTick = tk + 1
+	if len(s) > 1 {
+		slices.SortFunc(s, cmpEntry)
+	}
+}
+
+// cascade re-buckets one slot of a coarser level. Every entry lands in a
+// finer level (its tick shares the current window), so relative order is
+// decided later by the slot sort — cascading cannot reorder.
+func (e *Engine) cascade(li, idx int) {
+	lv := &e.levels[li]
+	if lv.slot[idx] == nil || len(lv.slot[idx]) == 0 {
+		return
+	}
+	s := lv.take(idx)
+	for _, ent := range s {
+		e.place(ent)
+	}
+}
+
+// refill pulls every overflow event inside the wheel horizon into the
+// wheel.
+func (e *Engine) refill() {
+	for len(e.over) > 0 {
+		if int64(e.over[0].at)>>tickBits-e.curTick >= horizonTicks {
+			return
+		}
+		e.place(e.overPop())
+	}
+}
+
 // Step executes the single earliest pending event and returns true, or
 // returns false if no live events remain.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ent := e.pop()
-		n := ent.n
-		if n.cancelled {
+	for {
+		for e.bi < len(e.batch) {
+			ent := e.batch[e.bi]
+			e.bi++
+			n := ent.n
+			e.pending--
+			if n.cancelled {
+				e.reap(n)
+				continue
+			}
+			e.now = ent.at
+			e.nSteps++
+			fn, afn, arg := n.fn, n.afn, n.arg
 			e.reap(n)
-			continue
+			if afn != nil {
+				afn(arg)
+			} else {
+				fn()
+			}
+			return true
 		}
-		e.now = ent.at
-		e.nSteps++
-		fn, afn, arg := n.fn, n.afn, n.arg
-		e.reap(n)
-		if afn != nil {
-			afn(arg)
-		} else {
-			fn()
+		if !e.advance() {
+			return false
 		}
-		return true
 	}
-	return false
 }
 
 // Run executes events until none remain.
@@ -190,15 +483,22 @@ func (e *Engine) Run() {
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to t. Events scheduled after t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 {
-		// Reap cancelled entries at the head eagerly so the horizon check
-		// below sees the earliest *live* event (Step would otherwise skip
-		// past a dead head and run an event beyond t).
-		if e.heap[0].n.cancelled {
-			e.reap(e.pop().n)
+	for {
+		// Reap cancelled entries at the batch cursor eagerly so the
+		// horizon check below sees the earliest *live* event (Step would
+		// otherwise skip past a dead head and run an event beyond t).
+		for e.bi < len(e.batch) && e.batch[e.bi].n.cancelled {
+			e.pending--
+			e.reap(e.batch[e.bi].n)
+			e.bi++
+		}
+		if e.bi >= len(e.batch) {
+			if !e.advance() {
+				break
+			}
 			continue
 		}
-		if e.heap[0].at > t {
+		if e.batch[e.bi].at > t {
 			break
 		}
 		e.Step()
@@ -208,17 +508,50 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// less orders entries by (at, seq): FIFO among events at the same instant.
-func (a entry) less(b entry) bool {
-	if a.at != b.at {
-		return a.at < b.at
+// Reset returns the engine to its initial zero-time state — clock, seq,
+// step count and drain position at zero, no pending events — while
+// keeping every warmed buffer: slot and batch capacities, the overflow
+// heap's backing array, and the node free list (pending events are
+// discarded and their nodes recycled). A reset engine is observationally
+// identical to New(), so suite harnesses reuse engines across runs to
+// skip the per-run pool and wheel warm-up (see internal/exp).
+func (e *Engine) Reset() {
+	for li := range e.levels {
+		lv := &e.levels[li]
+		if lv.count > 0 {
+			for idx := range lv.slot {
+				for _, ent := range lv.slot[idx] {
+					e.reap(ent.n)
+				}
+				if s := lv.slot[idx]; len(s) > 0 {
+					clear(s)
+					lv.slot[idx] = s[:0]
+				}
+			}
+		}
+		lv.occ = [numSlots / 64]uint64{}
+		lv.count = 0
 	}
-	return a.seq < b.seq
+	for _, ent := range e.over {
+		e.reap(ent.n)
+	}
+	clear(e.over)
+	e.over = e.over[:0]
+	for i := e.bi; i < len(e.batch); i++ {
+		e.reap(e.batch[i].n)
+	}
+	clear(e.batch)
+	e.batch = e.batch[:0]
+	e.bi = 0
+	e.now, e.seq, e.nSteps, e.curTick, e.cascadedTo, e.pending = 0, 0, 0, 0, 0, 0
 }
 
-// push inserts an entry and sifts it up.
-func (e *Engine) push(ent entry) {
-	h := append(e.heap, ent)
+// less orders entries by (at, seq): FIFO among events at the same instant.
+func (a entry) less(b entry) bool { return cmpEntry(a, b) < 0 }
+
+// overPush inserts an entry into the overflow heap and sifts it up.
+func (e *Engine) overPush(ent entry) {
+	h := append(e.over, ent)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -228,12 +561,12 @@ func (e *Engine) push(ent entry) {
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
-	e.heap = h
+	e.over = h
 }
 
-// pop removes and returns the minimum entry.
-func (e *Engine) pop() entry {
-	h := e.heap
+// overPop removes and returns the overflow heap's minimum entry.
+func (e *Engine) overPop() entry {
+	h := e.over
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
@@ -256,6 +589,6 @@ func (e *Engine) pop() entry {
 		h[i], h[m] = h[m], h[i]
 		i = m
 	}
-	e.heap = h
+	e.over = h
 	return top
 }

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The wheel-vs-heap equivalence property: randomized schedule / cancel /
+// re-arm scripts executed on both the timing-wheel engine and the
+// retired binary heap (referenceQueue) must fire in identical order.
+// Delays are drawn across every wheel regime — same instant, sub-tick,
+// level 0/1/2, and beyond the overflow horizon — and a slice of events
+// schedule same-instant or near-future follow-ups from inside their
+// callbacks, exercising the mid-drain batch insertion path.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runWheelVsHeapScript(t, seed)
+		})
+	}
+}
+
+// randomDelay spreads delays over the wheel's regimes.
+func randomDelay(rng *rand.Rand) Duration {
+	switch rng.Intn(6) {
+	case 0:
+		return 0 // same instant
+	case 1:
+		return Duration(rng.Int63n(8191)) // sub-tick (one wheel slot)
+	case 2:
+		return Duration(rng.Int63n(2_000)) * Nanosecond // level 0
+	case 3:
+		return Duration(rng.Int63n(500)) * Microsecond // level 1
+	case 4:
+		return Duration(rng.Int63n(130)) * Millisecond // level 2
+	default:
+		// Beyond the ~137 ms wheel horizon: overflow heap.
+		return 140*Millisecond + Duration(rng.Int63n(300))*Millisecond
+	}
+}
+
+func runWheelVsHeapScript(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const initial = 300
+
+	type followup struct {
+		d  Duration
+		id int
+	}
+	followups := map[int][]followup{}
+	nextID := initial
+
+	e := New()
+	q := &referenceQueue{}
+	evs := map[int]Event{}
+	refCancelled := map[int]bool{}
+
+	var lastFired refEntry
+	fireCount := 0
+	var mkCb func(id int) func()
+	mkCb = func(id int) func() {
+		return func() {
+			lastFired = refEntry{at: e.Now(), id: id}
+			fireCount++
+			for _, f := range followups[id] {
+				evs[f.id] = e.At(e.Now().Add(f.d), mkCb(f.id))
+			}
+		}
+	}
+
+	// Schedule the initial events identically on both sides.
+	for id := 0; id < initial; id++ {
+		d := randomDelay(rng)
+		at := Time(d)
+		evs[id] = e.At(at, mkCb(id))
+		q.schedule(at, id)
+		// A third of the events spawn follow-ups when they fire: same
+		// instant or near future, landing in the tick being drained, the
+		// current wheel windows, or (rarely) the overflow heap.
+		if rng.Intn(3) == 0 {
+			n := 1 + rng.Intn(2)
+			for k := 0; k < n; k++ {
+				followups[id] = append(followups[id], followup{d: randomDelay(rng), id: nextID})
+				nextID++
+			}
+		}
+	}
+	// Cancel a slice of them; re-arm another slice (cancel + reschedule —
+	// the queue-level shape of a timer re-arm to an earlier deadline).
+	for id := 0; id < initial; id++ {
+		switch rng.Intn(8) {
+		case 0, 1:
+			e.Cancel(evs[id])
+			refCancelled[id] = true
+		case 2:
+			e.Cancel(evs[id])
+			refCancelled[id] = true
+			d := randomDelay(rng)
+			rearmed := nextID
+			nextID++
+			evs[rearmed] = e.At(Time(d), mkCb(rearmed))
+			q.schedule(Time(d), rearmed)
+		}
+	}
+
+	// Lockstep drain: every live reference pop must match the engine's
+	// next fired event in both identity and timestamp.
+	for {
+		ent, ok := q.pop()
+		if !ok {
+			break
+		}
+		if refCancelled[ent.id] {
+			continue
+		}
+		// The reference has no callbacks: apply the popped event's
+		// follow-up scheduling here, mirroring what the engine's callback
+		// did when it fired.
+		before := fireCount
+		if !e.Step() {
+			t.Fatalf("engine ran dry; reference still holds id=%d at=%v", ent.id, ent.at)
+		}
+		if fireCount != before+1 {
+			t.Fatalf("engine Step fired %d events, want exactly 1", fireCount-before)
+		}
+		if lastFired.id != ent.id || lastFired.at != ent.at {
+			t.Fatalf("order diverged: engine fired id=%d at=%v, reference expects id=%d at=%v",
+				lastFired.id, lastFired.at, ent.id, ent.at)
+		}
+		for _, f := range followups[ent.id] {
+			q.schedule(ent.at.Add(f.d), f.id)
+		}
+	}
+	if e.Step() {
+		t.Fatalf("reference ran dry but engine fired id=%d at=%v", lastFired.id, lastFired.at)
+	}
+}

@@ -269,11 +269,16 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 func TestEngineZeroAllocSteadyState(t *testing.T) {
 	e := New()
 	fn := func() {}
-	// Warm the pool and the heap's backing array.
-	for i := 0; i < 64; i++ {
-		e.After(Duration(i)*Nanosecond, fn)
+	// Warm the pool and the queue's backing storage. The timing wheel
+	// lazily allocates each slot's entry array on first touch, and the
+	// round stride drifts through slot residues slowly, so the warm-up
+	// repeats until every level-0 slot the loop can land in has capacity.
+	for round := 0; round < 4096; round++ {
+		for i := 0; i < 64; i++ {
+			e.After(Duration(i)*Nanosecond, fn)
+		}
+		e.Run()
 	}
-	e.Run()
 	allocs := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 64; i++ {
 			e.After(Duration(i)*Nanosecond, fn)
@@ -305,5 +310,46 @@ func TestEngineCancelRecycles(t *testing.T) {
 	}
 	if len(e.free) < 100 {
 		t.Fatalf("free list holds %d nodes, want >= 100", len(e.free))
+	}
+}
+
+// Regression: draining a slot can land the wheel's position exactly on a
+// window boundary (tick+1 ≡ 0 mod slots); the engine must still run that
+// boundary's cascades before scanning the new window. Before the
+// cascadedTo fix this input fired a level-1 resident a full rotation
+// late (found by TestEngineOrderProperty, pinned here).
+func TestWheelBoundaryLandingCascades(t *testing.T) {
+	delays := []uint32{0x5c72448b, 0x5852fdcb, 0x861c942b, 0xc0442e72,
+		0x9ed96cee, 0x8fbb6a70, 0xc6467379, 0x1809bb4a, 0x17ab982b,
+		0xf8c53632, 0x513d65b7, 0xe9f7a49a, 0xfd83a9bd, 0x2af5f8a0,
+		0x37f7b937, 0xc4ef69e6, 0x15bf5fd6, 0xf4d27cf, 0xaa53362b,
+		0x8d0758a6, 0x66ae3f0, 0xe9526e5f, 0x34228c68, 0xa8415c6,
+		0x8dc6ce59, 0x3f73358d, 0x126076a4, 0x37f025f2, 0xd192a4c6,
+		0x6c3421d5, 0xac360f37, 0x3d78b7c2, 0xc69d69cc, 0x9c22e036,
+		0x6c8f77c0, 0xfc92476, 0x2d2ffd45, 0x41c8e0eb, 0xabe73c5c,
+		0xab005c16, 0xa7213199, 0x6bc8d579, 0xcbe6693, 0x44094fd1,
+		0x805063a5, 0x47deb00b, 0x168433da, 0x9bef088c}
+	e := New()
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var fired []rec
+	for i, d := range delays {
+		i := i
+		at := Time(Duration(d%1_000_000) * Nanosecond)
+		e.At(at, func() { fired = append(fired, rec{at, i}) })
+	}
+	e.Run()
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d of %d events", len(fired), len(delays))
+	}
+	if !sort.SliceIsSorted(fired, func(a, b int) bool {
+		if fired[a].at != fired[b].at {
+			return fired[a].at < fired[b].at
+		}
+		return fired[a].seq < fired[b].seq
+	}) {
+		t.Fatal("firing order violated (at, seq)")
 	}
 }

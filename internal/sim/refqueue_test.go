@@ -1,0 +1,81 @@
+package sim
+
+// referenceQueue is the binary-heap event queue the timing wheel
+// replaced (PR 2's hand-rolled value-entry heap), kept as the ordering
+// oracle for the equivalence property test: any schedule/cancel/re-arm
+// script must fire in exactly the same order on both implementations.
+// It lives in a test file on purpose — production code has exactly one
+// queue.
+type referenceQueue struct {
+	heap []refEntry
+	seq  uint64
+	now  Time
+}
+
+type refEntry struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+// schedule enqueues event id at time t, mirroring Engine.At's (at, seq)
+// keying.
+func (q *referenceQueue) schedule(t Time, id int) {
+	if t < q.now {
+		panic("referenceQueue: event scheduled in the past")
+	}
+	q.push(refEntry{at: t, seq: q.seq, id: id})
+	q.seq++
+}
+
+func (a refEntry) less(b refEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *referenceQueue) push(ent refEntry) {
+	h := append(q.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.heap = h
+}
+
+// pop removes and returns the minimum entry, advancing the clock.
+func (q *referenceQueue) pop() (refEntry, bool) {
+	if len(q.heap) == 0 {
+		return refEntry{}, false
+	}
+	h := q.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && h[r].less(h[l]) {
+			m = r
+		}
+		if !h[m].less(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	q.heap = h
+	q.now = top.at
+	return top, true
+}

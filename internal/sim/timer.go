@@ -11,8 +11,17 @@ package sim
 // a *later* instant just records the new deadline — the already-queued
 // event fires early, notices the extension, and re-queues itself for the
 // remainder. A retransmission timeout that is pushed back on every ACK
-// therefore costs one field write per ACK instead of a heap delete and
+// therefore costs two field writes per ACK instead of a queue delete and
 // re-insert.
+//
+// The laziness is deliberately wheel-granularity-agnostic: an extension
+// never touches the queued entry, so it cannot re-bucket, cascade, or
+// reorder anything regardless of how far the deadline moves or which
+// wheel level holds the entry, and the eventual early fire re-queues at
+// the exact extended deadline — timers keep picosecond-precise firing
+// times even though wheel slots are ~8 ns wide. Re-arming *earlier* must
+// replace the queued instance (a lazy early move would run the callback
+// at the stale instant), which stays a cancel plus an O(1) wheel insert.
 //
 // Timers are not safe for concurrent use, like the Engine they run on.
 type Timer struct {

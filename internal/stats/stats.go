@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/sim"
@@ -27,6 +28,23 @@ func (d *Dist) Add(v float64) {
 
 // Count returns the number of samples.
 func (d *Dist) Count() int { return len(d.vals) }
+
+// Presize grows the sample buffer to hold n values without further
+// allocation. Experiments that know their sample count up front (period
+// samplers, per-flow collectors) size the distribution once instead of
+// doubling through appends.
+func (d *Dist) Presize(n int) {
+	if n > len(d.vals) {
+		d.vals = slices.Grow(d.vals, n-len(d.vals))
+	}
+}
+
+// Reset empties the distribution while keeping its backing array, so a
+// recycled Dist accumulates the next run's samples allocation-free.
+func (d *Dist) Reset() {
+	d.vals = d.vals[:0]
+	d.sorted = false
+}
 
 // Mean returns the sample mean (0 when empty).
 func (d *Dist) Mean() float64 {
@@ -111,6 +129,23 @@ func (ts *TimeSeries) Add(t sim.Time, v float64) {
 
 // Len returns the number of points.
 func (ts *TimeSeries) Len() int { return len(ts.T) }
+
+// Presize grows both columns to hold n points without further
+// allocation (see Dist.Presize).
+func (ts *TimeSeries) Presize(n int) {
+	if n > len(ts.T) {
+		ts.T = slices.Grow(ts.T, n-len(ts.T))
+	}
+	if n > len(ts.V) {
+		ts.V = slices.Grow(ts.V, n-len(ts.V))
+	}
+}
+
+// Reset empties the series while keeping both backing arrays.
+func (ts *TimeSeries) Reset() {
+	ts.T = ts.T[:0]
+	ts.V = ts.V[:0]
+}
 
 // Max returns the maximum value (0 when empty).
 func (ts *TimeSeries) Max() float64 {

@@ -150,3 +150,48 @@ func TestGbps(t *testing.T) {
 		t.Fatal("zero duration must yield 0")
 	}
 }
+
+// Presize must make accumulation allocation-free and Reset must keep the
+// warmed buffer — the telemetry-reuse invariant PERF.md documents.
+func TestDistPresizeResetAllocs(t *testing.T) {
+	var d Dist
+	d.Presize(256)
+	allocs := testing.AllocsPerRun(10, func() {
+		d.Reset()
+		for i := 0; i < 256; i++ {
+			d.Add(float64(i % 7))
+		}
+		_ = d.Percentile(99)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("presized Dist allocates %.2f per run, want 0", allocs)
+	}
+	// Presize preserves existing samples.
+	d.Reset()
+	d.Add(1)
+	d.Add(2)
+	d.Presize(1024)
+	if d.Count() != 2 || d.Mean() != 1.5 {
+		t.Fatalf("Presize lost samples: count=%d mean=%v", d.Count(), d.Mean())
+	}
+}
+
+func TestTimeSeriesPresizeResetAllocs(t *testing.T) {
+	var ts TimeSeries
+	ts.Presize(256)
+	allocs := testing.AllocsPerRun(10, func() {
+		ts.Reset()
+		for i := 0; i < 256; i++ {
+			ts.Add(sim.Time(i), float64(i))
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("presized TimeSeries allocates %.2f per run, want 0", allocs)
+	}
+	ts.Reset()
+	ts.Add(1, 10)
+	ts.Presize(1024)
+	if ts.Len() != 1 || ts.V[0] != 10 {
+		t.Fatalf("Presize lost points: %+v", ts)
+	}
+}

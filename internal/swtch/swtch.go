@@ -161,6 +161,15 @@ func (s *Switch) SetRoute(dst packet.NodeID, portIdx []int) {
 	s.table[dst] = portIdx
 }
 
+// PresizeRoutes implements route.TablePresizer: it sizes the (still
+// empty) table for the destinations the control plane is about to
+// install, so the initial build does not rehash the map per insert.
+func (s *Switch) PresizeRoutes(destinations int) {
+	if len(s.table) == 0 && destinations > 0 {
+		s.table = make(map[packet.NodeID][]int, destinations)
+	}
+}
+
 // Route returns the candidate egress ports for dst (testing).
 func (s *Switch) Route(dst packet.NodeID) []int { return s.table[dst] }
 

@@ -22,7 +22,7 @@ func Star(cfg StarConfig) *Network {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = sim.Microsecond
 	}
-	n := newNetwork(cfg.HostRate)
+	n := newNetwork(cfg.HostRate, cfg.Opts)
 	si := n.addSwitch(cfg.Opts)
 	for i := 0; i < cfg.Hosts; i++ {
 		hi := n.addHost(cfg.Opts.Hosts)
@@ -60,7 +60,7 @@ func Dumbbell(cfg DumbbellConfig) *Network {
 	if cfg.BottleneckDelay == 0 {
 		cfg.BottleneckDelay = 4 * sim.Microsecond
 	}
-	n := newNetwork(cfg.HostRate)
+	n := newNetwork(cfg.HostRate, cfg.Opts)
 	l := n.addSwitch(cfg.Opts)
 	r := n.addSwitch(cfg.Opts)
 	n.wireSwitches(l, r, cfg.BottleneckRate, cfg.BottleneckDelay, cfg.Opts)
@@ -156,7 +156,7 @@ func (c LeafSpineConfig) SpineSwitch(s int) int {
 // (l+1)·ServersPerLeaf) share leaf l; Switches lists leaves then spines.
 func LeafSpine(cfg LeafSpineConfig) *Network {
 	cfg.fillDefaults()
-	n := newNetwork(cfg.HostRate)
+	n := newNetwork(cfg.HostRate, cfg.Opts)
 	leaves := make([]int, cfg.Leaves)
 	spines := make([]int, cfg.Spines)
 	for i := range leaves {
@@ -212,7 +212,7 @@ func ParkingLot(cfg ParkingLotConfig) *Network {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = sim.Microsecond
 	}
-	n := newNetwork(cfg.HostRate)
+	n := newNetwork(cfg.HostRate, cfg.Opts)
 	sw := make([]int, cfg.Switches)
 	for i := range sw {
 		sw[i] = n.addSwitch(cfg.Opts)
@@ -297,7 +297,7 @@ func (c *FatTreeConfig) fillDefaults() {
 // Switches[0..Pods·TorsPerPod), then aggregations, then cores.
 func FatTree(cfg FatTreeConfig) *Network {
 	cfg.fillDefaults()
-	n := newNetwork(cfg.HostRate)
+	n := newNetwork(cfg.HostRate, cfg.Opts)
 
 	nTors := cfg.Pods * cfg.TorsPerPod
 	nAggs := cfg.Pods * cfg.AggsPerPod

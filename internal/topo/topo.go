@@ -58,6 +58,12 @@ type Options struct {
 	// (route.SinglePath, route.ECMP, route.WeightedECMP); nil means
 	// per-flow ECMP, the behavior fabrics default to.
 	Routing route.Strategy
+	// Engine, when non-nil, is the event engine the network runs on —
+	// the seam suite harnesses use to hand a Reset() engine (warmed slot
+	// rings and node free list) from one run to the next. Nil builds a
+	// fresh engine. The engine must be at time zero with no pending
+	// events.
+	Engine *sim.Engine
 }
 
 // TofinoBufferPerGbps is the default buffer/bandwidth ratio (§4.1).
@@ -106,8 +112,12 @@ func (n *Network) TransportHost(i int) *transport.Host {
 func (n *Network) HostID(i int) packet.NodeID { return n.Hosts[i].ID() }
 
 // newNetwork allocates the shell all builders fill in.
-func newNetwork(hostRate units.BitRate) *Network {
-	return &Network{Eng: sim.New(), HostRate: hostRate, Pool: packet.NewPool()}
+func newNetwork(hostRate units.BitRate, opts Options) *Network {
+	eng := opts.Engine
+	if eng == nil {
+		eng = sim.New()
+	}
+	return &Network{Eng: eng, HostRate: hostRate, Pool: packet.NewPool()}
 }
 
 // poolUser lets endpoints opt into the network-wide packet free list

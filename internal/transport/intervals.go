@@ -30,7 +30,18 @@ func (s *IntervalSet) Add(start, end int64) {
 		}
 		j++
 	}
-	s.iv = append(s.iv[:i], append([]interval{{start, end}}, s.iv[j:]...)...)
+	// Splice [start, end) over s.iv[i:j] in place: receiving is per-packet
+	// work, so the set must not allocate beyond its backing array's growth.
+	if i == j {
+		s.iv = append(s.iv, interval{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = interval{start, end}
+		return
+	}
+	s.iv[i] = interval{start, end}
+	if j > i+1 {
+		s.iv = append(s.iv[:i+1], s.iv[j:]...)
+	}
 }
 
 // CumulativeFrom returns the highest offset c ≥ base such that every byte
