@@ -476,6 +476,30 @@ func BenchmarkScale_Incast1024(b *testing.B) {
 	reportEventsPerSec(b, r)
 }
 
+// BenchmarkScenario_Mix runs the composed scenario exp.ScenarioMix
+// (websearch load + incast overlay + failover timeline on a
+// leaf-spine; the same builder cmd/bench tracks as Scenario_Mix) end
+// to end — the per-event cost of the composition layer rides the same
+// regression gate as the per-runner presets it replaced.
+func BenchmarkScenario_Mix(b *testing.B) {
+	b.ReportAllocs()
+	var r *exp.Result
+	for i := 0; i < b.N; i++ {
+		// Scenarios are single-use (probes hold run state): build a
+		// fresh value per iteration.
+		sc, err := exp.ScenarioMix(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r, err = RunScenario(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Scalar("completed"), "flows-done")
+	b.ReportMetric(r.Scalar("goodput_gbps_avg"), "goodput-Gbps")
+	reportEventsPerSec(b, r)
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per
 // second pushing an unbounded PowerTCP flow across the fat-tree.
 func BenchmarkSimulatorThroughput(b *testing.B) {

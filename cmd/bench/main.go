@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                        # run and write BENCH_4.json
+//	go run ./cmd/bench                        # run and write BENCH_5.json
 //	go run ./cmd/bench -o out.json            # write elsewhere
 //	go run ./cmd/bench -list                  # print the benchmark set
-//	go run ./cmd/bench -compare BENCH_3.json  # fail on >15%% events/sec regression
+//	go run ./cmd/bench -compare BENCH_4.json  # fail on >15%% events/sec regression
 //	go run ./cmd/bench -gate -compare ...     # gate benchmarks only (CI smoke)
 package main
 
@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -57,19 +58,20 @@ type Snapshot struct {
 	Results []Comparison `json:"results"`
 }
 
-// baselines are the previous PR's numbers (BENCH_3.json: binary-heap
-// engine, per-run pool warm-up) measured on the reference machine (Intel
-// Xeon @ 2.10GHz, go1.24). They are the "before" of this PR's timing
-// wheel + telemetry recycling and stay fixed; reruns only refresh the
-// "after".
+// baselines are the previous PR's numbers (BENCH_4.json: timing-wheel
+// engine, per-runner experiment code) measured on the reference machine
+// (Intel Xeon @ 2.10GHz, go1.24). They are the "before" of this PR's
+// composable scenario layer and stay fixed; reruns only refresh the
+// "after". Scenario_Mix is new in BENCH_5 and has no "before".
 var baselines = map[string]Baseline{
-	"EngineScheduleRun":              {NsPerOp: 53_274, AllocsPerOp: 0},
-	"SimulatorThroughput":            {NsPerOp: 10_301_806, AllocsPerOp: 4_008},
-	"Fig4_Incast255/powertcp":        {NsPerOp: 98_042_862, AllocsPerOp: 61_850},
-	"Fig4_Incast255/hpcc":            {NsPerOp: 96_833_211, AllocsPerOp: 61_583},
-	"Fig6_WebSearch/powertcp-load20": {NsPerOp: 2_390_712_117, AllocsPerOp: 16_144},
-	"MP_Permutation/ecmp":            {NsPerOp: 900_967_265, AllocsPerOp: 17_735},
-	"MP_Failover/powertcp":           {NsPerOp: 69_372_771, AllocsPerOp: 1_338},
+	"EngineScheduleRun":              {NsPerOp: 44_692, AllocsPerOp: 0},
+	"SimulatorThroughput":            {NsPerOp: 7_358_162, AllocsPerOp: 2_186},
+	"Fig4_Incast255/powertcp":        {NsPerOp: 55_676_484, AllocsPerOp: 12_978},
+	"Fig4_Incast255/hpcc":            {NsPerOp: 54_058_924, AllocsPerOp: 11_097},
+	"Fig6_WebSearch/powertcp-load20": {NsPerOp: 1_739_652_891, AllocsPerOp: 9_325},
+	"MP_Permutation/ecmp":            {NsPerOp: 767_013_586, AllocsPerOp: 3_823},
+	"MP_Failover/powertcp":           {NsPerOp: 58_330_520, AllocsPerOp: 636},
+	"Scale_Incast1024":               {NsPerOp: 150_874_732, AllocsPerOp: 79_727},
 }
 
 // spec benchmarks: each runs one experiment spec to completion per op.
@@ -103,11 +105,20 @@ var specBenches = []struct {
 }
 
 // gateBenches are the benchmarks the CI regression gate watches: raw
-// scheduler speed and end-to-end simulator throughput.
+// scheduler speed, end-to-end simulator throughput, and the composed
+// scenario (absent from snapshots older than BENCH_5, where it is
+// skipped with a notice).
 var gateBenches = map[string]bool{
 	"EngineScheduleRun":   true,
 	"SimulatorThroughput": true,
+	"Scenario_Mix":        true,
 }
+
+// maxScenarioAllocsPerEvent is the absolute composition-overhead gate
+// for Scenario_Mix: the generic scenario runner must ride the same
+// zero-allocation hot path as the per-runner presets it replaced
+// (BENCH_4-era experiment runs sit around 0.004 allocs/event).
+const maxScenarioAllocsPerEvent = 0.02
 
 // gateTolerance is the allowed events/sec regression before the gate
 // fails (noise headroom for shared CI runners).
@@ -128,6 +139,43 @@ func loadSnapshot(path string) (map[string]float64, error) {
 		out[r.Name] = r.EventsPerSec
 	}
 	return out, nil
+}
+
+// measureScenario benchmarks one composed scenario through the generic
+// scenario runner, rebuilding the single-use value every iteration.
+func measureScenario(name string, build func(seed int64) (scenario.Scenario, error)) (Measurement, error) {
+	var steps float64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc, err := build(1)
+			if err == nil {
+				var r *scenario.Result
+				if r, err = scenario.Run(sc); err == nil {
+					steps = r.Scalar("engine_steps")
+				}
+			}
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", name, runErr)
+	}
+	m := Measurement{
+		Name:        name,
+		NsPerOp:     float64(br.NsPerOp()),
+		AllocsPerOp: float64(br.AllocsPerOp()),
+		BytesPerOp:  float64(br.AllocedBytesPerOp()),
+	}
+	if steps > 0 && br.NsPerOp() > 0 {
+		m.EventsPerSec = steps / (float64(br.NsPerOp()) / 1e9)
+		m.AllocsPerEvent = m.AllocsPerOp / steps
+	}
+	return m, nil
 }
 
 func measureSpec(name string, spec exp.Spec) (Measurement, error) {
@@ -191,7 +239,7 @@ func measureEngine() Measurement {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output snapshot path")
+	out := flag.String("o", "BENCH_5.json", "output snapshot path")
 	list := flag.Bool("list", false, "print the benchmark set and exit")
 	compare := flag.String("compare", "", "previous BENCH_<n>.json: fail if events/sec regresses >15% on the gate benchmarks")
 	gateOnly := flag.Bool("gate", false, "run only the regression-gate benchmarks (CI smoke)")
@@ -215,11 +263,13 @@ func main() {
 	}
 
 	snap := Snapshot{
-		PR: 4,
-		Note: "O(1) event scheduling: hierarchical timing-wheel engine " +
-			"(batched same-tick firing, overflow heap) plus recycled " +
-			"engines/pools/telemetry across suite repetitions. PR 3 heap-era " +
-			"numbers are the fixed 'before'.",
+		PR: 5,
+		Note: "Composable scenario API: experiments rebuilt as declarative " +
+			"Topology × Traffic × Events × Probes values over one generic " +
+			"runner; byte-identical figure outputs. Scenario_Mix (websearch " +
+			"load + incast overlay + failover on leaf-spine) tracks the " +
+			"composition layer's per-event cost. PR 4 per-runner numbers " +
+			"are the fixed 'before'.",
 	}
 
 	regressed := false
@@ -228,7 +278,13 @@ func main() {
 			return
 		}
 		before, ok := prev[m.Name]
-		if !ok || before <= 0 || m.EventsPerSec <= 0 {
+		if !ok {
+			// A benchmark newer than the comparison snapshot cannot be
+			// gated against it; say so instead of failing the gate.
+			fmt.Printf("gate skip: %s not in %s (new benchmark)\n", m.Name, *compare)
+			return
+		}
+		if before <= 0 || m.EventsPerSec <= 0 {
 			// A gate benchmark the snapshot cannot vouch for is a broken
 			// gate, not a pass — fail loudly instead of silently checking
 			// nothing.
@@ -284,6 +340,17 @@ func main() {
 			os.Exit(1)
 		}
 		add(m)
+	}
+	mix, err := measureScenario("Scenario_Mix", exp.ScenarioMix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	add(mix)
+	if mix.AllocsPerEvent > maxScenarioAllocsPerEvent {
+		regressed = true
+		fmt.Fprintf(os.Stderr, "bench: Scenario_Mix allocates %.4f allocs/event (gate: %.2f) — the composition layer left the zero-allocation hot path\n",
+			mix.AllocsPerEvent, maxScenarioAllocsPerEvent)
 	}
 	if regressed {
 		fmt.Fprintln(os.Stderr, "bench: events/sec regression gate failed")

@@ -1,8 +1,15 @@
-// Command powersim runs a single experiment from the registry and
-// prints a human-readable summary — the quick way to poke at one
-// configuration without regenerating whole figures. Any registered
-// experiment and scheme (including the homa-oc<N> and retcp-<µs>
-// families) resolves by name; γ and DT-α ablations compose via flags.
+// Command powersim runs a single experiment from the registry — or a
+// composed scenario — and prints a human-readable summary: the quick
+// way to poke at one configuration without regenerating whole figures.
+// Any registered experiment and scheme (including the homa-oc<N> and
+// retcp-<µs> families) resolves by name; γ and DT-α ablations compose
+// via flags. Specs are validated: a flag the chosen experiment does not
+// consume is an error, not a silently ignored knob.
+//
+// The -scenario mode runs assemblies of the composable scenario API
+// (topology × traffic × events × probes) that the flat experiment specs
+// cannot express: mixed traffic-class schemes, an incast pulse during a
+// failover, a mid-run load step. 'powersim -scenario list' names them.
 //
 // Examples:
 //
@@ -12,6 +19,8 @@
 //	powersim -exp rdcn -scheme retcp-1800 -pktgbps 50
 //	powersim -exp incast -scheme powertcp -gamma 0.5 -json
 //	powersim -exp list
+//	powersim -scenario incast-failover -scheme powertcp
+//	powersim -scenario load-step -scheme dcqcn -json
 package main
 
 import (
@@ -26,32 +35,59 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "incast", "experiment name from the registry; 'list' prints all")
-	schemeFlag  = flag.String("scheme", "powertcp", "CC scheme (powertcp, theta-powertcp, hpcc, timely, dcqcn, swift, dctcp, reno, cubic, homa, homa-oc<N>, retcp-<µs>)")
-	fanInFlag   = flag.Int("fanin", 0, "incast fan-in")
-	loadFlag    = flag.Float64("load", 0, "websearch ToR-uplink load")
-	serversFlag = flag.Int("servers", 0, "servers per ToR (32 = paper scale)")
-	durFlag     = flag.Float64("ms", 0, "override experiment duration (milliseconds)")
-	seedFlag    = flag.Int64("seed", 1, "RNG seed")
-	pktGbps     = flag.Int64("pktgbps", 0, "RDCN packet-network bandwidth (Gbps)")
-	icRateFlag  = flag.Float64("icrate", 0, "websearch incast request rate (req/s)")
-	icSizeFlag  = flag.Int64("icmb", 2, "websearch incast request size (MB)")
-	gammaFlag   = flag.Float64("gamma", 0, "override PowerTCP-family γ (ablation)")
-	alphaFlag   = flag.Float64("alpha", 0, "override the Dynamic-Thresholds α (ablation)")
-	routeFlag   = flag.String("route", "", "multipath strategy: ecmp, single, wecmp (multipath lab)")
-	failMsFlag  = flag.Float64("failms", 0, "failover: link failure time (milliseconds)")
-	restoreMs   = flag.Float64("restorems", 0, "failover: link restore time (milliseconds; negative keeps it down)")
-	reconvMs    = flag.Float64("reconvms", 0, "failover: control-plane reconvergence delay (milliseconds)")
-	flowsFlag   = flag.Int("flows", 0, "flow count (fairness, failover)")
-	jsonFlag    = flag.Bool("json", false, "emit the result envelope as JSON")
-	tsvFlag     = flag.Bool("tsv", false, "emit the result envelope as TSV blocks")
+	expFlag      = flag.String("exp", "incast", "experiment name from the registry; 'list' prints all")
+	scenarioFlag = flag.String("scenario", "", "run a composed scenario instead of a registry experiment; 'list' prints all")
+	schemeFlag   = flag.String("scheme", "powertcp", "CC scheme (powertcp, theta-powertcp, hpcc, timely, dcqcn, swift, dctcp, reno, cubic, homa, homa-oc<N>, retcp-<µs>)")
+	fanInFlag    = flag.Int("fanin", 0, "incast fan-in")
+	loadFlag     = flag.Float64("load", 0, "websearch ToR-uplink load")
+	serversFlag  = flag.Int("servers", 0, "servers per ToR (32 = paper scale)")
+	durFlag      = flag.Float64("ms", 0, "override experiment duration (milliseconds)")
+	seedFlag     = flag.Int64("seed", 1, "RNG seed")
+	pktGbps      = flag.Int64("pktgbps", 0, "RDCN packet-network bandwidth (Gbps)")
+	icRateFlag   = flag.Float64("icrate", 0, "websearch incast request rate (req/s)")
+	icSizeFlag   = flag.Int64("icmb", 2, "websearch incast request size (MB)")
+	gammaFlag    = flag.Float64("gamma", 0, "override PowerTCP-family γ (ablation)")
+	alphaFlag    = flag.Float64("alpha", 0, "override the Dynamic-Thresholds α (ablation)")
+	routeFlag    = flag.String("route", "", "multipath strategy: ecmp, single, wecmp (multipath lab)")
+	failMsFlag   = flag.Float64("failms", 0, "failover: link failure time (milliseconds)")
+	restoreMs    = flag.Float64("restorems", 0, "failover: link restore time (milliseconds; negative keeps it down)")
+	reconvMs     = flag.Float64("reconvms", 0, "failover: control-plane reconvergence delay (milliseconds)")
+	flowsFlag    = flag.Int("flows", 0, "flow count (fairness, failover)")
+	jsonFlag     = flag.Bool("json", false, "emit the result envelope as JSON")
+	tsvFlag      = flag.Bool("tsv", false, "emit the result envelope as TSV blocks")
 )
 
 func main() {
 	flag.Parse()
-	if *expFlag == "list" {
+	if *expFlag == "list" || *scenarioFlag == "list" {
 		fmt.Printf("experiments: %s\n", strings.Join(exp.ExperimentNames(), ", "))
+		fmt.Printf("scenarios  : %s\n", strings.Join(scenarioNames(), ", "))
 		fmt.Printf("schemes    : %s (plus homa-oc<N>, retcp-<µs>)\n", strings.Join(exp.SchemeNames(), ", "))
+		return
+	}
+
+	if *scenarioFlag != "" {
+		// Composed scenarios carry their whole configuration; the same
+		// no-silently-ignored-knobs rule as spec validation applies to
+		// the experiment flags.
+		allowed := map[string]bool{"scenario": true, "scheme": true, "seed": true, "json": true, "tsv": true}
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			fmt.Fprintf(os.Stderr, "powersim: scenario %q does not consume %s (scenarios are fully self-configured)\n",
+				*scenarioFlag, strings.Join(stray, ", "))
+			os.Exit(2)
+		}
+		r, err := runScenario(*scenarioFlag, *schemeFlag, *seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(2)
+		}
+		emit(r)
 		return
 	}
 
@@ -66,8 +102,19 @@ func main() {
 		opts = append(opts, exp.WithServersPerTor(*serversFlag))
 	}
 	if *durFlag > 0 {
-		// The relevant horizon differs per experiment; set both.
-		opts = append(opts, exp.WithWindow(sim.Millis(*durFlag)), exp.WithDuration(sim.Millis(*durFlag)))
+		// The relevant horizon differs per experiment; consult the
+		// registry so validation only sees the knob the experiment reads.
+		e, err := exp.ExperimentByName(*expFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
+			os.Exit(2)
+		}
+		if e.Accepts(exp.FieldWindow) {
+			opts = append(opts, exp.WithWindow(sim.Millis(*durFlag)))
+		}
+		if e.Accepts(exp.FieldDuration) {
+			opts = append(opts, exp.WithDuration(sim.Millis(*durFlag)))
+		}
 	}
 	if *pktGbps > 0 {
 		opts = append(opts, exp.WithPacketRate(units.BitRate(*pktGbps)*units.Gbps))
@@ -110,7 +157,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
 		os.Exit(2)
 	}
+	emit(r)
+}
 
+// emit prints one result envelope in the selected format.
+func emit(r *exp.Result) {
 	switch {
 	case *jsonFlag:
 		if err := r.EncodeJSON(os.Stdout); err != nil {

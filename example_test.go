@@ -40,6 +40,41 @@ func ExampleRunExperiment() {
 	// Output: completed=10/10
 }
 
+// ExampleScenario composes an experiment from the four scenario axes —
+// topology, traffic, events, probes — and runs it through the generic
+// scenario runner: cross-rack background flows plus an incast pulse
+// that lands while a spine link is down. No runner code, one value.
+func ExampleScenario() {
+	scheme, err := powertcp.ResolveScheme(powertcp.SchemePowerTCP)
+	if err != nil {
+		panic(err)
+	}
+	res, err := powertcp.RunScenario(powertcp.Scenario{
+		Scheme:   scheme,
+		Seed:     1,
+		Topology: powertcp.LeafSpineTopology{Leaves: 2, Spines: 2, ServersPerLeaf: 4},
+		Traffic: []powertcp.Traffic{
+			powertcp.RackPairs{FromRack: powertcp.RackStart(0), ToRack: powertcp.RackStart(1), Count: 2},
+			powertcp.IncastPulse{At: 500 * powertcp.Microsecond,
+				Receiver: powertcp.RackHost(1, 3), FanIn: 4, FlowSize: 200_000},
+		},
+		Events: powertcp.Timeline{
+			Events: []powertcp.ScenarioEvent{
+				powertcp.LinkFail{At: 400 * powertcp.Microsecond, A: powertcp.Leaf(1), B: powertcp.Spine(0)},
+				powertcp.LinkRestore{At: 1200 * powertcp.Microsecond, A: powertcp.Leaf(1), B: powertcp.Spine(0)},
+			},
+			Reconverge: 100 * powertcp.Microsecond,
+		},
+		Probes: []powertcp.Probe{powertcp.FCTProbe{}},
+		Until:  3 * powertcp.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("incast flows completed=%d\n", int(res.Scalar("completed")))
+	// Output: incast flows completed=4
+}
+
 // ExampleFluidSystem checks Theorem 1 numerically: both eigenvalues of
 // the linearized PowerTCP system are negative, so the equilibrium
 // (bτ+β̂, β̂) is asymptotically stable.

@@ -3,12 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/topo"
 	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // AsymmetryResult is the typed payload of the unequal-spine experiment:
@@ -28,6 +26,8 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "asymmetry",
 		Figures: "Supplementary (multipath lab): ECMP vs WCMP across unequal spine capacities",
+		Fields: []string{FieldTors, FieldSpines, FieldServersPerTor,
+			FieldSpineRates, FieldRouting, FieldWindow},
 		Normalize: func(s *Spec) {
 			if s.Tors == 0 {
 				s.Tors = 2 // leaves
@@ -56,43 +56,53 @@ func init() {
 // spines. Plain ECMP hashes flows uniformly and overloads the slow
 // spine; weighted ECMP shares in proportion to capacity.
 func runAsymmetry(s Spec, scheme Scheme) (*Result, error) {
-	strategy, err := route.StrategyByName(s.Routing)
-	if err != nil {
-		return nil, err
-	}
 	if s.Tors < 2 {
 		return nil, fmt.Errorf("asymmetry needs ≥2 leaves, got %d", s.Tors)
 	}
-	cfg := topo.LeafSpineConfig{
-		Leaves:         s.Tors,
-		Spines:         s.Spines,
-		ServersPerLeaf: s.ServersPerTor,
-		SpineRates:     s.SpineRates,
-	}
-	lab := NewLeafSpineLab(scheme, cfg, s.Seed, strategy)
-	defer lab.Release()
-	net := lab.Net
-	ls := lab.LSCfg
+	return scenario.Run(scenario.Scenario{
+		Name:   "asymmetry",
+		Scheme: scheme,
+		Seed:   s.Seed,
+		Topology: scenario.LeafSpineTopology{
+			Leaves:         s.Tors,
+			Spines:         s.Spines,
+			ServersPerLeaf: s.ServersPerTor,
+			SpineRates:     s.SpineRates,
+			Routing:        s.Routing,
+		},
+		Traffic: []scenario.Traffic{scenario.RackPairs{
+			FromRack: scenario.RackStart(0),
+			ToRack:   scenario.RackStart(s.Tors - 1),
+		}},
+		Probes: []scenario.Probe{&asymmetryPanel{window: s.Window}},
+		Until:  s.Window,
+	})
+}
 
-	// Senders on leaf 0, receivers on the last leaf.
+// asymmetryPanel summarizes the asymmetric-core run: aggregate goodput,
+// per-flow fairness, per-spine utilization and capacity efficiency.
+type asymmetryPanel struct {
+	window sim.Duration
+}
+
+func (p *asymmetryPanel) Install(env *scenario.Env) error { return nil }
+
+func (p *asymmetryPanel) Finalize(env *scenario.Env, res *Result) error {
+	net := env.Lab.Net
+	ls := env.Lab.LSCfg
 	perLeaf := ls.ServersPerLeaf
 	rxBase := (ls.Leaves - 1) * perLeaf
-	for i := 0; i < perLeaf; i++ {
-		lab.Launch(workload.Flow{Start: 0, Src: i, Dst: rxBase + i, Size: lab.UnboundedSize()})
-	}
 
-	net.Eng.RunUntil(sim.Time(s.Window))
-
-	ar := &AsymmetryResult{Scheme: scheme.Name, Routing: strategy.Name(), Flows: perLeaf}
+	ar := &AsymmetryResult{Scheme: env.Scheme.Name, Routing: net.Router.Strategy().Name(), Flows: perLeaf}
 	var sum, sumSq float64
 	var aggBytes int64
 	for i := 0; i < perLeaf; i++ {
-		g := stats.Gbps(lab.ReceivedTotal(rxBase+i), s.Window)
-		aggBytes += lab.ReceivedTotal(rxBase + i)
+		g := stats.Gbps(env.Lab.ReceivedTotal(rxBase+i), p.window)
+		aggBytes += env.Lab.ReceivedTotal(rxBase + i)
 		sum += g
 		sumSq += g * g
 	}
-	ar.AggGbps = stats.Gbps(aggBytes, s.Window)
+	ar.AggGbps = stats.Gbps(aggBytes, p.window)
 	if sumSq > 0 {
 		ar.Jain = sum * sum / (float64(perLeaf) * sumSq)
 	}
@@ -104,11 +114,11 @@ func runAsymmetry(s Spec, scheme Scheme) (*Result, error) {
 		rate := ls.SpineRate(sp)
 		totalSpine += rate
 		pt := net.Switches[ls.LeafSwitch(0)].Ports()[perLeaf+sp]
-		carried := stats.Gbps(int64(pt.TxBytes()), s.Window)
+		carried := stats.Gbps(int64(pt.TxBytes()), p.window)
 		ar.SpineGbps = append(ar.SpineGbps, float64(rate/units.Gbps))
 		ar.SpineUtil = append(ar.SpineUtil, carried/float64(rate/units.Gbps))
 	}
-	offered := float64(perLeaf) * float64(lab.Net.HostRate/units.Gbps)
+	offered := float64(perLeaf) * float64(net.HostRate/units.Gbps)
 	capacity := float64(totalSpine / units.Gbps)
 	if offered < capacity {
 		capacity = offered
@@ -117,7 +127,7 @@ func runAsymmetry(s Spec, scheme Scheme) (*Result, error) {
 		ar.Efficiency = ar.AggGbps / capacity
 	}
 
-	res := &Result{Raw: ar}
+	res.Raw = ar
 	res.SetScalar("flows", float64(ar.Flows))
 	res.SetScalar("agg_goodput_gbps", ar.AggGbps)
 	res.SetScalar("jain", ar.Jain)
@@ -129,5 +139,5 @@ func runAsymmetry(s Spec, scheme Scheme) (*Result, error) {
 		spineSeries.Points = append(spineSeries.Points, SeriesPoint{X: float64(sp), V: u})
 	}
 	res.AddSeries(spineSeries)
-	return res, nil
+	return nil
 }

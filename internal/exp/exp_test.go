@@ -66,7 +66,8 @@ func TestSchemeNamesSortedAndComplete(t *testing.T) {
 }
 
 func TestRegisterSchemeRejectsDuplicates(t *testing.T) {
-	if err := RegisterScheme(PowerTCP, fixedScheme(Scheme{})); err == nil {
+	proto := func(string) (Scheme, error) { return Scheme{}, nil }
+	if err := RegisterScheme(PowerTCP, proto); err == nil {
 		t.Fatal("duplicate registration accepted")
 	}
 	if err := RegisterScheme("", nil); err == nil {

@@ -199,6 +199,11 @@ type Experiment struct {
 	// call must build its own network/engine: the Suite runs specs
 	// concurrently.
 	Run func(Spec, Scheme) (*Result, error)
+	// Fields names the Spec knobs the experiment consumes (see
+	// SpecFieldNames). When set, Run rejects specs that assign any
+	// other knob instead of silently ignoring it; nil skips the check
+	// (externally registered experiments).
+	Fields []string
 	// Supports rejects schemes the experiment cannot drive. When nil,
 	// Run applies the default rule: the scheme must provide a per-flow
 	// algorithm builder or use the HOMA transport.
@@ -259,12 +264,16 @@ func experimentNamesLocked() []string {
 	return names
 }
 
-// Run resolves the spec's experiment and scheme, normalizes defaults,
+// Run resolves the spec's experiment and scheme, validates that every
+// assigned knob is one the experiment consumes, normalizes defaults,
 // and executes the run on an isolated engine. It is safe to call
 // concurrently with distinct specs — the Suite does exactly that.
 func Run(s Spec) (*Result, error) {
 	e, err := ExperimentByName(s.Experiment)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.validateAgainst(e); err != nil {
 		return nil, err
 	}
 	scheme, err := ResolveScheme(s.Scheme, s.SchemeOpts...)

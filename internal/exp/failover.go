@@ -3,11 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/topo"
-	"repro/internal/workload"
 )
 
 // FailoverResult is the typed payload of the link-failure experiment:
@@ -32,6 +30,9 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "failover",
 		Figures: "Supplementary (multipath lab): mid-run link failure, per-scheme recovery",
+		Fields: []string{FieldTors, FieldSpines, FieldServersPerTor,
+			FieldSpineRates, FieldFlows, FieldRouting, FieldFailAfter,
+			FieldRestoreAfter, FieldReconverge, FieldWindow, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.Tors == 0 {
 				s.Tors = 2 // leaves
@@ -77,10 +78,6 @@ func init() {
 // reconverges (s.Reconverge later), then recover at the pace the
 // scheme's loss detection allows; the link comes back at RestoreAfter.
 func runFailover(s Spec, scheme Scheme) (*Result, error) {
-	strategy, err := route.StrategyByName(s.Routing)
-	if err != nil {
-		return nil, err
-	}
 	if s.Spines < 2 {
 		return nil, fmt.Errorf("failover needs ≥2 spines to reroute, got %d", s.Spines)
 	}
@@ -88,40 +85,70 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 		return nil, fmt.Errorf("failover restore at %v is not after the failure at %v",
 			s.RestoreAfter, s.FailAfter)
 	}
-	cfg := topo.LeafSpineConfig{
-		Leaves:         s.Tors,
-		Spines:         s.Spines,
-		ServersPerLeaf: s.ServersPerTor,
-		SpineRates:     s.SpineRates,
+	events := []scenario.Event{
+		scenario.LinkFail{At: s.FailAfter, A: scenario.Leaf(0), B: scenario.Spine(0)},
 	}
-	lab := NewLeafSpineLab(scheme, cfg, s.Seed, strategy)
-	defer lab.Release()
-	net := lab.Net
-	ls := lab.LSCfg
-
-	perLeaf := ls.ServersPerLeaf
-	rxBase := (ls.Leaves - 1) * perLeaf
-	for i := 0; i < s.Flows; i++ {
-		lab.Launch(workload.Flow{Start: 0, Src: i, Dst: rxBase + i, Size: lab.UnboundedSize()})
-	}
-
-	events := []route.LinkEvent{
-		{At: sim.Time(s.FailAfter), A: ls.LeafSwitch(0), B: ls.SpineSwitch(0), Down: true},
-	}
+	restoreAt := sim.Duration(0)
 	if s.RestoreAfter > s.FailAfter {
-		events = append(events, route.LinkEvent{
-			At: sim.Time(s.RestoreAfter), A: ls.LeafSwitch(0), B: ls.SpineSwitch(0),
+		restoreAt = s.RestoreAfter
+		events = append(events, scenario.LinkRestore{
+			At: s.RestoreAfter, A: scenario.Leaf(0), B: scenario.Spine(0),
 		})
 	}
-	net.Router.Schedule(events, s.Reconverge)
+	return scenario.Run(scenario.Scenario{
+		Name:   "failover",
+		Scheme: scheme,
+		Seed:   s.Seed,
+		Topology: scenario.LeafSpineTopology{
+			Leaves:         s.Tors,
+			Spines:         s.Spines,
+			ServersPerLeaf: s.ServersPerTor,
+			SpineRates:     s.SpineRates,
+			Routing:        s.Routing,
+		},
+		Traffic: []scenario.Traffic{scenario.RackPairs{
+			FromRack: scenario.RackStart(0),
+			ToRack:   scenario.RackStart(s.Tors - 1),
+			Count:    s.Flows,
+		}},
+		Events: scenario.Timeline{Events: events, Reconverge: s.Reconverge},
+		Probes: []scenario.Probe{&failoverPanel{
+			period:    s.SamplePeriod,
+			window:    s.Window,
+			failAt:    s.FailAfter,
+			restoreAt: restoreAt,
+			flows:     s.Flows,
+		}},
+		Until: s.Window,
+	})
+}
 
-	fr := &FailoverResult{Scheme: scheme.Name, Routing: strategy.Name()}
+// failoverPanel samples aggregate goodput and the sending leaf's
+// worst uplink queue, then summarizes the recovery: pre-fail baseline,
+// time back to 90% goodput, post-recovery plateau, queue spike and
+// black-holed packets.
+type failoverPanel struct {
+	period    sim.Duration
+	window    sim.Duration
+	failAt    sim.Duration
+	restoreAt sim.Duration // 0 means the link stays down
+	flows     int
+
+	fr        *FailoverResult
+	lastBytes int64
+}
+
+func (p *failoverPanel) Install(env *scenario.Env) error {
+	net := env.Lab.Net
+	ls := env.Lab.LSCfg
+	perLeaf := ls.ServersPerLeaf
+	rxBase := (ls.Leaves - 1) * perLeaf
+	p.fr = &FailoverResult{Scheme: env.Scheme.Name, Routing: net.Router.Strategy().Name()}
 	uplinks := net.Switches[ls.LeafSwitch(0)].Ports()[perLeaf : perLeaf+ls.Spines]
-	var lastBytes int64
-	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
+	scenario.SampleEvery(net.Eng, p.period, env.Horizon, func(now sim.Time) {
 		var cur int64
-		for i := 0; i < s.Flows; i++ {
-			cur += lab.ReceivedTotal(rxBase + i)
+		for i := 0; i < p.flows; i++ {
+			cur += env.Lab.ReceivedTotal(rxBase + i)
 		}
 		var q int64
 		for _, pt := range uplinks {
@@ -129,13 +156,17 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 				q = b
 			}
 		}
-		fr.T = append(fr.T, now)
-		fr.Gbps = append(fr.Gbps, stats.Gbps(cur-lastBytes, s.SamplePeriod))
-		fr.QueueKB = append(fr.QueueKB, float64(q)/1024)
-		lastBytes = cur
+		p.fr.T = append(p.fr.T, now)
+		p.fr.Gbps = append(p.fr.Gbps, stats.Gbps(cur-p.lastBytes, p.period))
+		p.fr.QueueKB = append(p.fr.QueueKB, float64(q)/1024)
+		p.lastBytes = cur
 	})
-	net.Eng.RunUntil(sim.Time(s.Window))
+	return nil
+}
 
+func (p *failoverPanel) Finalize(env *scenario.Env, res *Result) error {
+	fr := p.fr
+	net := env.Lab.Net
 	for _, sw := range net.Switches {
 		for _, pt := range sw.Ports() {
 			fr.LostPackets += pt.Lost()
@@ -144,10 +175,10 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 
 	// Pre-failure baseline: the second half of the pre-cut samples
 	// (skipping slow-start).
-	failT := sim.Time(s.FailAfter)
-	restoreT := sim.Time(s.Window)
-	if s.RestoreAfter > s.FailAfter {
-		restoreT = sim.Time(s.RestoreAfter)
+	failT := sim.Time(p.failAt)
+	restoreT := sim.Time(p.window)
+	if p.restoreAt > p.failAt {
+		restoreT = sim.Time(p.restoreAt)
 	}
 	var preSum float64
 	var preN int
@@ -166,7 +197,7 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 
 	// Recovery: first post-cut sample back at ≥90% of the baseline.
 	target := 0.9 * fr.PreFailGbps
-	recoveredAt := sim.Time(s.Window)
+	recoveredAt := sim.Time(p.window)
 	for i, t := range fr.T {
 		if t <= failT {
 			continue
@@ -194,7 +225,7 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 		fr.PostFailGbps = postSum / float64(postN)
 	}
 
-	res := &Result{Raw: fr}
+	res.Raw = fr
 	res.SetScalar("pre_fail_gbps", fr.PreFailGbps)
 	res.SetScalar("post_fail_gbps", fr.PostFailGbps)
 	res.SetScalar("recovery_us", fr.RecoveryUs)
@@ -203,9 +234,9 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 	res.SetScalar("lost_packets", float64(fr.LostPackets))
 	res.SetScalar("route_rebuilds", float64(net.Router.Rebuilds()))
 	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
-	res.AddSeries(TimeSeries("goodput_gbps", fr.T, fr.Gbps))
-	res.AddSeries(TimeSeries("queue_kb", fr.T, fr.QueueKB))
-	return res, nil
+	res.AddSeries(scenario.TimeSeries("goodput_gbps", fr.T, fr.Gbps))
+	res.AddSeries(scenario.TimeSeries("queue_kb", fr.T, fr.QueueKB))
+	return nil
 }
 
 func b2f(b bool) float64 {

@@ -3,10 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/packet"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // FairnessResult carries per-flow throughput series (Figure 5, and
@@ -22,6 +21,8 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "fairness",
 		Figures: "Fig. 5 (staggered arrivals), Fig. 9 (HOMA overcommitment)",
+		Fields: []string{FieldFlows, FieldStagger, FieldSizes,
+			FieldWindow, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.Flows == 0 {
 				s.Flows = 4
@@ -49,35 +50,51 @@ func init() {
 	})
 }
 
-// runFairness reproduces Figure 5: Flows staggered senders to one
-// receiver over a single 25G bottleneck.
+// runFairness reproduces Figure 5 as a declarative scenario: Flows
+// staggered senders to one receiver over a single 25G bottleneck.
 func runFairness(s Spec, scheme Scheme) (*Result, error) {
-	lab := NewStarLab(scheme, s.Flows+1, s.Seed)
-	defer lab.Release()
-	net := lab.Net
+	return scenario.Run(scenario.Scenario{
+		Name:     "fairness",
+		Scheme:   scheme,
+		Seed:     s.Seed,
+		Topology: scenario.StarTopology{Hosts: s.Flows + 1},
+		Traffic: []scenario.Traffic{scenario.Staggered{
+			Receiver:    scenario.Host(0),
+			FirstSender: scenario.Host(1),
+			Count:       s.Flows,
+			Stagger:     s.Stagger,
+			Sizes:       s.Sizes,
+		}},
+		Probes: []scenario.Probe{&fairnessPanel{receiver: 0, period: s.SamplePeriod}},
+		Until:  s.Window,
+	})
+}
 
-	const receiver = 0
-	flowIDs := make([]packet.FlowID, s.Flows)
-	for i := 0; i < s.Flows; i++ {
-		flowIDs[i] = lab.Launch(workload.Flow{
-			Start: sim.Time(sim.Duration(i) * s.Stagger),
-			Src:   i + 1, Dst: receiver, Size: s.Sizes[i],
-		})
-	}
+// fairnessPanel samples every launched flow's receive rate and averages
+// the Jain fairness index over samples with ≥2 active flows.
+type fairnessPanel struct {
+	receiver int
+	period   sim.Duration
 
-	fr := &FairnessResult{Scheme: scheme.Name, Per: make([][]float64, s.Flows)}
-	last := make([]int64, s.Flows)
-	var jainSum float64
-	var jainN int
-	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
-		fr.T = append(fr.T, now)
+	fr      *FairnessResult
+	last    []int64
+	jainSum float64
+	jainN   int
+}
+
+func (p *fairnessPanel) Install(env *scenario.Env) error {
+	flows := len(env.Launched)
+	p.fr = &FairnessResult{Scheme: env.Scheme.Name, Per: make([][]float64, flows)}
+	p.last = make([]int64, flows)
+	scenario.SampleEvery(env.Eng(), p.period, env.Horizon, func(now sim.Time) {
+		p.fr.T = append(p.fr.T, now)
 		var sum, sumSq float64
 		active := 0
-		for i := 0; i < s.Flows; i++ {
-			cur := lab.ReceivedBytes(receiver, flowIDs[i])
-			g := stats.Gbps(cur-last[i], s.SamplePeriod)
-			last[i] = cur
-			fr.Per[i] = append(fr.Per[i], g)
+		for i := 0; i < flows; i++ {
+			cur := env.Lab.ReceivedBytes(p.receiver, env.Launched[i].ID)
+			g := stats.Gbps(cur-p.last[i], p.period)
+			p.last[i] = cur
+			p.fr.Per[i] = append(p.fr.Per[i], g)
 			if g > 0.5 {
 				active++
 				sum += g
@@ -85,23 +102,25 @@ func runFairness(s Spec, scheme Scheme) (*Result, error) {
 			}
 		}
 		if active >= 2 && sumSq > 0 {
-			jainSum += sum * sum / (float64(active) * sumSq)
-			jainN++
+			p.jainSum += sum * sum / (float64(active) * sumSq)
+			p.jainN++
 		}
 	})
-	net.Eng.RunUntil(sim.Time(s.Window))
-	if jainN > 0 {
-		fr.JainAvg = jainSum / float64(jainN)
-	}
+	return nil
+}
 
-	res := &Result{Raw: fr}
-	res.SetScalar("jain", fr.JainAvg)
-	res.SetScalar("flows", float64(s.Flows))
-	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
-	for i := range fr.Per {
-		res.AddSeries(TimeSeries(fmt.Sprintf("flow%d_gbps", i+1), fr.T, fr.Per[i]))
+func (p *fairnessPanel) Finalize(env *scenario.Env, res *Result) error {
+	if p.jainN > 0 {
+		p.fr.JainAvg = p.jainSum / float64(p.jainN)
 	}
-	return res, nil
+	res.Raw = p.fr
+	res.SetScalar("jain", p.fr.JainAvg)
+	res.SetScalar("flows", float64(len(p.fr.Per)))
+	res.SetScalar("engine_steps", float64(env.Eng().Steps()))
+	for i := range p.fr.Per {
+		res.AddSeries(scenario.TimeSeries(fmt.Sprintf("flow%d_gbps", i+1), p.fr.T, p.fr.Per[i]))
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// goldenSpecs is one representative seed-1 spec per registered
+// experiment. The encoded results are recorded in testdata/golden/ by
+// running the suite with POWERTCP_UPDATE_GOLDEN=1; the committed files
+// were produced by the pre-scenario (PR 4) per-runner code, so this test
+// pins the scenario redesign to byte-identical figure outputs.
+func goldenSpecs() []Spec {
+	return []Spec{
+		NewSpec("incast", PowerTCP,
+			WithFanIn(10), WithWindow(2*sim.Millisecond), WithSeed(1)),
+		NewSpec("fairness", PowerTCP,
+			WithWindow(3*sim.Millisecond), WithSeed(1)),
+		NewSpec("websearch", PowerTCP,
+			WithLoad(0.15), WithServersPerTor(4),
+			WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(1)),
+		NewSpec("load-sweep", PowerTCP,
+			WithLoads(0.1, 0.2), WithServersPerTor(4),
+			WithDuration(sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(1)),
+		NewSpec("rdcn", PowerTCP,
+			WithTors(4), WithWeeks(2), WithPacketRate(25*units.Gbps), WithSeed(1)),
+		NewSpec("permutation", PowerTCP,
+			WithRouting("ecmp"), WithServersPerTor(4),
+			WithWindow(sim.Millisecond), WithSeed(1)),
+		NewSpec("asymmetry", PowerTCP,
+			WithRouting("wecmp"), WithServersPerTor(4),
+			WithWindow(sim.Millisecond), WithSeed(1)),
+		NewSpec("failover", PowerTCP,
+			WithServersPerTor(4), WithFlows(2),
+			WithWindow(3*sim.Millisecond), WithSeed(1)),
+	}
+}
+
+// TestGoldenCompatibility runs every registered experiment at seed 1 and
+// compares the encoded JSON byte-for-byte against the recorded
+// pre-redesign outputs. Regenerate with POWERTCP_UPDATE_GOLDEN=1 — but
+// only when a change is *meant* to alter figure output.
+func TestGoldenCompatibility(t *testing.T) {
+	update := os.Getenv("POWERTCP_UPDATE_GOLDEN") != ""
+	specs := goldenSpecs()
+
+	// Every registered experiment must be covered, so a new experiment
+	// cannot ship without a recorded golden.
+	covered := map[string]bool{}
+	for _, s := range specs {
+		covered[s.Experiment] = true
+	}
+	for _, name := range ExperimentNames() {
+		if !covered[name] {
+			t.Errorf("experiment %q has no golden spec", name)
+		}
+	}
+
+	for _, spec := range specs {
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Experiment, err)
+		}
+		var buf bytes.Buffer
+		if err := r.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", "golden", spec.Experiment+".json")
+		if update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with POWERTCP_UPDATE_GOLDEN=1): %v",
+				spec.Experiment, err)
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Errorf("%s: seed-1 output differs from recorded golden %s (%d vs %d bytes)",
+				spec.Experiment, path, len(buf.Bytes()), len(want))
+		}
+	}
+}

@@ -1,9 +1,9 @@
 package exp
 
 import (
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // TimePoint is one sample of the Figure 4 time series.
@@ -30,6 +30,8 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "incast",
 		Figures: "Fig. 4 (10:1 and 255:1), Fig. 10–11 (HOMA overcommitment)",
+		Fields: []string{FieldServersPerTor, FieldFanIn, FieldFlowSize,
+			FieldWindow, FieldWarmup, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.FanIn == 0 {
 				s.FanIn = 10
@@ -54,61 +56,89 @@ func init() {
 	})
 }
 
-// runIncast reproduces one panel of Figure 4: at Warmup a FanIn:1 incast
-// (senders in other racks) hits the receiver of a long flow.
+// runIncast reproduces one panel of Figure 4 as a declarative scenario:
+// a long flow into the receiver, then at Warmup a FanIn:1 incast pulse
+// from senders in other racks hits it.
 func runIncast(s Spec, scheme Scheme) (*Result, error) {
-	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
-	defer lab.Release()
-	net := lab.Net
+	return scenario.Run(scenario.Scenario{
+		Name:     "incast",
+		Scheme:   scheme,
+		Seed:     s.Seed,
+		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor},
+		Traffic: []scenario.Traffic{
+			// Long flow from the last rack toward the receiver.
+			scenario.Flows{List: []scenario.FlowSpec{{
+				Src: scenario.HostFromEnd(1), Dst: scenario.Host(0), Size: scenario.Unbounded,
+			}}},
+			// FanIn cross-rack senders fire together at Warmup. The span
+			// excludes the long flow's sender at the end of the host range.
+			scenario.IncastPulse{
+				At:       s.Warmup,
+				Receiver: scenario.Host(0),
+				FanIn:    s.FanIn,
+				FlowSize: s.FlowSize,
+				Senders:  scenario.Span{From: scenario.RackStart(1), To: scenario.HostFromEnd(1)},
+			},
+		},
+		Probes: []scenario.Probe{&incastPanel{receiver: 0, flowSize: s.FlowSize, period: s.SamplePeriod}},
+		Until:  s.Warmup + s.Window,
+	})
+}
 
-	const receiver = 0
-	hosts := len(net.Hosts)
-	perRack := s.ServersPerTor
+// incastPanel is the Figure 4 probe: one sampler records receiver
+// throughput and the bottleneck ToR queue, and the finalizer summarizes
+// peak/end/tail queue and goodput.
+type incastPanel struct {
+	receiver int
+	flowSize int64
+	period   sim.Duration
 
-	// Long flow from the last rack toward the receiver.
-	longSrc := hosts - 1
-	lab.Launch(workload.Flow{Start: 0, Src: longSrc, Dst: receiver, Size: lab.UnboundedSize()})
+	ic        *IncastResult
+	lastBytes int64
+}
 
-	// FanIn cross-rack senders fire together at Warmup.
-	launched := 0
-	for i := perRack; launched < s.FanIn && i < hosts-1; i++ {
-		lab.Launch(workload.Flow{
-			Start: sim.Time(s.Warmup), Src: i, Dst: receiver, Size: s.FlowSize,
-		})
-		launched++
+func (p *incastPanel) Install(env *scenario.Env) error {
+	net := env.Lab.Net
+	// The bottleneck is the receiver's ToR egress port (ports are created
+	// per server in order, so port i%perRack faces the host).
+	perRack := env.Fabric.HostsPerRack
+	port := net.Switches[p.receiver/perRack].Ports()[p.receiver%perRack]
+
+	// The incast fan-in actually launched: pulse flows carry FlowSize.
+	fanIn := 0
+	for _, f := range env.Launched {
+		if f.Size == p.flowSize {
+			fanIn++
+		}
 	}
 
-	// The bottleneck is ToR 0's egress port to the receiver (ports are
-	// created per server in order, so port 0 faces host 0).
-	port := net.Switches[0].Ports()[receiver]
-
-	// The sampler runs at a fixed period from t=0 to the fixed horizon
-	// (warmup + window), so the series length is run metadata: allocate
-	// the points once.
-	ic := &IncastResult{
-		Scheme: scheme.Name, FanIn: launched,
-		Points: make([]TimePoint, 0, int((s.Warmup+s.Window)/s.SamplePeriod)+2),
+	// The sampler runs at a fixed period from t=0 to the fixed horizon,
+	// so the series length is run metadata: allocate the points once.
+	p.ic = &IncastResult{
+		Scheme: env.Scheme.Name, FanIn: fanIn,
+		Points: make([]TimePoint, 0, int(env.Horizon.Duration()/p.period)+2),
 	}
-	var lastBytes int64
-	end := sim.Time(s.Warmup + s.Window)
-	SampleEvery(net.Eng, s.SamplePeriod, end, func(now sim.Time) {
-		cur := lab.ReceivedTotal(receiver)
+	scenario.SampleEvery(net.Eng, p.period, env.Horizon, func(now sim.Time) {
+		cur := env.Lab.ReceivedTotal(p.receiver)
 		tp := TimePoint{
 			T:              now,
-			ThroughputGbps: stats.Gbps(cur-lastBytes, s.SamplePeriod),
+			ThroughputGbps: stats.Gbps(cur-p.lastBytes, p.period),
 			QueueKB:        float64(port.QueueBytes()) / 1024,
 		}
-		lastBytes = cur
-		ic.Points = append(ic.Points, tp)
+		p.lastBytes = cur
+		p.ic.Points = append(p.ic.Points, tp)
 	})
-	net.Eng.RunUntil(end)
+	return nil
+}
 
+func (p *incastPanel) Finalize(env *scenario.Env, res *Result) error {
+	ic := p.ic
 	var sumTp float64
-	for _, p := range ic.Points {
-		if p.QueueKB > ic.PeakQueueKB {
-			ic.PeakQueueKB = p.QueueKB
+	for _, pt := range ic.Points {
+		if pt.QueueKB > ic.PeakQueueKB {
+			ic.PeakQueueKB = pt.QueueKB
 		}
-		sumTp += p.ThroughputGbps
+		sumTp += pt.ThroughputGbps
 	}
 	if n := len(ic.Points); n > 0 {
 		ic.AvgGoodputGbps = sumTp / float64(n)
@@ -118,20 +148,20 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 			k = 1
 		}
 		var tail float64
-		for _, p := range ic.Points[n-k:] {
-			tail += p.QueueKB
+		for _, pt := range ic.Points[n-k:] {
+			tail += pt.QueueKB
 		}
 		ic.TailMeanQueueKB = tail / float64(k)
 	}
-	for _, r := range lab.Records {
-		if r.Size == s.FlowSize {
+	for _, r := range env.Lab.Records {
+		if r.Size == p.flowSize {
 			ic.Completed++
 		}
 	}
 
-	res := &Result{Raw: ic}
+	res.Raw = ic
 	res.SetScalar("fan_in", float64(ic.FanIn))
-	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.SetScalar("engine_steps", float64(env.Eng().Steps()))
 	res.SetScalar("peak_queue_kb", ic.PeakQueueKB)
 	res.SetScalar("end_queue_kb", ic.EndQueueKB)
 	res.SetScalar("tail_mean_queue_kb", ic.TailMeanQueueKB)
@@ -140,10 +170,10 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 	ts := make([]sim.Time, len(ic.Points))
 	tp := make([]float64, len(ic.Points))
 	qs := make([]float64, len(ic.Points))
-	for i, p := range ic.Points {
-		ts[i], tp[i], qs[i] = p.T, p.ThroughputGbps, p.QueueKB
+	for i, pt := range ic.Points {
+		ts[i], tp[i], qs[i] = pt.T, pt.ThroughputGbps, pt.QueueKB
 	}
-	res.AddSeries(TimeSeries("throughput_gbps", ts, tp))
-	res.AddSeries(TimeSeries("queue_kb", ts, qs))
-	return res, nil
+	res.AddSeries(scenario.TimeSeries("throughput_gbps", ts, tp))
+	res.AddSeries(scenario.TimeSeries("queue_kb", ts, qs))
+	return nil
 }

@@ -1,12 +1,9 @@
 package exp
 
 import (
-	"math/rand"
-
-	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // PermutationResult is the typed payload of the host-permutation
@@ -31,6 +28,8 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "permutation",
 		Figures: "Supplementary (multipath lab): ECMP hash imbalance on the §4.1 fat-tree",
+		Fields: []string{FieldServersPerTor, FieldRouting,
+			FieldWindow, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.ServersPerTor == 0 {
 				s.ServersPerTor = 8
@@ -46,61 +45,64 @@ func init() {
 	})
 }
 
-// permutation derives a fixed-point-free host permutation from the seed:
-// every host sends to exactly one host and receives from exactly one.
-func permutation(n int, seed int64) []int {
-	rng := rand.New(rand.NewSource(seed ^ 0x5EED_0F_9E37))
-	p := rng.Perm(n)
-	for i := 0; i < n; i++ {
-		if p[i] == i { // break fixed points deterministically
-			j := (i + 1) % n
-			p[i], p[j] = p[j], p[i]
-		}
-	}
-	return p
-}
-
 // runPermutation drives host-permutation traffic — the canonical
 // multipath stress — across the fat tree and measures how evenly the
 // routing strategy spreads it: per-flow goodput fairness and ToR-uplink
 // load imbalance.
 func runPermutation(s Spec, scheme Scheme) (*Result, error) {
-	strategy, err := route.StrategyByName(s.Routing)
-	if err != nil {
-		return nil, err
-	}
-	lab := NewRoutedFatTreeLab(scheme, s.ServersPerTor, s.Seed, strategy)
-	defer lab.Release()
-	net := lab.Net
+	return scenario.Run(scenario.Scenario{
+		Name:     "permutation",
+		Scheme:   scheme,
+		Seed:     s.Seed,
+		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor, Routing: s.Routing},
+		Traffic:  []scenario.Traffic{scenario.Permutation{}},
+		Probes:   []scenario.Probe{&permutationPanel{period: s.SamplePeriod, window: s.Window}},
+		Until:    s.Window,
+	})
+}
+
+// permutationPanel samples the aggregate receive rate, then summarizes
+// per-flow goodput fairness and the ToR-uplink load spread.
+type permutationPanel struct {
+	period sim.Duration
+	window sim.Duration
+
+	pr      *PermutationResult
+	last    []int64
+	perFlow []int64 // received bytes per destination host
+}
+
+func (p *permutationPanel) Install(env *scenario.Env) error {
+	net := env.Lab.Net
 	n := len(net.Hosts)
-
-	perm := permutation(n, s.Seed)
-	for src, dst := range perm {
-		lab.Launch(workload.Flow{Start: 0, Src: src, Dst: dst, Size: lab.UnboundedSize()})
-	}
-
-	pr := &PermutationResult{Scheme: scheme.Name, Routing: strategy.Name(), Flows: n}
-	last := make([]int64, n)
-	perFlow := make([]int64, n) // received bytes per destination host
-	SampleEvery(net.Eng, s.SamplePeriod, sim.Time(s.Window), func(now sim.Time) {
+	p.pr = &PermutationResult{Scheme: env.Scheme.Name, Routing: net.Router.Strategy().Name(), Flows: n}
+	p.last = make([]int64, n)
+	p.perFlow = make([]int64, n)
+	scenario.SampleEvery(net.Eng, p.period, env.Horizon, func(now sim.Time) {
 		var delta int64
 		for i := 0; i < n; i++ {
-			cur := lab.ReceivedTotal(i)
-			delta += cur - last[i]
-			perFlow[i] = cur
-			last[i] = cur
+			cur := env.Lab.ReceivedTotal(i)
+			delta += cur - p.last[i]
+			p.perFlow[i] = cur
+			p.last[i] = cur
 		}
-		pr.T = append(pr.T, now)
-		pr.AggGbps = append(pr.AggGbps, stats.Gbps(delta, s.SamplePeriod))
+		p.pr.T = append(p.pr.T, now)
+		p.pr.AggGbps = append(p.pr.AggGbps, stats.Gbps(delta, p.period))
 	})
-	net.Eng.RunUntil(sim.Time(s.Window))
+	return nil
+}
+
+func (p *permutationPanel) Finalize(env *scenario.Env, res *Result) error {
+	pr := p.pr
+	net := env.Lab.Net
+	n := pr.Flows
 
 	// Per-flow goodput over the whole window (keyed by receiver; each
 	// host receives exactly one flow of the permutation).
 	var sum, sumSq float64
 	pr.MinGbps = 1e18
 	for i := 0; i < n; i++ {
-		g := stats.Gbps(perFlow[i], s.Window)
+		g := stats.Gbps(p.perFlow[i], p.window)
 		pr.PerFlowGbps = append(pr.PerFlowGbps, g)
 		sum += g
 		sumSq += g * g
@@ -116,7 +118,7 @@ func runPermutation(s Spec, scheme Scheme) (*Result, error) {
 	}
 
 	// Uplink spread: walk every ToR's aggregation-facing ports.
-	nTors := lab.FTCfg.Pods * lab.FTCfg.TorsPerPod
+	nTors := env.Lab.FTCfg.Racks()
 	var used int
 	var maxB, totB uint64
 	var nUp int
@@ -139,7 +141,7 @@ func runPermutation(s Spec, scheme Scheme) (*Result, error) {
 		pr.UplinkImbalance = float64(maxB) / (float64(totB) / float64(used))
 	}
 
-	res := &Result{Raw: pr}
+	res.Raw = pr
 	res.SetScalar("flows", float64(pr.Flows))
 	res.SetScalar("jain", pr.Jain)
 	res.SetScalar("avg_goodput_gbps", sum/float64(n))
@@ -149,11 +151,11 @@ func runPermutation(s Spec, scheme Scheme) (*Result, error) {
 	res.SetScalar("uplinks_total", float64(pr.UplinksTotal))
 	res.SetScalar("uplink_imbalance", pr.UplinkImbalance)
 	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
-	res.AddSeries(TimeSeries("agg_goodput_gbps", pr.T, pr.AggGbps))
+	res.AddSeries(scenario.TimeSeries("agg_goodput_gbps", pr.T, pr.AggGbps))
 	flowSeries := Series{Name: "flow_goodput_gbps", XLabel: "flow"}
 	for i, g := range pr.PerFlowGbps {
 		flowSeries.Points = append(flowSeries.Points, SeriesPoint{X: float64(i), V: g})
 	}
 	res.AddSeries(flowSeries)
-	return res, nil
+	return nil
 }

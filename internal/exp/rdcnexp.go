@@ -1,15 +1,10 @@
 package exp
 
 import (
-	"fmt"
-
-	"repro/internal/cc"
-	"repro/internal/core"
 	"repro/internal/packet"
-	"repro/internal/rdcn"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/transport"
 	"repro/internal/units"
 )
 
@@ -35,6 +30,8 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "rdcn",
 		Figures: "Fig. 8 (reconfigurable DCN case study, §5)",
+		Fields: []string{FieldTors, FieldServersPerTor, FieldPacketRate,
+			FieldWeeks, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.Tors == 0 {
 				// 16 keeps the rotor week (3.7 ms) comfortably longer
@@ -60,129 +57,121 @@ func init() {
 	})
 }
 
-// rdcnSupports restricts the case study to the Fig. 8 competitors.
+// rdcnSupports restricts the case study to the Fig. 8 competitors; the
+// scheme whitelist itself lives with the rotor launcher
+// (scenario.RotorSupports), so the preset and the scenario layer
+// cannot drift apart.
 func rdcnSupports(scheme Scheme) error {
-	switch scheme.Kind {
-	case KindPowerTCP, KindReTCP:
-		return nil
-	case KindCC:
-		if scheme.Name == HPCC {
-			return nil
-		}
-	}
-	return fmt.Errorf("rdcn does not support scheme %q (supported: %s, %s, retcp-<µs>)",
-		scheme.Name, PowerTCP, HPCC)
+	return scenario.RotorSupports(scheme)
 }
 
-// runRDCN reproduces Figure 8 for one scheme. All servers of ToR 0 send
-// long flows to the corresponding servers of ToR 1; the monitored
-// circuit is ToR 0's, which reaches ToR 1 once per rotor week.
+// runRDCN reproduces Figure 8 for one scheme as a declarative scenario:
+// all servers of ToR 0 send long flows to the corresponding servers of
+// ToR 1 on the rotor network; the monitored circuit is ToR 0's, which
+// reaches ToR 1 once per rotor week.
 func runRDCN(s Spec, scheme Scheme) (*Result, error) {
-	net := rdcn.Build(rdcn.Config{
-		Tors:          s.Tors,
-		ServersPerTor: s.ServersPerTor,
-		PacketRate:    s.PacketRate,
-		Prebuffer:     scheme.PrebufferFor,
-		INT:           true,
+	return scenario.Run(scenario.Scenario{
+		Name:   "rdcn",
+		Scheme: scheme,
+		Seed:   s.Seed,
+		Topology: scenario.RotorTopology{
+			Tors:          s.Tors,
+			ServersPerTor: s.ServersPerTor,
+			PacketRate:    s.PacketRate,
+			Weeks:         s.Weeks,
+		},
+		Traffic: []scenario.Traffic{scenario.RackPairs{
+			FromRack: scenario.RackStart(0),
+			ToRack:   scenario.RackStart(1),
+		}},
+		Probes: []scenario.Probe{&rotorPanel{
+			srcTor: 0, dstTor: 1, weeks: s.Weeks, period: s.SamplePeriod,
+		}},
 	})
+}
 
+// rotorPanel is the Figure 8 probe: throughput and VOQ series for the
+// monitored ToR pair, per-packet queuing delays at the receiving rack,
+// and circuit-byte snapshots at the monitored pair's day boundaries.
+type rotorPanel struct {
+	srcTor, dstTor int
+	weeks          int
+	period         sim.Duration
+
+	rr       *RDCNResult
+	delays   stats.Dist
+	dayBytes []int64
+	lastRx   int64
+}
+
+func (p *rotorPanel) rxTotal(env *scenario.Env) int64 {
+	var n int64
+	for _, h := range env.Rotor.HostsOfTor(p.dstTor) {
+		n += h.ReceivedTotal()
+	}
+	return n
+}
+
+func (p *rotorPanel) Install(env *scenario.Env) error {
+	net := env.Rotor
 	// Per-packet latency collection at the receiving rack: queuing
 	// latency is one-way delay minus the minimum observed (propagation +
 	// serialization floor).
-	var delays stats.Dist
-	for _, h := range net.HostsOfTor(1) {
+	for _, h := range net.HostsOfTor(p.dstTor) {
 		h := h
-		h.OnData = func(p *packet.Packet) {
-			delays.Add(net.Eng.Now().Sub(p.SentAt).Seconds())
+		h.OnData = func(pkt *packet.Packet) {
+			p.delays.Add(net.Eng.Now().Sub(pkt.SentAt).Seconds())
 		}
 	}
 
-	// Long flows: server i of ToR0 → server i of ToR1.
-	srcs := net.HostsOfTor(0)
-	dsts := net.HostsOfTor(1)
-	nFlows := len(srcs)
-	for i, src := range srcs {
-		alg := rdcnAlg(scheme, net, nFlows)
-		src.StartFlow(net.NextFlowID(), dsts[i].ID(), transport.Unbounded, alg, 0)
-	}
-
-	horizon := sim.Time(sim.Duration(s.Weeks) * net.Sched.Week())
-	rr := &RDCNResult{Scheme: scheme.Name}
-	var lastRx int64
-	rxTotal := func() int64 {
-		var n int64
-		for _, h := range dsts {
-			n += h.ReceivedTotal()
-		}
-		return n
-	}
-	SampleEvery(net.Eng, s.SamplePeriod, horizon, func(now sim.Time) {
-		cur := rxTotal()
-		rr.T = append(rr.T, now)
-		rr.Throughput = append(rr.Throughput, stats.Gbps(cur-lastRx, s.SamplePeriod))
-		rr.VOQKB = append(rr.VOQKB, float64(net.Tors[0].VOQBytes(1))/1024)
-		lastRx = cur
+	p.rr = &RDCNResult{Scheme: env.Scheme.Name}
+	scenario.SampleEvery(net.Eng, p.period, env.Horizon, func(now sim.Time) {
+		cur := p.rxTotal(env)
+		p.rr.T = append(p.rr.T, now)
+		p.rr.Throughput = append(p.rr.Throughput, stats.Gbps(cur-p.lastRx, p.period))
+		p.rr.VOQKB = append(p.rr.VOQKB, float64(net.Tors[p.srcTor].VOQBytes(p.dstTor))/1024)
+		p.lastRx = cur
 	})
 
 	// Track circuit bytes of the monitored pair: snapshot the circuit
 	// port's counter at each day boundary of matching ToR0→ToR1.
-	var dayBytes []int64
-	for w := 0; w < s.Weeks; w++ {
-		start := net.Sched.NextDayStart(0, 1, sim.Time(sim.Duration(w)*net.Sched.Week()))
+	for w := 0; w < p.weeks; w++ {
+		start := net.Sched.NextDayStart(p.srcTor, p.dstTor, sim.Time(sim.Duration(w)*net.Sched.Week()))
 		var atStart uint64
-		net.Eng.At(start, func() { atStart = net.Tors[0].CircuitPort().TxBytes() })
+		net.Eng.At(start, func() { atStart = net.Tors[p.srcTor].CircuitPort().TxBytes() })
 		net.Eng.At(start.Add(net.Sched.Day), func() {
-			dayBytes = append(dayBytes, int64(net.Tors[0].CircuitPort().TxBytes()-atStart))
+			p.dayBytes = append(p.dayBytes, int64(net.Tors[p.srcTor].CircuitPort().TxBytes()-atStart))
 		})
 	}
+	return nil
+}
 
-	net.Eng.RunUntil(horizon)
+func (p *rotorPanel) Finalize(env *scenario.Env, res *Result) error {
+	net := env.Rotor
+	rr := p.rr
 
 	// Circuit utilization across monitored days.
 	cap := net.Cfg.CircuitRate.Bytes(net.Sched.Day)
 	var used int64
-	for _, b := range dayBytes {
+	for _, b := range p.dayBytes {
 		used += b
 	}
-	if len(dayBytes) > 0 {
-		rr.CircuitUtilization = float64(used) / float64(cap*int64(len(dayBytes)))
+	if len(p.dayBytes) > 0 {
+		rr.CircuitUtilization = float64(used) / float64(cap*int64(len(p.dayBytes)))
 	}
 	// Tail queuing latency: p99 one-way delay above the observed floor.
-	if delays.Count() > 0 {
-		floor := delays.Percentile(0)
-		rr.TailQueuingUs = (delays.Percentile(99) - floor) * 1e6
+	if p.delays.Count() > 0 {
+		floor := p.delays.Percentile(0)
+		rr.TailQueuingUs = (p.delays.Percentile(99) - floor) * 1e6
 	}
-	rr.AvgGoodputGbps = stats.Gbps(rxTotal(), horizon.Duration())
+	rr.AvgGoodputGbps = stats.Gbps(p.rxTotal(env), env.Horizon.Duration())
 
-	res := &Result{Raw: rr}
+	res.Raw = rr
 	res.SetScalar("circuit_utilization", rr.CircuitUtilization)
 	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
 	res.SetScalar("tail_queuing_us", rr.TailQueuingUs)
 	res.SetScalar("avg_goodput_gbps", rr.AvgGoodputGbps)
-	res.AddSeries(TimeSeries("throughput_gbps", rr.T, rr.Throughput))
-	res.AddSeries(TimeSeries("voq_kb", rr.T, rr.VOQKB))
-	return res, nil
-}
-
-// rdcnAlg builds the per-flow algorithm for the RDCN run. PowerTCP and
-// HPCC limit window updates to once per RTT for the fair comparison with
-// reTCP (§5); both are capped at the 25G host BDP, which is all one NIC
-// can contribute toward filling the 100G circuit.
-func rdcnAlg(scheme Scheme, net *rdcn.Network, flows int) cc.Algorithm {
-	switch scheme.Kind {
-	case KindPowerTCP:
-		return core.New(core.Config{Gamma: scheme.Gamma, UpdatePerRTT: true})
-	case KindReTCP:
-		return &rdcn.ReTCP{
-			Sched:        net.Sched,
-			SrcTor:       0,
-			DstTor:       1,
-			Prebuffer:    scheme.PrebufferFor,
-			PacketRate:   net.Cfg.PacketRate,
-			CircuitRate:  net.Cfg.CircuitRate,
-			FlowsSharing: flows,
-		}
-	default: // hpcc
-		return cc.NewHPCC()
-	}
+	res.AddSeries(scenario.TimeSeries("throughput_gbps", rr.T, rr.Throughput))
+	res.AddSeries(scenario.TimeSeries("voq_kb", rr.T, rr.VOQKB))
+	return nil
 }

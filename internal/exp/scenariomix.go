@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// ScenarioMix assembles the composition-layer stress the perf harness
+// tracks as Scenario_Mix (BenchmarkScenario_Mix and cmd/bench share
+// this single builder so the CI gate measures exactly the tested
+// assembly): websearch Poisson load plus the synthetic incast overlay
+// on a leaf-spine fabric, with a spine link failing and recovering
+// mid-run — every axis of the scenario API in one run. Scenarios are
+// single-use (probes hold run state), so callers build a fresh value
+// per run.
+func ScenarioMix(seed int64) (scenario.Scenario, error) {
+	scheme, err := scenario.ResolveScheme(scenario.PowerTCP)
+	if err != nil {
+		return scenario.Scenario{}, err
+	}
+	return scenario.Scenario{
+		Name: "scenario-mix", Scheme: scheme, Seed: seed,
+		Topology: scenario.LeafSpineTopology{Leaves: 4, Spines: 2, ServersPerLeaf: 8},
+		Traffic: []scenario.Traffic{
+			scenario.PoissonLoad{Load: 0.4, Horizon: 2 * sim.Millisecond},
+			scenario.IncastRequests{RequestRate: 2000, RequestSize: 1 << 20, FanIn: 8,
+				Horizon: 2 * sim.Millisecond, SeedOffset: 1},
+		},
+		Events: scenario.Timeline{
+			Events: []scenario.Event{
+				scenario.LinkFail{At: sim.Millisecond, A: scenario.Leaf(0), B: scenario.Spine(0)},
+				scenario.LinkRestore{At: 2 * sim.Millisecond, A: scenario.Leaf(0), B: scenario.Spine(0)},
+			},
+			Reconverge: 200 * sim.Microsecond,
+		},
+		Probes: []scenario.Probe{
+			scenario.FCTProbe{},
+			&scenario.GoodputProbe{Period: 50 * sim.Microsecond},
+		},
+		Until: 3 * sim.Millisecond,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"repro/internal/scenario"
+)
+
+// The experiment layer is built on internal/scenario: schemes, the
+// Result envelope, and the lab plumbing live there, and exp re-exports
+// them so existing callers (cmds, the root package, tests) keep
+// working. Spec/Run remain as the validated compatibility shim over
+// declarative Scenario presets.
+
+// Scheme bundles a congestion-control choice with the switch features
+// it needs; SchemeOption composes ablation variants onto it.
+type (
+	Scheme       = scenario.Scheme
+	SchemeOption = scenario.SchemeOption
+	Kind         = scenario.Kind
+)
+
+// Result is the common experiment envelope (scalars + named series).
+type (
+	Result      = scenario.Result
+	Series      = scenario.Series
+	SeriesPoint = scenario.SeriesPoint
+)
+
+// Lab is the built-network harness the scenario layer drives;
+// FlowRecord is one completed transfer.
+type (
+	Lab        = scenario.Lab
+	FlowRecord = scenario.FlowRecord
+)
+
+// Scheme kinds.
+const (
+	KindCC       = scenario.KindCC
+	KindPowerTCP = scenario.KindPowerTCP
+	KindTheta    = scenario.KindTheta
+	KindHoma     = scenario.KindHoma
+	KindReTCP    = scenario.KindReTCP
+)
+
+// Scheme names accepted by the registry (matching the paper's legends).
+const (
+	PowerTCP      = scenario.PowerTCP
+	ThetaPowerTCP = scenario.ThetaPowerTCP
+	HPCC          = scenario.HPCC
+	Timely        = scenario.Timely
+	DCQCN         = scenario.DCQCN
+	Swift         = scenario.Swift
+	DCTCP         = scenario.DCTCP
+	Reno          = scenario.Reno
+	Cubic         = scenario.Cubic
+	Homa          = scenario.Homa
+	ReTCP600      = scenario.ReTCP600
+	ReTCP1800     = scenario.ReTCP1800
+)
+
+// Schemes lists every sender-based scheme, in the paper's legend order.
+var Schemes = scenario.Schemes
+
+// Scheme registry entry points.
+var (
+	ResolveScheme        = scenario.ResolveScheme
+	RegisterScheme       = scenario.RegisterScheme
+	RegisterSchemeFamily = scenario.RegisterSchemeFamily
+	SchemeNames          = scenario.SchemeNames
+)
+
+// Scheme options (ablation variants composed at resolution time).
+var (
+	Gamma      = scenario.Gamma
+	Alpha      = scenario.Alpha
+	Overcommit = scenario.Overcommit
+	PerRTT     = scenario.PerRTT
+	Prebuffer  = scenario.Prebuffer
+)
+
+// Result-set encoders.
+var (
+	EncodeJSONResults = scenario.EncodeJSONResults
+	EncodeTSVResults  = scenario.EncodeTSVResults
+)
+
+// Lab constructors and helpers (kept for direct harness users).
+var (
+	NewStarLab          = scenario.NewStarLab
+	NewFatTreeLab       = scenario.NewFatTreeLab
+	NewRoutedFatTreeLab = scenario.NewRoutedFatTreeLab
+	NewLeafSpineLab     = scenario.NewLeafSpineLab
+	SampleEvery         = scenario.SampleEvery
+	TimeSeries          = scenario.TimeSeries
+)

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec field names used by Validate and Experiment.Fields. Each names
+// one scenario knob of the Spec superset; identity fields (Experiment,
+// Scheme, SchemeOpts, Seed, Label) are always accepted.
+const (
+	FieldServersPerTor = "ServersPerTor"
+	FieldTors          = "Tors"
+	FieldFanIn         = "FanIn"
+	FieldFlowSize      = "FlowSize"
+	FieldFlows         = "Flows"
+	FieldStagger       = "Stagger"
+	FieldSizes         = "Sizes"
+	FieldLoad          = "Load"
+	FieldLoads         = "Loads"
+	FieldIncastRate    = "IncastRate"
+	FieldIncastSize    = "IncastSize"
+	FieldIncastFanIn   = "IncastFanIn"
+	FieldSampleBuffers = "SampleBuffers"
+	FieldPacketRate    = "PacketRate"
+	FieldWeeks         = "Weeks"
+	FieldRouting       = "Routing"
+	FieldSpines        = "Spines"
+	FieldSpineRates    = "SpineRates"
+	FieldFailAfter     = "FailAfter"
+	FieldRestoreAfter  = "RestoreAfter"
+	FieldReconverge    = "Reconverge"
+	FieldWindow        = "Window"
+	FieldWarmup        = "Warmup"
+	FieldDuration      = "Duration"
+	FieldDrain         = "Drain"
+	FieldSamplePeriod  = "SamplePeriod"
+)
+
+// assignedFields lists the scenario knobs the spec sets (non-zero), in
+// declaration order.
+func (s Spec) assignedFields() []string {
+	var out []string
+	set := func(name string, assigned bool) {
+		if assigned {
+			out = append(out, name)
+		}
+	}
+	set(FieldServersPerTor, s.ServersPerTor != 0)
+	set(FieldTors, s.Tors != 0)
+	set(FieldFanIn, s.FanIn != 0)
+	set(FieldFlowSize, s.FlowSize != 0)
+	set(FieldFlows, s.Flows != 0)
+	set(FieldStagger, s.Stagger != 0)
+	set(FieldSizes, len(s.Sizes) != 0)
+	set(FieldLoad, s.Load != 0)
+	set(FieldLoads, len(s.Loads) != 0)
+	set(FieldIncastRate, s.IncastRate != 0)
+	set(FieldIncastSize, s.IncastSize != 0)
+	set(FieldIncastFanIn, s.IncastFanIn != 0)
+	set(FieldSampleBuffers, s.SampleBuffers)
+	set(FieldPacketRate, s.PacketRate != 0)
+	set(FieldWeeks, s.Weeks != 0)
+	set(FieldRouting, s.Routing != "")
+	set(FieldSpines, s.Spines != 0)
+	set(FieldSpineRates, len(s.SpineRates) != 0)
+	set(FieldFailAfter, s.FailAfter != 0)
+	set(FieldRestoreAfter, s.RestoreAfter != 0)
+	set(FieldReconverge, s.Reconverge != 0)
+	set(FieldWindow, s.Window != 0)
+	set(FieldWarmup, s.Warmup != 0)
+	set(FieldDuration, s.Duration != 0)
+	set(FieldDrain, s.Drain != 0)
+	set(FieldSamplePeriod, s.SamplePeriod != 0)
+	return out
+}
+
+// Validate resolves the spec's experiment and checks that every
+// assigned scenario knob is one the experiment consumes. A knob the
+// experiment would silently ignore is an error — WithFanIn on
+// "fairness" was a no-op before the scenario redesign; now it fails
+// loudly. Experiments registered without a Fields list skip the check.
+func (s Spec) Validate() error {
+	e, err := ExperimentByName(s.Experiment)
+	if err != nil {
+		return err
+	}
+	return s.validateAgainst(e)
+}
+
+func (s Spec) validateAgainst(e Experiment) error {
+	if e.Fields == nil {
+		return nil
+	}
+	accepted := make(map[string]bool, len(e.Fields))
+	for _, f := range e.Fields {
+		accepted[f] = true
+	}
+	var bad []string
+	for _, f := range s.assignedFields() {
+		if !accepted[f] {
+			bad = append(bad, f)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("exp: experiment %q does not consume %s (accepted: %s)",
+			e.Name, strings.Join(bad, ", "), strings.Join(e.Fields, ", "))
+	}
+	return nil
+}
+
+// Accepts reports whether the experiment consumes the named Spec field.
+// Experiments without a Fields list accept everything.
+func (e Experiment) Accepts(field string) bool {
+	if e.Fields == nil {
+		return true
+	}
+	for _, f := range e.Fields {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}

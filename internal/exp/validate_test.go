@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// acceptedFields enumerates, per registered experiment, exactly the
+// Spec knobs it consumes. Validate rejects anything else, so this table
+// is the contract the options API is checked against.
+var acceptedFields = map[string][]string{
+	"incast": {FieldServersPerTor, FieldFanIn, FieldFlowSize,
+		FieldWindow, FieldWarmup, FieldSamplePeriod},
+	"fairness": {FieldFlows, FieldStagger, FieldSizes,
+		FieldWindow, FieldSamplePeriod},
+	"websearch": {FieldServersPerTor, FieldLoad, FieldIncastRate,
+		FieldIncastSize, FieldIncastFanIn, FieldSampleBuffers,
+		FieldDuration, FieldDrain, FieldSamplePeriod},
+	"load-sweep": {FieldLoads, FieldServersPerTor, FieldIncastRate,
+		FieldIncastSize, FieldIncastFanIn, FieldSampleBuffers,
+		FieldDuration, FieldDrain, FieldSamplePeriod},
+	"rdcn": {FieldTors, FieldServersPerTor, FieldPacketRate,
+		FieldWeeks, FieldSamplePeriod},
+	"permutation": {FieldServersPerTor, FieldRouting,
+		FieldWindow, FieldSamplePeriod},
+	"asymmetry": {FieldTors, FieldSpines, FieldServersPerTor,
+		FieldSpineRates, FieldRouting, FieldWindow},
+	"failover": {FieldTors, FieldSpines, FieldServersPerTor,
+		FieldSpineRates, FieldFlows, FieldRouting, FieldFailAfter,
+		FieldRestoreAfter, FieldReconverge, FieldWindow, FieldSamplePeriod},
+}
+
+// Every registered experiment declares its consumed fields, and the
+// declaration matches this test's table exactly.
+func TestExperimentAcceptedFields(t *testing.T) {
+	for _, name := range ExperimentNames() {
+		e, err := ExperimentByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := acceptedFields[name]
+		if !ok {
+			t.Errorf("experiment %q missing from the accepted-fields table", name)
+			continue
+		}
+		if e.Fields == nil {
+			t.Errorf("experiment %q registered without a Fields list", name)
+			continue
+		}
+		got := map[string]bool{}
+		for _, f := range e.Fields {
+			got[f] = true
+		}
+		for _, f := range want {
+			if !got[f] {
+				t.Errorf("%s: expected to accept %s", name, f)
+			}
+			delete(got, f)
+		}
+		for f := range got {
+			t.Errorf("%s: accepts %s, which the table does not expect", name, f)
+		}
+	}
+}
+
+// setOneField builds, per field name, an option that assigns it.
+var setOneField = map[string]Option{
+	FieldServersPerTor: WithServersPerTor(4),
+	FieldTors:          WithTors(4),
+	FieldFanIn:         WithFanIn(4),
+	FieldFlowSize:      WithFlowSize(1000),
+	FieldFlows:         WithFlows(2),
+	FieldStagger:       WithStagger(sim.Millisecond),
+	FieldSizes:         WithSizes(1 << 20),
+	FieldLoad:          WithLoad(0.2),
+	FieldLoads:         WithLoads(0.2, 0.4),
+	FieldIncastRate:    func(s *Spec) { s.IncastRate = 100 },
+	FieldIncastSize:    func(s *Spec) { s.IncastSize = 1 << 20 },
+	FieldIncastFanIn:   func(s *Spec) { s.IncastFanIn = 8 },
+	FieldSampleBuffers: WithBufferSampling(true),
+	FieldPacketRate:    WithPacketRate(10 * units.Gbps),
+	FieldWeeks:         WithWeeks(1),
+	FieldRouting:       WithRouting("ecmp"),
+	FieldSpines:        WithSpines(2),
+	FieldSpineRates:    WithSpineRates(100 * units.Gbps),
+	FieldFailAfter:     func(s *Spec) { s.FailAfter = sim.Millisecond },
+	FieldRestoreAfter:  func(s *Spec) { s.RestoreAfter = 2 * sim.Millisecond },
+	FieldReconverge:    WithReconverge(100 * sim.Microsecond),
+	FieldWindow:        WithWindow(sim.Millisecond),
+	FieldWarmup:        WithWarmup(100 * sim.Microsecond),
+	FieldDuration:      WithDuration(sim.Millisecond),
+	FieldDrain:         WithDrain(sim.Millisecond),
+	FieldSamplePeriod:  WithSamplePeriod(50 * sim.Microsecond),
+}
+
+// Validate accepts every consumed field and rejects every other one,
+// for every experiment — the end of silently ignored knobs.
+func TestValidateRejectsUnconsumedFields(t *testing.T) {
+	for name, accepted := range acceptedFields {
+		ok := map[string]bool{}
+		for _, f := range accepted {
+			ok[f] = true
+		}
+		for field, opt := range setOneField {
+			spec := NewSpec(name, PowerTCP, opt)
+			err := spec.Validate()
+			if ok[field] {
+				if err != nil {
+					t.Errorf("%s: rejected consumed field %s: %v", name, field, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s: accepted unconsumed field %s", name, field)
+			} else if !strings.Contains(err.Error(), field) {
+				t.Errorf("%s/%s: error does not name the field: %v", name, field, err)
+			}
+		}
+	}
+}
+
+// specIdentityFields are the Spec fields that are not scenario knobs:
+// they are always accepted and assignedFields must not report them.
+var specIdentityFields = map[string]bool{
+	"Experiment": true, "Scheme": true, "SchemeOpts": true,
+	"Seed": true, "Label": true,
+}
+
+// assignedFields is a hand-maintained mirror of the Spec struct; this
+// reflection test pins the two in sync, so a future knob added to Spec
+// without a matching assignedFields line fails here loudly instead of
+// sliding past every experiment's validation.
+func TestAssignedFieldsCoversSpec(t *testing.T) {
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if specIdentityFields[f.Name] {
+			continue
+		}
+		// Set just this field to a non-zero value via reflection and
+		// check assignedFields reports it under its own name.
+		var s Spec
+		v := reflect.ValueOf(&s).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int64:
+			v.SetInt(1)
+		case reflect.Float64:
+			v.SetFloat(0.5)
+		case reflect.Bool:
+			v.SetBool(true)
+		case reflect.String:
+			v.SetString("x")
+		case reflect.Slice:
+			v.Set(reflect.MakeSlice(f.Type, 1, 1))
+		default:
+			t.Fatalf("Spec.%s has kind %s — teach this test to set it", f.Name, f.Type.Kind())
+		}
+		got := s.assignedFields()
+		if len(got) != 1 || got[0] != f.Name {
+			t.Errorf("Spec.%s set, but assignedFields reported %v — add it to validate.go", f.Name, got)
+		}
+	}
+}
+
+// The canonical motivating case: WithFanIn on fairness must fail
+// loudly through Run, not silently produce the default fairness run.
+func TestRunRejectsIgnoredKnobs(t *testing.T) {
+	_, err := Run(NewSpec("fairness", PowerTCP, WithFanIn(32)))
+	if err == nil || !strings.Contains(err.Error(), "does not consume FanIn") {
+		t.Fatalf("fairness accepted WithFanIn: %v", err)
+	}
+	// The Suite path reports the same error with the spec index.
+	results, err := NewSuite(
+		NewSpec("incast", PowerTCP, WithFanIn(4), WithWindow(sim.Millisecond), WithSeed(1)),
+		NewSpec("fairness", PowerTCP, WithFanIn(32)),
+	).Run()
+	if err == nil || !strings.Contains(err.Error(), "spec 1") {
+		t.Fatalf("suite did not report the invalid spec: %v", err)
+	}
+	if results[0] == nil {
+		t.Fatal("valid spec did not run")
+	}
+	// Validate on an unknown experiment reports the registry error.
+	if err := NewSpec("bogus", PowerTCP).Validate(); err == nil {
+		t.Fatal("unknown experiment validated")
+	}
+	// Experiments registered without a Fields list (external users) keep
+	// the permissive pre-redesign behavior.
+	permissive := Experiment{Name: "custom-no-fields"}
+	if err := NewSpec("custom-no-fields", PowerTCP, WithFanIn(4)).validateAgainst(permissive); err != nil {
+		t.Fatalf("Fields-less experiment rejected a knob: %v", err)
+	}
+}

@@ -3,10 +3,9 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/units"
-	"repro/internal/workload"
 )
 
 // WebSearchResult is one scheme×load cell of Figures 6–7.
@@ -53,16 +52,32 @@ func normalizeWebSearch(s *Spec) {
 	}
 }
 
+// webSearchFields are the Spec knobs the websearch cell consumes; the
+// load sweep accepts the same plus the Loads grid (its per-cell Load is
+// overridden, so setting it is rejected).
+var webSearchFields = []string{FieldServersPerTor, FieldLoad,
+	FieldIncastRate, FieldIncastSize, FieldIncastFanIn, FieldSampleBuffers,
+	FieldDuration, FieldDrain, FieldSamplePeriod}
+
 func init() {
 	mustRegisterExperiment(Experiment{
 		Name:      "websearch",
 		Figures:   "Fig. 6 (slowdown by size), Fig. 7 (classes, incast overlay, buffers)",
+		Fields:    webSearchFields,
 		Normalize: normalizeWebSearch,
 		Run:       runWebSearch,
 	})
+	sweepFields := append([]string{FieldLoads}, webSearchFields...)
+	for i, f := range sweepFields {
+		if f == FieldLoad { // cells own the load; the sweep takes the grid
+			sweepFields = append(sweepFields[:i], sweepFields[i+1:]...)
+			break
+		}
+	}
 	mustRegisterExperiment(Experiment{
 		Name:    "load-sweep",
 		Figures: "Fig. 7a/7b (slowdown vs load)",
+		Fields:  sweepFields,
 		Normalize: func(s *Spec) {
 			if len(s.Loads) == 0 {
 				s.Loads = []float64{0.2, 0.5, 0.8}
@@ -73,78 +88,75 @@ func init() {
 	})
 }
 
-// runWebSearch reproduces one cell of Figures 6–7: the web-search
+// webSearchScenario assembles one cell of Figures 6–7: the web-search
 // flow-size distribution offered as an open-loop Poisson process at a
 // target ToR-uplink load on the fat-tree, optionally overlaid with the
 // synthetic incast workload (Fig. 7c–f).
-func runWebSearch(s Spec, scheme Scheme) (*Result, error) {
-	ws, err := webSearchCell(s, scheme)
-	if err != nil {
-		return nil, err
+func webSearchScenario(s Spec, scheme Scheme) scenario.Scenario {
+	traffic := []scenario.Traffic{
+		scenario.PoissonLoad{Load: s.Load, Horizon: s.Duration},
 	}
-	res := &Result{Raw: ws}
-	webSearchScalars(res, ws)
-	if s.SampleBuffers {
-		cdf := Series{Name: "buffer_cdf", XLabel: "occupancy_bytes"}
-		for _, p := range ws.BufferCDF {
-			cdf.Points = append(cdf.Points, SeriesPoint{X: p.V, V: p.F})
-		}
-		res.AddSeries(cdf)
-	}
-	return res, nil
-}
-
-// webSearchCell runs one scheme×load cell and returns the typed payload.
-func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
-	lab := NewFatTreeLab(scheme, s.ServersPerTor, s.Seed)
-	defer lab.Release()
-	net := lab.Net
-	ftCfg := lab.FTCfg
-
-	racks := ftCfg.Pods * ftCfg.TorsPerPod
-	uplinkCap := units.BitRate(ftCfg.AggsPerPod) * ftCfg.FabricRate
-
-	gen := &workload.Poisson{
-		Load:             s.Load,
-		UplinkCapPerRack: uplinkCap,
-		Racks:            racks,
-		HostsPerRack:     s.ServersPerTor,
-		Dist:             workload.WebSearch(),
-		Seed:             s.Seed,
-	}
-	lab.LaunchAll(gen.Generate(s.Duration))
-
 	if s.IncastRate > 0 {
-		ic := &workload.Incast{
-			RequestRate:  s.IncastRate,
-			RequestSize:  s.IncastSize,
-			FanIn:        s.IncastFanIn,
-			Racks:        racks,
-			HostsPerRack: s.ServersPerTor,
-			Seed:         s.Seed + 1,
-		}
-		lab.LaunchAll(ic.Generate(s.Duration))
-	}
-
-	var bufSamples stats.Dist
-	horizon := sim.Time(s.Duration + s.Drain)
-	if s.SampleBuffers {
-		tors := racks
-		// Run metadata fixes the sample count: one sweep of every ToR per
-		// period over the generation horizon. Size the distribution once.
-		bufSamples.Presize((int(s.Duration/(20*sim.Microsecond)) + 2) * tors)
-		SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(s.Duration), func(sim.Time) {
-			for t := 0; t < tors; t++ {
-				bufSamples.Add(float64(net.Switches[t].Shared().Used()))
-			}
+		traffic = append(traffic, scenario.IncastRequests{
+			RequestRate: s.IncastRate,
+			RequestSize: s.IncastSize,
+			FanIn:       s.IncastFanIn,
+			Horizon:     s.Duration,
+			SeedOffset:  1,
 		})
 	}
+	return scenario.Scenario{
+		Name:     "websearch",
+		Scheme:   scheme,
+		Seed:     s.Seed,
+		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor},
+		Traffic:  traffic,
+		Probes: []scenario.Probe{&webSearchPanel{
+			load:          s.Load,
+			sampleBuffers: s.SampleBuffers,
+			duration:      s.Duration,
+		}},
+		Until: s.Duration + s.Drain,
+	}
+}
 
-	net.Eng.RunUntil(horizon)
+func runWebSearch(s Spec, scheme Scheme) (*Result, error) {
+	return scenario.Run(webSearchScenario(s, scheme))
+}
 
+// webSearchPanel collects the Figures 6–7 cell metrics: FCT slowdown
+// bins and class percentiles from the completed-flow records, plus the
+// optional ToR shared-buffer occupancy CDF.
+type webSearchPanel struct {
+	load          float64
+	sampleBuffers bool
+	duration      sim.Duration
+
+	bufSamples stats.Dist
+}
+
+func (p *webSearchPanel) Install(env *scenario.Env) error {
+	if !p.sampleBuffers {
+		return nil
+	}
+	net := env.Lab.Net
+	tors := env.Lab.FTCfg.Racks()
+	// Run metadata fixes the sample count: one sweep of every ToR per
+	// period over the generation horizon. Size the distribution once.
+	p.bufSamples.Presize((int(p.duration/(20*sim.Microsecond)) + 2) * tors)
+	scenario.SampleEvery(net.Eng, 20*sim.Microsecond, sim.Time(p.duration), func(sim.Time) {
+		for t := 0; t < tors; t++ {
+			p.bufSamples.Add(float64(net.Switches[t].Shared().Used()))
+		}
+	})
+	return nil
+}
+
+func (p *webSearchPanel) Finalize(env *scenario.Env, res *Result) error {
+	lab := env.Lab
 	ws := &WebSearchResult{
-		Scheme:    scheme.Name,
-		Load:      s.Load,
+		Scheme:    env.Scheme.Name,
+		Load:      p.load,
 		Started:   lab.Started(),
 		Completed: len(lab.Records),
 		Binned:    lab.Binned(),
@@ -152,12 +164,22 @@ func webSearchCell(s Spec, scheme Scheme) (*WebSearchResult, error) {
 	ws.ShortP999 = lab.ClassP(99.9, 0, stats.ShortFlowMax)
 	ws.MediumP999 = lab.ClassP(99.9, 100_000, stats.LongFlowMin)
 	ws.LongP999 = lab.ClassP(99.9, stats.LongFlowMin, 0)
-	if s.SampleBuffers {
-		ws.BufferCDF = bufSamples.CDF(50)
-		ws.BufferP99 = bufSamples.Percentile(99)
+	if p.sampleBuffers {
+		ws.BufferCDF = p.bufSamples.CDF(50)
+		ws.BufferP99 = p.bufSamples.Percentile(99)
 	}
-	ws.EngineSteps = net.Eng.Steps()
-	return ws, nil
+	ws.EngineSteps = env.Eng().Steps()
+
+	res.Raw = ws
+	webSearchScalars(res, ws)
+	if p.sampleBuffers {
+		cdf := Series{Name: "buffer_cdf", XLabel: "occupancy_bytes"}
+		for _, pt := range ws.BufferCDF {
+			cdf.Points = append(cdf.Points, SeriesPoint{X: pt.V, V: pt.F})
+		}
+		res.AddSeries(cdf)
+	}
+	return nil
 }
 
 func webSearchScalars(res *Result, ws *WebSearchResult) {
@@ -176,8 +198,8 @@ func webSearchScalars(res *Result, ws *WebSearchResult) {
 	res.SetScalar("engine_steps", float64(ws.EngineSteps))
 }
 
-// runLoadSweep runs the websearch cell across Loads (Fig. 7a/7b). Raw is
-// the []*WebSearchResult, one per load.
+// runLoadSweep runs the websearch cell scenario across Loads
+// (Fig. 7a/7b). Raw is the []*WebSearchResult, one per load.
 func runLoadSweep(s Spec, scheme Scheme) (*Result, error) {
 	cells := make([]*WebSearchResult, 0, len(s.Loads))
 	short := Series{Name: "short_p999", XLabel: "load"}
@@ -185,10 +207,11 @@ func runLoadSweep(s Spec, scheme Scheme) (*Result, error) {
 	for _, load := range s.Loads {
 		cell := s
 		cell.Load = load
-		ws, err := webSearchCell(cell, scheme)
+		cr, err := scenario.Run(webSearchScenario(cell, scheme))
 		if err != nil {
 			return nil, err
 		}
+		ws := cr.Raw.(*WebSearchResult)
 		cells = append(cells, ws)
 		short.Points = append(short.Points, SeriesPoint{X: load, V: ws.ShortP999})
 		long.Points = append(long.Points, SeriesPoint{X: load, V: ws.LongP999})

@@ -1,6 +1,7 @@
-package exp
+package scenario
 
 import (
+	"repro/internal/cc"
 	"repro/internal/homa"
 	"repro/internal/packet"
 	"repro/internal/route"
@@ -153,13 +154,22 @@ func (l *Lab) UnboundedSize() int64 {
 
 // Launch starts one workload flow (transport flow or HOMA message) and
 // returns the flow ID it was assigned.
-func (l *Lab) Launch(f workload.Flow) packet.FlowID {
+func (l *Lab) Launch(f workload.Flow) packet.FlowID { return l.LaunchAlg(f, nil) }
+
+// LaunchAlg is Launch with an explicit per-flow algorithm — the seam
+// scenario traffic classes use to run components under their own
+// scheme. nil keeps the lab scheme's algorithm; HOMA messages carry no
+// per-flow algorithm and ignore it.
+func (l *Lab) LaunchAlg(f workload.Flow, alg cc.Algorithm) packet.FlowID {
 	l.started++
 	id := l.Net.NextFlowID()
 	dst := l.Net.HostID(f.Dst)
 	switch h := l.Net.Hosts[f.Src].(type) {
 	case *transport.Host:
-		h.StartFlow(id, dst, f.Size, l.Scheme.Alg(), f.Start)
+		if alg == nil {
+			alg = l.Scheme.Alg()
+		}
+		h.StartFlow(id, dst, f.Size, alg, f.Start)
 	case *homa.Host:
 		h.Send(id, dst, f.Size, f.Start)
 	}

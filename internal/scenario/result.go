@@ -1,4 +1,4 @@
-package exp
+package scenario
 
 import (
 	"encoding/json"

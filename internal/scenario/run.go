@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/rdcn"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Env is the built run a Scenario executes in: the fabric (a Lab for
+// switched topologies, a rotor network for RotorTopology), the resolved
+// fabric metadata, and the flows launched so far. Probes receive it on
+// Install and Finalize.
+type Env struct {
+	Scenario *Scenario
+	Scheme   Scheme
+	Seed     int64
+	Fabric   Fabric
+	// Lab is the switched-topology harness (nil for RotorTopology).
+	Lab *Lab
+	// Rotor is the reconfigurable DCN (nil otherwise).
+	Rotor *rdcn.Network
+	// Horizon is the absolute run end.
+	Horizon sim.Time
+	// Launched lists every launched flow in launch order.
+	Launched []LaunchedFlow
+
+	// wrapAlg, when set by a probe's BeforeTraffic hook, interposes on
+	// every per-flow algorithm (monitoring probes).
+	wrapAlg func(i int, alg cc.Algorithm) cc.Algorithm
+}
+
+// Eng returns the simulation engine of the built fabric.
+func (env *Env) Eng() *sim.Engine {
+	if env.Rotor != nil {
+		return env.Rotor.Eng
+	}
+	return env.Lab.Net.Eng
+}
+
+// TrafficPreparer is an optional Probe refinement: BeforeTraffic runs
+// after the fabric is built but before any flow launches, the hook
+// monitoring probes use to interpose on per-flow algorithms.
+type TrafficPreparer interface {
+	BeforeTraffic(env *Env) error
+}
+
+// Run executes a Scenario: build the topology, launch every traffic
+// component in order, schedule the event timeline, install the probes,
+// drive the engine to the horizon, and let each probe finalize into the
+// Result envelope. The run owns an isolated engine, so distinct
+// scenarios may Run concurrently.
+func Run(sc Scenario) (*Result, error) {
+	if sc.Topology == nil {
+		return nil, fmt.Errorf("scenario: no topology")
+	}
+	env := &Env{Scenario: &sc, Scheme: sc.Scheme, Seed: sc.Seed}
+	if err := sc.Topology.build(env); err != nil {
+		return nil, err
+	}
+	if env.Lab != nil {
+		defer env.Lab.Release()
+		// Switched topologies launch through the lab, which needs either
+		// the HOMA transport or a per-flow algorithm builder.
+		if !sc.Scheme.IsHoma() && sc.Scheme.Alg == nil {
+			return nil, fmt.Errorf("scenario: scheme %q provides no per-flow algorithm for a switched topology",
+				sc.Scheme.Name)
+		}
+	}
+	// A topology that derives its own horizon (RotorTopology's Weeks)
+	// keeps it; Until drives everything else.
+	if env.Horizon == 0 && sc.Until > 0 {
+		env.Horizon = sim.Time(sc.Until)
+	}
+	if env.Horizon <= 0 {
+		return nil, fmt.Errorf("scenario: no run horizon (set Until)")
+	}
+
+	for _, p := range sc.Probes {
+		if tp, ok := p.(TrafficPreparer); ok {
+			if err := tp.BeforeTraffic(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, tr := range sc.Traffic {
+		if err := env.launchComponent(tr, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	var links []route.LinkEvent
+	for _, ev := range sc.Events.Events {
+		if err := ev.apply(env, &links); err != nil {
+			return nil, err
+		}
+	}
+	if len(links) > 0 {
+		env.Lab.Net.Router.Schedule(links, sc.Events.Reconverge)
+	}
+
+	for _, p := range sc.Probes {
+		if err := p.Install(env); err != nil {
+			return nil, err
+		}
+	}
+
+	env.Eng().RunUntil(env.Horizon)
+
+	res := &Result{Experiment: sc.Name, Scheme: sc.Scheme.Name, Seed: sc.Seed}
+	for _, p := range sc.Probes {
+		if err := p.Finalize(env, res); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := res.Scalars["engine_steps"]; !ok {
+		res.SetScalar("engine_steps", float64(env.Eng().Steps()))
+	}
+	return res, nil
+}
+
+// launchComponent generates one traffic component's trace and launches
+// it, applying the component's scheme override if present. shift moves
+// every start time (InjectTraffic events).
+func (env *Env) launchComponent(tr Traffic, shift sim.Duration) error {
+	var override Scheme
+	hasOverride := false
+	if cl, ok := tr.(classed); ok {
+		var err error
+		if override, err = resolveOverride(cl.scheme, env.Scheme); err != nil {
+			return err
+		}
+		hasOverride = true
+		if env.Rotor != nil {
+			return fmt.Errorf("scenario: traffic-class schemes are not supported on the rotor topology")
+		}
+	}
+	flows, err := tr.generate(env.Fabric, env.Seed)
+	if err != nil {
+		return err
+	}
+	if shift > 0 {
+		for i := range flows {
+			flows[i].Start = flows[i].Start.Add(shift)
+		}
+	}
+	if env.Rotor != nil {
+		return env.launchRotor(tr, flows)
+	}
+	for _, f := range flows {
+		launch := f
+		if launch.Size == Unbounded {
+			launch.Size = env.Fabric.UnboundedSize
+		}
+		var alg cc.Algorithm
+		if hasOverride {
+			alg = override.Alg()
+		} else if env.wrapAlg != nil && !env.Scheme.IsHoma() {
+			alg = env.Scheme.Alg()
+		}
+		if alg != nil && env.wrapAlg != nil {
+			alg = env.wrapAlg(len(env.Launched), alg)
+		}
+		id := env.Lab.LaunchAlg(launch, alg)
+		env.Launched = append(env.Launched, LaunchedFlow{Flow: f, ID: id})
+	}
+	return nil
+}
+
+// launchRotor launches a component on the reconfigurable DCN. Per-flow
+// algorithms are built per network (reTCP needs the rotor schedule);
+// reTCP's fair-share accounting sees the component's flow count.
+func (env *Env) launchRotor(tr Traffic, flows []workload.Flow) error {
+	if err := RotorSupports(env.Scheme); err != nil {
+		return err
+	}
+	net := env.Rotor
+	spt := env.Fabric.HostsPerRack
+	for _, f := range flows {
+		if f.Src/spt == f.Dst/spt {
+			return fmt.Errorf("scenario: rotor flows must cross racks (src %d, dst %d)", f.Src, f.Dst)
+		}
+		src := net.HostsOfTor(f.Src / spt)[f.Src%spt]
+		dst := net.HostsOfTor(f.Dst / spt)[f.Dst%spt]
+		size := f.Size
+		if size == Unbounded {
+			size = env.Fabric.UnboundedSize
+		}
+		alg := rotorAlg(env.Scheme, net, f.Src/spt, f.Dst/spt, len(flows))
+		if env.wrapAlg != nil {
+			alg = env.wrapAlg(len(env.Launched), alg)
+		}
+		id := net.NextFlowID()
+		src.StartFlow(id, dst.ID(), size, alg, f.Start)
+		env.Launched = append(env.Launched, LaunchedFlow{Flow: f, ID: id})
+	}
+	return nil
+}
+
+// RotorSupports restricts rotor runs to the schemes rotorAlg can
+// actually build — anything else would silently fall back to HPCC. It
+// is the single source of the Fig. 8 competitor list; the exp rdcn
+// preset's Supports check delegates here.
+func RotorSupports(scheme Scheme) error {
+	switch scheme.Kind {
+	case KindPowerTCP, KindReTCP:
+		return nil
+	case KindCC:
+		if scheme.Name == HPCC {
+			return nil
+		}
+	}
+	return fmt.Errorf("scenario: the rotor topology does not support scheme %q (supported: %s, %s, retcp-<µs>)",
+		scheme.Name, PowerTCP, HPCC)
+}
+
+// rotorAlg builds the per-flow algorithm for a rotor-network run.
+// PowerTCP and HPCC limit window updates to once per RTT for the fair
+// comparison with reTCP (§5); reTCP is built against the network's
+// rotor schedule and the flow count sharing the monitored circuit.
+func rotorAlg(scheme Scheme, net *rdcn.Network, srcTor, dstTor, flowsSharing int) cc.Algorithm {
+	switch scheme.Kind {
+	case KindPowerTCP:
+		return core.New(core.Config{Gamma: scheme.Gamma, UpdatePerRTT: true})
+	case KindReTCP:
+		return &rdcn.ReTCP{
+			Sched:        net.Sched,
+			SrcTor:       srcTor,
+			DstTor:       dstTor,
+			Prebuffer:    scheme.PrebufferFor,
+			PacketRate:   net.Cfg.PacketRate,
+			CircuitRate:  net.Cfg.CircuitRate,
+			FlowsSharing: flowsSharing,
+		}
+	default: // hpcc
+		return cc.NewHPCC()
+	}
+}

@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/rdcn"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/transport"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Scenario is a declarative experiment: a fabric, the traffic offered
+// on it, a timeline of mid-run events, and the probes that turn the run
+// into a Result. Build one from the typed axis values and execute it
+// with Run. Scenarios are single-use: probes accumulate run state, so
+// construct a fresh value (presets do) for every run.
+type Scenario struct {
+	// Name labels the Result (the experiment registry overwrites it with
+	// the registered name).
+	Name string
+	// Scheme is the base congestion-control scheme: it decides the host
+	// transport and the switch features (INT, ECN, priority queues) the
+	// fabric is built with. Traffic components may override the per-flow
+	// algorithm via WithScheme.
+	Scheme Scheme
+	// Seed drives all workload and switch randomness.
+	Seed int64
+	// Topology describes the fabric.
+	Topology Topology
+	// Traffic components are generated and launched in order.
+	Traffic []Traffic
+	// Events is the mid-run timeline (link failures, injected traffic).
+	Events Timeline
+	// Probes sample the run and write into the Result envelope.
+	Probes []Probe
+	// Until is the run horizon. RotorTopology derives its own horizon
+	// (Weeks rotor weeks) and ignores it.
+	Until sim.Duration
+}
+
+// Fabric is the topology metadata traffic selectors resolve against:
+// host counts, rack geometry, and the uplink capacity the offered-load
+// components are defined over.
+type Fabric struct {
+	Hosts        int
+	Racks        int
+	HostsPerRack int
+	// UplinkCapPerRack is the aggregate rack-uplink bandwidth the
+	// Poisson load is offered against (0 for single-switch fabrics).
+	UplinkCapPerRack units.BitRate
+	// UnboundedSize is the scheme-appropriate "runs past any window"
+	// flow size the Unbounded sentinel resolves to.
+	UnboundedSize int64
+}
+
+// Unbounded marks a traffic component's flow as endless background
+// traffic; launch resolves it to the scheme-appropriate size.
+const Unbounded int64 = -1
+
+// HostRef names a host relative to the fabric, so traffic components
+// stay valid across topology scales. The zero HostRef is unset — it
+// does not name host 0 — so forgetting a selector errors instead of
+// silently targeting the first host, and optional references (Span.To)
+// can tell "absent" from Host(0).
+type HostRef struct {
+	kind refKind
+	rack int
+	i    int
+}
+
+type refKind int
+
+const (
+	refUnset refKind = iota
+	refIndex
+	refFromEnd
+	refRackStart
+	refRackHost
+)
+
+// isSet reports whether the reference names anything.
+func (h HostRef) isSet() bool { return h.kind != refUnset }
+
+// Host references host i (absolute index).
+func Host(i int) HostRef { return HostRef{kind: refIndex, i: i} }
+
+// HostFromEnd references the i-th host from the end (1 = last host).
+func HostFromEnd(i int) HostRef { return HostRef{kind: refFromEnd, i: i} }
+
+// RackStart references the first host of rack r.
+func RackStart(r int) HostRef { return HostRef{kind: refRackStart, rack: r} }
+
+// RackHost references host i of rack r.
+func RackHost(r, i int) HostRef { return HostRef{kind: refRackHost, rack: r, i: i} }
+
+// Resolve returns the absolute host index of the reference.
+func (h HostRef) Resolve(f Fabric) (int, error) {
+	var idx int
+	switch h.kind {
+	case refUnset:
+		return 0, fmt.Errorf("scenario: unset host reference (use Host/HostFromEnd/RackStart/RackHost)")
+	case refIndex:
+		idx = h.i
+	case refFromEnd:
+		idx = f.Hosts - h.i
+	case refRackStart:
+		idx = h.rack * f.HostsPerRack
+	case refRackHost:
+		idx = h.rack*f.HostsPerRack + h.i
+	}
+	if idx < 0 || idx >= f.Hosts {
+		return 0, fmt.Errorf("scenario: host reference resolves to %d, fabric has %d hosts", idx, f.Hosts)
+	}
+	return idx, nil
+}
+
+// Span is a half-open host range [From, To). An unset To (the zero
+// HostRef) means end-of-hosts; an unset From makes the whole Span
+// absent.
+type Span struct {
+	From, To HostRef
+}
+
+// SwitchRef names a switch by its topology role, resolved against the
+// concrete topology (Leaf/Spine for leaf-spine, Tor/Agg/Core for
+// fat-tree, SwitchIndex anywhere).
+type SwitchRef struct {
+	kind switchKind
+	i    int
+}
+
+type switchKind int
+
+const (
+	swIndex switchKind = iota
+	swLeaf
+	swSpine
+	swTor
+	swAgg
+	swCore
+)
+
+// SwitchIndex references switch i of the built network directly.
+func SwitchIndex(i int) SwitchRef { return SwitchRef{kind: swIndex, i: i} }
+
+// Leaf references leaf switch i of a leaf-spine fabric.
+func Leaf(i int) SwitchRef { return SwitchRef{kind: swLeaf, i: i} }
+
+// Spine references spine switch i of a leaf-spine fabric.
+func Spine(i int) SwitchRef { return SwitchRef{kind: swSpine, i: i} }
+
+// Tor references ToR switch i of a fat-tree.
+func Tor(i int) SwitchRef { return SwitchRef{kind: swTor, i: i} }
+
+// Agg references aggregation switch i of a fat-tree.
+func Agg(i int) SwitchRef { return SwitchRef{kind: swAgg, i: i} }
+
+// Core references core switch i of a fat-tree.
+func Core(i int) SwitchRef { return SwitchRef{kind: swCore, i: i} }
+
+// Topology describes the fabric axis of a Scenario. Implementations
+// build the network and fill the Env's fabric metadata.
+type Topology interface {
+	build(env *Env) error
+}
+
+// resolveRouting turns a strategy name into a route.Strategy ("" keeps
+// the fabric's per-flow ECMP default).
+func resolveRouting(name string) (route.Strategy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	return route.StrategyByName(name)
+}
+
+// StarTopology is n hosts on one switch — the minimal shared-bottleneck
+// fabric (fairness, microbenchmarks).
+type StarTopology struct {
+	Hosts    int
+	HostRate units.BitRate // default 25 Gbps
+}
+
+func (t StarTopology) build(env *Env) error {
+	if t.Hosts < 2 {
+		return fmt.Errorf("scenario: star topology needs ≥2 hosts, got %d", t.Hosts)
+	}
+	if t.HostRate == 0 {
+		env.Lab = NewStarLab(env.Scheme, t.Hosts, env.Seed)
+	} else {
+		l := &Lab{Scheme: env.Scheme}
+		cfg := topo.StarConfig{Hosts: t.Hosts, HostRate: t.HostRate, Opts: l.labOpts(env.Seed, nil)}
+		cfg.Opts.Hosts = l.hostFactory(12 * sim.Microsecond)
+		l.Net = topo.Star(cfg)
+		l.wireCollectors()
+		env.Lab = l
+	}
+	env.Fabric = Fabric{
+		Hosts:         t.Hosts,
+		Racks:         1,
+		HostsPerRack:  t.Hosts,
+		UnboundedSize: env.Lab.UnboundedSize(),
+	}
+	return nil
+}
+
+func (t StarTopology) resolveSwitch(ref SwitchRef, env *Env) (int, error) {
+	if ref.kind != swIndex || ref.i != 0 {
+		return 0, fmt.Errorf("scenario: star topology has a single switch; use SwitchIndex(0)")
+	}
+	return 0, nil
+}
+
+// FatTreeTopology is the paper's §4.1 oversubscribed fat-tree scaled by
+// ServersPerTor (default 8; 32 is paper scale).
+type FatTreeTopology struct {
+	ServersPerTor int
+	// Routing selects the multipath strategy by name ("", "ecmp",
+	// "single", "wecmp"); empty keeps per-flow ECMP.
+	Routing string
+}
+
+func (t FatTreeTopology) build(env *Env) error {
+	strategy, err := resolveRouting(t.Routing)
+	if err != nil {
+		return err
+	}
+	spt := t.ServersPerTor
+	if spt == 0 {
+		spt = 8
+	}
+	env.Lab = NewRoutedFatTreeLab(env.Scheme, spt, env.Seed, strategy)
+	cfg := env.Lab.FTCfg
+	racks := cfg.Racks()
+	env.Fabric = Fabric{
+		Hosts:            racks * spt,
+		Racks:            racks,
+		HostsPerRack:     spt,
+		UplinkCapPerRack: units.BitRate(cfg.AggsPerPod) * cfg.FabricRate,
+		UnboundedSize:    env.Lab.UnboundedSize(),
+	}
+	return nil
+}
+
+func (t FatTreeTopology) resolveSwitch(ref SwitchRef, env *Env) (int, error) {
+	cfg := env.Lab.FTCfg
+	nTors := cfg.Racks()
+	nAggs := cfg.Pods * cfg.AggsPerPod
+	switch ref.kind {
+	case swIndex:
+		return ref.i, nil
+	case swTor:
+		if err := tierCheck("ToR", ref.i, nTors); err != nil {
+			return 0, err
+		}
+		return ref.i, nil
+	case swAgg:
+		if err := tierCheck("aggregation", ref.i, nAggs); err != nil {
+			return 0, err
+		}
+		return nTors + ref.i, nil
+	case swCore:
+		if err := tierCheck("core", ref.i, cfg.Cores); err != nil {
+			return 0, err
+		}
+		return nTors + nAggs + ref.i, nil
+	}
+	return 0, fmt.Errorf("scenario: switch reference not valid on a fat-tree (use Tor/Agg/Core/SwitchIndex)")
+}
+
+// tierCheck bounds a role-based switch reference to its tier, so an
+// overflowing index errors instead of silently naming a switch of the
+// next tier.
+func tierCheck(tier string, i, n int) error {
+	if i < 0 || i >= n {
+		return fmt.Errorf("scenario: %s switch %d out of range (fabric has %d)", tier, i, n)
+	}
+	return nil
+}
+
+// LeafSpineTopology is the two-tier Clos fabric, with optional per-spine
+// rate asymmetry.
+type LeafSpineTopology struct {
+	Leaves, Spines, ServersPerLeaf int
+	// SpineRates overrides the fabric rate per spine (asymmetric cores).
+	SpineRates []units.BitRate
+	// Routing selects the multipath strategy by name; empty keeps
+	// per-flow ECMP.
+	Routing string
+}
+
+func (t LeafSpineTopology) build(env *Env) error {
+	strategy, err := resolveRouting(t.Routing)
+	if err != nil {
+		return err
+	}
+	cfg := topo.LeafSpineConfig{
+		Leaves:         t.Leaves,
+		Spines:         t.Spines,
+		ServersPerLeaf: t.ServersPerLeaf,
+		SpineRates:     t.SpineRates,
+	}
+	env.Lab = NewLeafSpineLab(env.Scheme, cfg, env.Seed, strategy)
+	ls := env.Lab.LSCfg
+	var uplink units.BitRate
+	for sp := 0; sp < ls.Spines; sp++ {
+		uplink += ls.SpineRate(sp)
+	}
+	env.Fabric = Fabric{
+		Hosts:            ls.Leaves * ls.ServersPerLeaf,
+		Racks:            ls.Leaves,
+		HostsPerRack:     ls.ServersPerLeaf,
+		UplinkCapPerRack: uplink,
+		UnboundedSize:    env.Lab.UnboundedSize(),
+	}
+	return nil
+}
+
+func (t LeafSpineTopology) resolveSwitch(ref SwitchRef, env *Env) (int, error) {
+	ls := env.Lab.LSCfg
+	switch ref.kind {
+	case swIndex:
+		return ref.i, nil
+	case swLeaf:
+		if err := tierCheck("leaf", ref.i, ls.Leaves); err != nil {
+			return 0, err
+		}
+		return ls.LeafSwitch(ref.i), nil
+	case swSpine:
+		if err := tierCheck("spine", ref.i, ls.Spines); err != nil {
+			return 0, err
+		}
+		return ls.SpineSwitch(ref.i), nil
+	}
+	return 0, fmt.Errorf("scenario: switch reference not valid on a leaf-spine (use Leaf/Spine/SwitchIndex)")
+}
+
+// RotorTopology is the reconfigurable DCN of §5: Tors racks joined by a
+// rotating circuit switch plus a multi-hop packet network. The run
+// horizon is Weeks rotor weeks (Scenario.Until is ignored).
+type RotorTopology struct {
+	Tors, ServersPerTor int
+	PacketRate          units.BitRate
+	Weeks               int
+}
+
+func (t RotorTopology) build(env *Env) error {
+	if t.Weeks <= 0 {
+		return fmt.Errorf("scenario: rotor topology needs Weeks ≥ 1")
+	}
+	env.Rotor = rdcn.Build(rdcn.Config{
+		Tors:          t.Tors,
+		ServersPerTor: t.ServersPerTor,
+		PacketRate:    t.PacketRate,
+		Prebuffer:     env.Scheme.PrebufferFor,
+		INT:           true,
+	})
+	env.Horizon = sim.Time(sim.Duration(t.Weeks) * env.Rotor.Sched.Week())
+	env.Fabric = Fabric{
+		Hosts:         t.Tors * t.ServersPerTor,
+		Racks:         t.Tors,
+		HostsPerRack:  t.ServersPerTor,
+		UnboundedSize: transport.Unbounded, // rotor servers run the window transport
+	}
+	return nil
+}
+
+// switchResolver is implemented by topologies whose switches events can
+// reference.
+type switchResolver interface {
+	resolveSwitch(ref SwitchRef, env *Env) (int, error)
+}
+
+// LaunchedFlow records one launched transfer: the generated flow plus
+// the flow ID the transport assigned, in launch order. Probes use it to
+// follow per-flow progress.
+type LaunchedFlow struct {
+	workload.Flow
+	ID packet.FlowID
+}

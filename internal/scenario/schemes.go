@@ -1,4 +1,4 @@
-package exp
+package scenario
 
 import (
 	"fmt"
@@ -32,12 +32,12 @@ var (
 // duplicates so two packages cannot silently fight over a name.
 func RegisterScheme(name string, build SchemeFactory) error {
 	if name == "" || build == nil {
-		return fmt.Errorf("exp: RegisterScheme needs a name and a factory")
+		return fmt.Errorf("scenario: RegisterScheme needs a name and a factory")
 	}
 	schemeMu.Lock()
 	defer schemeMu.Unlock()
 	if _, dup := schemeExact[name]; dup {
-		return fmt.Errorf("exp: scheme %q already registered", name)
+		return fmt.Errorf("scenario: scheme %q already registered", name)
 	}
 	schemeExact[name] = build
 	return nil
@@ -48,12 +48,12 @@ func RegisterScheme(name string, build SchemeFactory) error {
 // the full name and parses its parameter.
 func RegisterSchemeFamily(prefix string, build SchemeFactory) error {
 	if prefix == "" || build == nil {
-		return fmt.Errorf("exp: RegisterSchemeFamily needs a prefix and a factory")
+		return fmt.Errorf("scenario: RegisterSchemeFamily needs a prefix and a factory")
 	}
 	schemeMu.Lock()
 	defer schemeMu.Unlock()
 	if _, dup := schemeFamilies[prefix]; dup {
-		return fmt.Errorf("exp: scheme family %q already registered", prefix)
+		return fmt.Errorf("scenario: scheme family %q already registered", prefix)
 	}
 	schemeFamilies[prefix] = build
 	return nil
@@ -107,7 +107,7 @@ func lookupScheme(name string) (SchemeFactory, error) {
 			return build, nil
 		}
 	}
-	return nil, fmt.Errorf("exp: unknown scheme %q (known: %s, plus the homa-oc<N> and retcp-<µs> families)",
+	return nil, fmt.Errorf("scenario: unknown scheme %q (known: %s, plus the homa-oc<N> and retcp-<µs> families)",
 		name, strings.Join(schemeNamesLocked(), ", "))
 }
 
@@ -138,10 +138,10 @@ func (s *Scheme) materialize() {
 func Gamma(g float64) SchemeOption {
 	return func(s *Scheme) error {
 		if s.Kind != KindPowerTCP && s.Kind != KindTheta {
-			return fmt.Errorf("exp: γ override does not apply to scheme %q", s.Name)
+			return fmt.Errorf("scenario: γ override does not apply to scheme %q", s.Name)
 		}
 		if g <= 0 || g > 1 {
-			return fmt.Errorf("exp: γ = %v out of (0,1]", g)
+			return fmt.Errorf("scenario: γ = %v out of (0,1]", g)
 		}
 		s.Gamma = g
 		return nil
@@ -153,7 +153,7 @@ func Gamma(g float64) SchemeOption {
 func PerRTT(on bool) SchemeOption {
 	return func(s *Scheme) error {
 		if s.Kind != KindPowerTCP && s.Kind != KindTheta {
-			return fmt.Errorf("exp: per-RTT updates do not apply to scheme %q", s.Name)
+			return fmt.Errorf("scenario: per-RTT updates do not apply to scheme %q", s.Name)
 		}
 		s.PerRTT = on
 		return nil
@@ -165,7 +165,7 @@ func PerRTT(on bool) SchemeOption {
 func Alpha(a float64) SchemeOption {
 	return func(s *Scheme) error {
 		if a <= 0 {
-			return fmt.Errorf("exp: DT α = %v must be positive", a)
+			return fmt.Errorf("scenario: DT α = %v must be positive", a)
 		}
 		s.DTAlpha = a
 		return nil
@@ -176,10 +176,10 @@ func Alpha(a float64) SchemeOption {
 func Overcommit(n int) SchemeOption {
 	return func(s *Scheme) error {
 		if s.Kind != KindHoma {
-			return fmt.Errorf("exp: overcommitment does not apply to scheme %q", s.Name)
+			return fmt.Errorf("scenario: overcommitment does not apply to scheme %q", s.Name)
 		}
 		if n < 1 {
-			return fmt.Errorf("exp: overcommit %d must be ≥1", n)
+			return fmt.Errorf("scenario: overcommit %d must be ≥1", n)
 		}
 		s.Overcommit = n
 		return nil
@@ -190,10 +190,10 @@ func Overcommit(n int) SchemeOption {
 func Prebuffer(d sim.Duration) SchemeOption {
 	return func(s *Scheme) error {
 		if s.Kind != KindReTCP {
-			return fmt.Errorf("exp: prebuffering does not apply to scheme %q", s.Name)
+			return fmt.Errorf("scenario: prebuffering does not apply to scheme %q", s.Name)
 		}
 		if d <= 0 {
-			return fmt.Errorf("exp: prebuffer %v must be positive", d)
+			return fmt.Errorf("scenario: prebuffer %v must be positive", d)
 		}
 		s.PrebufferFor = d
 		return nil
@@ -222,11 +222,11 @@ func init() {
 	if err := RegisterSchemeFamily("homa-oc", func(name string) (Scheme, error) {
 		n, err := strconv.Atoi(strings.TrimPrefix(name, "homa-oc"))
 		if err != nil {
-			return Scheme{}, fmt.Errorf("exp: malformed HOMA overcommit scheme %q", name)
+			return Scheme{}, fmt.Errorf("scenario: malformed HOMA overcommit scheme %q", name)
 		}
 		s := Scheme{Kind: KindHoma, PrioQueues: true}
 		if err := Overcommit(n)(&s); err != nil {
-			return Scheme{}, fmt.Errorf("exp: scheme %q: %w", name, err)
+			return Scheme{}, fmt.Errorf("scenario: scheme %q: %w", name, err)
 		}
 		return s, nil
 	}); err != nil {
@@ -237,11 +237,11 @@ func init() {
 	if err := RegisterSchemeFamily("retcp-", func(name string) (Scheme, error) {
 		us, err := strconv.Atoi(strings.TrimPrefix(name, "retcp-"))
 		if err != nil {
-			return Scheme{}, fmt.Errorf("exp: malformed reTCP scheme %q", name)
+			return Scheme{}, fmt.Errorf("scenario: malformed reTCP scheme %q", name)
 		}
 		s := Scheme{Kind: KindReTCP}
 		if err := Prebuffer(sim.Duration(us) * sim.Microsecond)(&s); err != nil {
-			return Scheme{}, fmt.Errorf("exp: scheme %q: %w", name, err)
+			return Scheme{}, fmt.Errorf("scenario: scheme %q: %w", name, err)
 		}
 		return s, nil
 	}); err != nil {

@@ -342,6 +342,12 @@ func FatTree(cfg FatTreeConfig) *Network {
 	return n
 }
 
+// Racks returns the rack (ToR) count of the configured fat-tree.
+func (c FatTreeConfig) Racks() int {
+	c.fillDefaults()
+	return c.Pods * c.TorsPerPod
+}
+
 // TorOf returns the ToR switch index serving host hi in a FatTree built
 // with the given config.
 func TorOf(cfg FatTreeConfig, hi int) int {

@@ -41,6 +41,10 @@ func (r BitRate) String() string {
 // BytesPerSec returns the rate in bytes per second as a float.
 func (r BitRate) BytesPerSec() float64 { return float64(r) / 8 }
 
+// InGbps returns the rate in gigabits per second as a float — the unit
+// figures and probes report in.
+func (r BitRate) InGbps() float64 { return float64(r) / float64(Gbps) }
+
 // TxTime returns the time to serialize n bytes onto a link of rate r.
 // For rates that are whole Mbps the result is exact integer math
 // (n·8·10⁶ ps-bits divided by the rate in Mbps); otherwise it falls back

@@ -213,3 +213,18 @@ func (ic *Incast) Generate(horizon sim.Duration) []Flow {
 		}
 	}
 }
+
+// Permutation derives a fixed-point-free host permutation from the
+// seed: every host sends to exactly one host and receives from exactly
+// one — the canonical multipath stress pattern.
+func Permutation(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed ^ 0x5EED_0F_9E37))
+	p := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		if p[i] == i { // break fixed points deterministically
+			j := (i + 1) % n
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	return p
+}

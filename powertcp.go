@@ -8,6 +8,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/rdcn"
 	"repro/internal/route"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -232,6 +233,79 @@ const (
 	SchemeReTCP600      = exp.ReTCP600
 	SchemeReTCP1800     = exp.ReTCP1800
 )
+
+// Composable scenario API (internal/scenario): an experiment is a
+// Scenario value with four orthogonal axes — Topology × Traffic ×
+// Events × Probes — executed by the generic RunScenario. The registered
+// experiments above are presets over this layer; compose new scenarios
+// (mixed traffic-class schemes, bursts during failovers, load steps)
+// directly from these values instead of writing runner code.
+type (
+	// Scenario is the declarative experiment value.
+	Scenario = scenario.Scenario
+	// ScenarioFabric is the topology metadata traffic selectors resolve
+	// against; ScenarioEnv is the built run probes observe.
+	ScenarioFabric = scenario.Fabric
+	ScenarioEnv    = scenario.Env
+	// Traffic, ScenarioEvent and Probe are the per-axis element
+	// interfaces; Timeline carries events plus reconvergence delay.
+	Traffic       = scenario.Traffic
+	ScenarioEvent = scenario.Event
+	Probe         = scenario.Probe
+	Timeline      = scenario.Timeline
+	// Host/switch selectors keep scenarios valid across fabric scales.
+	HostRef   = scenario.HostRef
+	SwitchRef = scenario.SwitchRef
+	HostSpan  = scenario.Span
+	FlowSpec  = scenario.FlowSpec
+
+	// Topology axis.
+	StarTopology      = scenario.StarTopology
+	FatTreeTopology   = scenario.FatTreeTopology
+	LeafSpineTopology = scenario.LeafSpineTopology
+	RotorTopology     = scenario.RotorTopology
+
+	// Traffic axis.
+	Flows              = scenario.Flows
+	IncastPulse        = scenario.IncastPulse
+	Staggered          = scenario.Staggered
+	PoissonLoad        = scenario.PoissonLoad
+	IncastRequests     = scenario.IncastRequests
+	PermutationTraffic = scenario.Permutation
+	RackPairs          = scenario.RackPairs
+	CustomTraffic      = scenario.Custom
+
+	// Events axis.
+	LinkFail      = scenario.LinkFail
+	LinkRestore   = scenario.LinkRestore
+	InjectTraffic = scenario.InjectTraffic
+
+	// Probes axis.
+	GoodputProbe = scenario.GoodputProbe
+	QueueProbe   = scenario.QueueProbe
+	FCTProbe     = scenario.FCTProbe
+	CwndProbe    = scenario.CwndProbe
+)
+
+// Scenario entry points and selectors.
+var (
+	RunScenario       = scenario.Run
+	TrafficWithScheme = scenario.WithScheme
+	Host              = scenario.Host
+	HostFromEnd       = scenario.HostFromEnd
+	RackStart         = scenario.RackStart
+	RackHost          = scenario.RackHost
+	SwitchIndex       = scenario.SwitchIndex
+	Leaf              = scenario.Leaf
+	Spine             = scenario.Spine
+	Tor               = scenario.Tor
+	Agg               = scenario.Agg
+	Core              = scenario.Core
+)
+
+// UnboundedFlowSize marks a scenario flow as endless background
+// traffic; launch resolves it to the scheme-appropriate size.
+const UnboundedFlowSize = scenario.Unbounded
 
 // Fluid model (Figures 2–3 and Theorems 1–2).
 type (
