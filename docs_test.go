@@ -1,12 +1,15 @@
 package powertcp_test
 
 // The docs gate: CI runs `go test -run TestDocs .` so the front-door
-// documentation cannot rot. It enforces two properties:
+// documentation cannot rot. It enforces three properties:
 //
-//  1. Every package under internal/ (and the root package) carries a
-//     godoc package comment.
+//  1. Every package under internal/ and cmd/ (and the root package)
+//     carries a godoc package comment.
 //  2. Every Go snippet in README.md parses, and every `powertcp.X`
 //     identifier it references is actually exported by the root package.
+//  3. Every `go run ./cmd/...` command in README.md or PERF.md points
+//     at a real main package, and every cmd/ directory is mentioned in
+//     the README.
 
 import (
 	"go/ast"
@@ -53,7 +56,14 @@ func TestDocsInternalPackagesHaveGodoc(t *testing.T) {
 	if len(dirs) < 10 {
 		t.Fatalf("found only %d internal packages — wrong working directory?", len(dirs))
 	}
-	check := append(dirs, ".")
+	cmds, err := filepath.Glob("cmd/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("found no cmd packages — wrong working directory?")
+	}
+	check := append(append(dirs, cmds...), ".")
 	for _, dir := range check {
 		info, err := os.Stat(dir)
 		if err != nil || !info.IsDir() {
@@ -158,10 +168,30 @@ func TestDocsReadmeSnippetsBuild(t *testing.T) {
 		})
 	}
 
-	// Shell snippets: every `go run ./cmd/...` target must exist.
-	for _, m := range regexp.MustCompile(`go run (\./cmd/[a-z]+)`).FindAllStringSubmatch(string(readme), -1) {
-		if _, err := os.Stat(m[1]); err != nil {
-			t.Errorf("README references %s, which does not exist", m[1])
+	// Shell snippets: every `go run ./cmd/...` target mentioned in the
+	// front-door docs must exist.
+	goRunRE := regexp.MustCompile(`go run (\./cmd/[a-z]+)`)
+	for _, doc := range []string{"README.md", "PERF.md"} {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range goRunRE.FindAllStringSubmatch(string(body), -1) {
+			if _, err := os.Stat(m[1]); err != nil {
+				t.Errorf("%s references %s, which does not exist", doc, m[1])
+			}
+		}
+	}
+
+	// And the reverse: every command under cmd/ must be documented in
+	// the README, so new tools (powervet included) stay discoverable.
+	cmds, err := filepath.Glob("cmd/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range cmds {
+		if !strings.Contains(string(readme), dir) {
+			t.Errorf("README.md never mentions %s — document what it is for", dir)
 		}
 	}
 }

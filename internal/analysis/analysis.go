@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one powervet check. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis.Analyzer so the checks can be
+// lifted onto the real multichecker unchanged once x/tools is
+// available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("detrange").
+	Name string
+	// Doc is the one-paragraph description printed by `powervet -list`.
+	Doc string
+	// Directive is the suppression word: a `//powervet:<Directive>
+	// <reason>` comment on (or directly above) a flagged line silences
+	// the finding. The reason is mandatory.
+	Directive string
+	// Run reports findings on one type-checked package via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed is true when the site carries a justified powervet
+	// directive; Reason holds the justification. Suppressed findings do
+	// not fail the gate but are listed by `powervet -v`.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int]directive // filename → line → directive
+}
+
+type directive struct {
+	name   string
+	reason string
+}
+
+var directiveRE = regexp.MustCompile(`^//powervet:([a-z]+)(?:\s+(.*))?$`)
+
+// buildDirectives indexes every //powervet: comment by file and line.
+func (p *Pass) buildDirectives() {
+	p.directives = map[string]map[int]directive{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]directive{}
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = directive{name: m[1], reason: strings.TrimSpace(m[2])}
+			}
+		}
+	}
+}
+
+// directiveFor returns the directive governing pos: one on the same
+// line (trailing comment) or on the line directly above (own-line
+// comment).
+func (p *Pass) directiveFor(pos token.Position) (directive, bool) {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	byLine := p.directives[pos.Filename]
+	if byLine == nil {
+		return directive{}, false
+	}
+	if d, ok := byLine[pos.Line]; ok {
+		return d, true
+	}
+	d, ok := byLine[pos.Line-1]
+	return d, ok
+}
+
+// Reportf records a finding at pos. If the site carries the analyzer's
+// suppression directive with a justification, the finding is recorded
+// as suppressed; a directive without a justification does not suppress
+// and is itself called out, so the tree can never accumulate
+// unexplained escapes.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	if dir, ok := p.directiveFor(position); ok && dir.name == p.Analyzer.Directive {
+		if dir.reason != "" {
+			d.Suppressed = true
+			d.Reason = dir.reason
+		} else {
+			d.Message += fmt.Sprintf(" (//powervet:%s needs a justification)", dir.name)
+		}
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Diagnostics returns the findings in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// Run executes one analyzer over a loaded package and returns its
+// findings.
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	a.Run(pass)
+	return pass.Diagnostics()
+}
+
+// All returns the full powervet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrange, Simclock, Pooluse, Resultorder}
+}
+
+// calleeFunc resolves the called package-level function or method for a
+// call expression, or nil when the callee is not a known func object
+// (builtin, conversion, function-typed variable).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and method expressions on unnamed types).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvNamed returns the named type of fn's receiver (dereferencing one
+// pointer), or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// usedObject resolves an identifier expression to its object, looking
+// through parentheses. Only plain identifiers resolve; selector bases
+// and index expressions return nil.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader parses and type-checks packages from source. One loader
+// shares a file set and a source importer across Load calls, so a
+// dependency is type-checked once per process no matter how many
+// targets import it.
+//
+// Type checking resolves imports with the standard library's source
+// importer, which requires running inside the module (cmd/powervet and
+// the tests both do) — that keeps the framework dependency-free in an
+// offline build environment.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader with a fresh file set and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses every non-test Go file in dir and type-checks the result
+// as importPath.
+func (l *Loader) Load(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// A ListedPackage is one `go list` result.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+}
+
+// GoList expands package patterns ("./...") into import paths and
+// directories by shelling out to the go command, exactly as `go vet`
+// would.
+func GoList(patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	var pkgs []ListedPackage
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		pkgs = append(pkgs, ListedPackage{ImportPath: path, Dir: dir})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import "strings"
+
+// modulePath is the import-path prefix of this module.
+const modulePath = "repro"
+
+// SimPathPackages names every internal package on the simulation path —
+// the code whose execution order, clock reads and RNG draws feed the
+// fixed-seed ⇒ byte-identical-output guarantee. All four analyzers run
+// over these. The meta-test in packages_test.go pins this list to the
+// actual contents of internal/: a new internal package must be added
+// here or to ExcludedPackages with a written reason, never silently
+// skipped.
+var SimPathPackages = []string{
+	"buffer",    // Dynamic-Thresholds admission — decides drops
+	"cc",        // congestion-control baselines — per-ACK control flow
+	"core",      // PowerTCP / θ-PowerTCP laws — the paper's algorithms
+	"exp",       // experiment registry + suite fan-out feeding Result encoders
+	"fluid",     // RK4 fluid model — deterministic integration
+	"homa",      // HOMA transport — grants, resends
+	"link",      // ports, serialization, delivery ordering
+	"monitor",   // taps and captures embedded in golden outputs
+	"packet",    // packet struct + pool — recycling must not alter output
+	"queue",     // FIFO rings on the hot path
+	"rdcn",      // reconfigurable-DCN schedule + reTCP
+	"route",     // ECMP/WCMP tables, BFS rebuilds, failure events
+	"scenario",  // Topology×Traffic×Events×Probes execution + Result envelope
+	"sim",       // the event engine itself — the clock everyone must use
+	"stats",     // distributions/series aggregated into results
+	"swtch",     // switch forwarding, hash-based path choice
+	"telemetry", // INT hop records carried in packets
+	"topo",      // fabric construction — wiring order fixes IDs
+	"transport", // flows, hosts, pacing, RTO
+	"units",     // bitrate/size arithmetic used in every computation
+	"wire",      // packet serialization — byte layout of the deployment path
+	"workload",  // seeded traffic generators — the RNG discipline lives here
+}
+
+// ExcludedPackages maps internal packages that are deliberately outside
+// the simulation-path determinism contract to the reason why. Every
+// exclusion must carry a reason; the meta-test enforces that the union
+// of SimPathPackages and ExcludedPackages is exactly the set of
+// internal packages.
+var ExcludedPackages = map[string]string{
+	// livenet is the real-network deployment path: wall-clock
+	// timestamps, kernel sockets and OS scheduling are the point of the
+	// package (the paper's §3.6 run over loopback), so simclock's
+	// engine-clock rule cannot apply. Its inherent timing variance is
+	// why its adaptation test is gated behind POWERTCP_LIVENET=1 — the
+	// same boundary, enforced once at the package level here instead of
+	// per call site.
+	"livenet": "real-network path: wall clock and kernel sockets are the point; runtime counterpart gated by POWERTCP_LIVENET=1",
+	// The linter does not lint itself: analysis runs at development
+	// time, never inside a simulation.
+	"analysis": "powervet's own implementation; not simulation code",
+}
+
+// IsSimPath reports whether importPath is a simulation-path package
+// subject to the full analyzer suite.
+func IsSimPath(importPath string) bool {
+	rel, ok := strings.CutPrefix(importPath, modulePath+"/internal/")
+	if !ok {
+		return false
+	}
+	for _, p := range SimPathPackages {
+		if rel == p {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOutputPath reports whether importPath produces user-visible output
+// from simulation results (the root package and the cmd tools). These
+// run the ordering analyzers (detrange, resultorder, pooluse) so that
+// encoders stay byte-deterministic, but not simclock: a CLI may
+// legitimately read the wall clock for progress reporting.
+func IsOutputPath(importPath string) bool {
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/cmd/")
+}
+
+// AnalyzersFor returns the analyzers that apply to importPath, nil when
+// the package is out of scope.
+func AnalyzersFor(importPath string) []*Analyzer {
+	switch {
+	case IsSimPath(importPath):
+		return All()
+	case IsOutputPath(importPath):
+		return []*Analyzer{Detrange, Pooluse, Resultorder}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Resultorder enforces the collect-then-sort discipline that keeps the
+// Result envelope and every encoder byte-deterministic: a slice whose
+// contents were collected from map iteration (`for k := range m { ks =
+// append(ks, k) }` or `slices.Collect(maps.Keys(m))`) carries the map's
+// randomized order, so it must pass through a sort before it is ranged
+// over, indexed, or handed to any other function.
+//
+// Detrange deliberately allows the collection loop itself (appending is
+// the sanctioned way out of a map range); this analyzer closes the
+// loop by tracking the collected slice to its first consumer within the
+// same statement list. A sort call — sort.Strings/Ints/Float64s/Slice/
+// SliceStable/Sort or slices.Sort/SortFunc/SortStableFunc — clears the
+// taint; any other consumer first is a finding.
+var Resultorder = &Analyzer{
+	Name:      "resultorder",
+	Doc:       "requires map-derived slices to be sorted before use in encoders and Result envelopes",
+	Directive: "ordered",
+	Run:       runResultorder,
+}
+
+func runResultorder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkOrderList(pass, n.List)
+			case *ast.CaseClause:
+				checkOrderList(pass, n.Body)
+			case *ast.CommClause:
+				checkOrderList(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkOrderList scans one statement list for map-derived slices and
+// their consumers.
+func checkOrderList(pass *Pass, list []ast.Stmt) {
+	tainted := map[types.Object]token.Pos{} // slice object → collection site
+	for _, st := range list {
+		// Consumption first: a statement may both consume and retaint.
+		if len(tainted) > 0 {
+			reportUnsortedUses(pass, st, tainted)
+		}
+		switch st := st.(type) {
+		case *ast.RangeStmt:
+			// for k[, v] := range m { s = append(s, ...) } taints s.
+			if isMapType(pass.Info.Types[st.X].Type) {
+				for _, inner := range st.Body.List {
+					if obj := collectedSlice(pass.Info, inner); obj != nil {
+						tainted[obj] = st.Pos()
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// s := slices.Collect(maps.Keys(m)) taints s.
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+				if isUnorderedCollect(pass.Info, st.Rhs[0]) {
+					if obj := usedObject(pass.Info, st.Lhs[0]); obj != nil {
+						tainted[obj] = st.Pos()
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectedSlice returns the object of s when stmt has the form
+// s = append(s, ...), else nil.
+func collectedSlice(info *types.Info, stmt ast.Stmt) types.Object {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+		return nil
+	}
+	return usedObject(info, as.Lhs[0])
+}
+
+// isUnorderedCollect reports whether e is slices.Collect over an
+// unordered maps iterator.
+func isUnorderedCollect(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "slices" || fn.Name() != "Collect" || len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ifn := calleeFunc(info, inner)
+	if ifn == nil || funcPkgPath(ifn) != "maps" {
+		return false
+	}
+	switch ifn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
+}
+
+// sortFuncs maps (package, function) pairs that establish order on
+// their first argument.
+var sortFuncs = map[[2]string]bool{
+	{"sort", "Strings"}:          true,
+	{"sort", "Ints"}:             true,
+	{"sort", "Float64s"}:         true,
+	{"sort", "Slice"}:            true,
+	{"sort", "SliceStable"}:      true,
+	{"sort", "Sort"}:             true,
+	{"sort", "Stable"}:           true,
+	{"slices", "Sort"}:           true,
+	{"slices", "SortFunc"}:       true,
+	{"slices", "SortStableFunc"}: true,
+}
+
+// reportUnsortedUses clears taint on sort calls and flags any other use
+// of a tainted slice in st.
+func reportUnsortedUses(pass *Pass, st ast.Stmt, tainted map[types.Object]token.Pos) {
+	// Sort calls clear the taint before the use scan.
+	sortedHere := map[*ast.Ident]bool{}
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || len(call.Args) == 0 {
+			return true
+		}
+		if !sortFuncs[[2]string{funcPkgPath(fn), fn.Name()}] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// sort.Sort(byX(s)) wraps the slice in a conversion; unwrap one
+		// call/conversion layer.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := usedObject(pass.Info, id); obj != nil {
+				if _, ok := tainted[obj]; ok {
+					delete(tainted, obj)
+					sortedHere[id] = true
+				}
+			}
+		}
+		return true
+	})
+	// Benign mentions: growing the collection further with another
+	// s = append(s, ...) anywhere in st (e.g. a second collection
+	// loop), and order-blind len/cap reads.
+	benign := map[*ast.Ident]bool{}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case ast.Stmt:
+			if obj := collectedSlice(pass.Info, n); obj != nil {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && usedObject(pass.Info, id) == obj {
+						benign[id] = true
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && pass.Info.Uses[id] == types.Universe.Lookup(id.Name) {
+				for _, arg := range n.Args {
+					if aid, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						benign[aid] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(st, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sortedHere[id] || benign[id] {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if site, ok := tainted[obj]; ok {
+			pass.Reportf(id.Pos(), "map-derived slice %s (collected at line %d) used without a sort — its order is the map's randomized iteration order",
+				obj.Name(), pass.Fset.Position(site).Line)
+			delete(tainted, obj)
+		}
+		return true
+	})
+}

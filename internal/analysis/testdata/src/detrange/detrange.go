@@ -1,0 +1,138 @@
+// Package detrange is the analysistest fixture for the detrange
+// analyzer: positive hits, allowlisted order-insensitive bodies, and
+// //powervet:ordered suppressions.
+package detrange
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// orderSensitive ranges over a map with a side-effecting body.
+func orderSensitive(m map[string]int) {
+	for k := range m { // want "order-sensitive range over map"
+		fmt.Println(k)
+	}
+}
+
+// counting is allowlisted: integer counting is commutative.
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// intSum is allowlisted: integer accumulation is commutative.
+func intSum(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum stays flagged: float addition is not associative, so the
+// rounding depends on iteration order.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "order-sensitive range over map"
+		total += v
+	}
+	return total
+}
+
+// keyedTransfer is allowlisted: each key writes its own slot.
+func keyedTransfer(m map[int]string, out []string) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// computedIndex stays flagged: k%3 collides across keys.
+func computedIndex(m map[int]string, out []string) {
+	for k, v := range m { // want "order-sensitive range over map"
+		out[k%3] = v
+	}
+}
+
+// accumulatorFeed stays flagged: the keyed write reads a counter the
+// body mutates, so the written values depend on visit order.
+func accumulatorFeed(m map[int]string, out []int) {
+	i := 0
+	for k := range m { // want "order-sensitive range over map"
+		i++
+		out[k] = i
+	}
+}
+
+// collectThenSort is allowlisted here; the resultorder analyzer owns
+// the follow-up obligation that keys is sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// latch is allowlisted: every write stores the same constant.
+func latch(m map[string]int) bool {
+	seen := false
+	for range m {
+		seen = true
+	}
+	return seen
+}
+
+// anyNegative is allowlisted: guarded latch plus break.
+func anyNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// unorderedKeys stays flagged: maps.Keys yields in random order.
+func unorderedKeys(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want "unordered maps.Keys iterator"
+}
+
+// sortedKeys is allowlisted: the iterator flows straight into a sort.
+func sortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// justified carries a suppression with a reason: recorded, not failed.
+func justified(m map[string]int) {
+	//powervet:ordered fixture justification: sink is order-blind
+	for k := range m { // suppressed "order-sensitive range over map"
+		fmt.Println(k)
+	}
+}
+
+// unjustified carries a bare directive: not silenced, and the message
+// says why.
+func unjustified(m map[string]int) {
+	//powervet:ordered
+	for k := range m { // want "needs a justification"
+		fmt.Println(k)
+	}
+}
+
+// deletion is allowlisted: delete is order-insensitive by construction.
+func deletion(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

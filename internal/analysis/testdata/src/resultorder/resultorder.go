@@ -1,0 +1,106 @@
+// Package resultorder is the analysistest fixture for the resultorder
+// analyzer: map-derived slices must be sorted before they are consumed.
+package resultorder
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// unsortedRange iterates a collected key slice in map order.
+func unsortedRange(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys { // want `map-derived slice keys .* used without a sort`
+		fmt.Println(k, m[k])
+	}
+}
+
+// sortedRange is the sanctioned collect-then-sort pattern.
+func sortedRange(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// passedToEncoder hands the unsorted slice to another function.
+func passedToEncoder(m map[string]float64) {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	fmt.Println(names) // want `map-derived slice names .* used without a sort`
+}
+
+// collectedIterator tracks slices.Collect(maps.Keys(m)) the same way.
+func collectedIterator(m map[string]int) {
+	ks := slices.Collect(maps.Keys(m))
+	fmt.Println(ks) // want `map-derived slice ks .* used without a sort`
+}
+
+// collectedIteratorSorted is clean.
+func collectedIteratorSorted(m map[string]int) {
+	ks := slices.Collect(maps.Keys(m))
+	slices.Sort(ks)
+	fmt.Println(ks)
+}
+
+// lenIsOrderBlind: len/cap reads and further appends are not
+// consumption; the sort before the real consumer keeps this clean.
+func lenIsOrderBlind(m1, m2 map[string]int) []string {
+	var keys []string
+	for k := range m1 {
+		keys = append(keys, k)
+	}
+	for k := range m2 {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// returnedUnsorted escapes the function in map order.
+func returnedUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want `map-derived slice keys .* used without a sort`
+}
+
+// sortFuncAlsoCounts: any registered sort establishes order.
+func sortFuncAlsoCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b string) int {
+		if a < b {
+			return -1
+		}
+		return 1
+	})
+	return keys
+}
+
+// justified carries a suppression with a reason: recorded, not failed.
+func justified(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	//powervet:ordered fixture justification: consumer deduplicates into a set
+	return keys // suppressed `map-derived slice keys .* used without a sort`
+}

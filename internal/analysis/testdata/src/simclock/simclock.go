@@ -1,0 +1,53 @@
+// Package simclock is the analysistest fixture for the simclock
+// analyzer: wall-clock reads, global randomness, the sanctioned seeded
+// patterns, and //powervet:clock suppressions.
+package simclock
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// wallClock reads the wall clock three ways.
+func wallClock(start time.Time) time.Duration {
+	now := time.Now()       // want `time\.Now on the simulation path`
+	_ = time.Since(start)   // want `time\.Since on the simulation path`
+	time.Sleep(time.Second) // want `time\.Sleep on the simulation path`
+	_ = time.Until(now)     // want `time\.Until on the simulation path`
+	return time.Millisecond // constants are fine: no clock is read
+}
+
+// globalRand draws from the process-global generators.
+func globalRand() int {
+	_ = rand.Float64()   // want `global rand\.Float64 on the simulation path`
+	_ = randv2.IntN(10)  // want `global rand\.IntN on the simulation path`
+	rand.Shuffle(1, nil) // want `global rand\.Shuffle on the simulation path`
+	return rand.Intn(10) // want `global rand\.Intn on the simulation path`
+}
+
+// seeded is the sanctioned pattern: explicit source, per-run seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// methodsOnValues are fine: time.Time/Duration arithmetic reads no
+// clock.
+func methodsOnValues(t time.Time, d time.Duration) float64 {
+	_ = t.Add(d)
+	return d.Seconds()
+}
+
+// shadowed is fine: a local variable may be named like the package.
+func shadowed() int {
+	type fakeRand struct{ n int }
+	rand := fakeRand{n: 4}
+	return rand.n
+}
+
+// justified carries a suppression with a reason: recorded, not failed.
+func justified() time.Time {
+	//powervet:clock fixture justification: diagnostic print only
+	return time.Now() // suppressed `time\.Now on the simulation path`
+}

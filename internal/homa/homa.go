@@ -163,6 +163,7 @@ func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
 // ReceivedBytes returns payload bytes received for one flow.
 func (h *Host) ReceivedBytes(flow packet.FlowID) int64 {
 	var n int64
+	//powervet:ordered commutative int64 sum over a pure accessor; no output ordering depends on visit order
 	for _, m := range h.recvQ {
 		if m.flow == flow {
 			n += m.received()

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildResult populates a Result with scalars inserted in the given
+// order; the encoded bytes must not depend on it.
+func buildResult(names []string) *Result {
+	r := &Result{Experiment: "incast", Scheme: "powertcp", Seed: 7, Label: "demo"}
+	for i, n := range names {
+		r.SetScalar(n, float64(i)*1.5+0.25)
+	}
+	r.AddSeries(Series{
+		Name: "queue_kb", XLabel: "time_us",
+		Points: []SeriesPoint{{X: 0, V: 1}, {X: 20, V: 2.5}},
+	})
+	return r
+}
+
+// TestResultEncodingByteDeterministic is the regression test behind the
+// resultorder analyzer: encoding the same Result twice — and encoding
+// two Results whose scalar maps were populated in different orders —
+// must produce identical bytes, for both encoders. A map-ordering leak
+// in either encoder shows up here without needing a full golden run.
+func TestResultEncodingByteDeterministic(t *testing.T) {
+	forward := buildResult([]string{"avg_goodput_gbps", "engine_steps", "peak_queue_kb", "p99_fct_us"})
+	// Same scalars, reversed insertion order: the map's internal layout
+	// (and therefore its iteration order) differs.
+	backward := buildResult([]string{"p99_fct_us", "peak_queue_kb", "engine_steps", "avg_goodput_gbps"})
+	// Note buildResult derives values from insertion position; align them.
+	for n := range backward.Scalars {
+		backward.Scalars[n] = forward.Scalars[n]
+	}
+
+	type encoder struct {
+		name   string
+		encode func(*Result, *bytes.Buffer) error
+	}
+	encoders := []encoder{
+		{"json", func(r *Result, b *bytes.Buffer) error { return r.EncodeJSON(b) }},
+		{"tsv", func(r *Result, b *bytes.Buffer) error { return r.EncodeTSV(b) }},
+	}
+	for _, enc := range encoders {
+		var first, second, other bytes.Buffer
+		if err := enc.encode(forward, &first); err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if err := enc.encode(forward, &second); err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if err := enc.encode(backward, &other); err != nil {
+			t.Fatalf("%s: %v", enc.name, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: encoding the same Result twice produced different bytes", enc.name)
+		}
+		if !bytes.Equal(first.Bytes(), other.Bytes()) {
+			t.Errorf("%s: scalar insertion order leaked into the encoding:\n%s\nvs\n%s",
+				enc.name, first.Bytes(), other.Bytes())
+		}
+	}
+}
+
+// TestResultSetEncodingByteDeterministic covers the suite-level
+// encoders the figure pipeline uses.
+func TestResultSetEncodingByteDeterministic(t *testing.T) {
+	rs := []*Result{
+		buildResult([]string{"a", "b", "c"}),
+		buildResult([]string{"c", "b", "a"}),
+	}
+	var first, second bytes.Buffer
+	if err := EncodeJSONResults(&first, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeJSONResults(&second, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("EncodeJSONResults is not byte-deterministic")
+	}
+	first.Reset()
+	second.Reset()
+	if err := EncodeTSVResults(&first, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTSVResults(&second, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("EncodeTSVResults is not byte-deterministic")
+	}
+}

@@ -102,9 +102,16 @@ func lookupScheme(name string) (SchemeFactory, error) {
 	if build, ok := schemeExact[name]; ok {
 		return build, nil
 	}
-	for prefix, build := range schemeFamilies {
+	// Match families in sorted prefix order: if a name ever matches two
+	// prefixes, the winner must not depend on map iteration order.
+	prefixes := make([]string, 0, len(schemeFamilies))
+	for prefix := range schemeFamilies {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
 		if strings.HasPrefix(name, prefix) {
-			return build, nil
+			return schemeFamilies[prefix], nil
 		}
 	}
 	return nil, fmt.Errorf("scenario: unknown scheme %q (known: %s, plus the homa-oc<N> and retcp-<µs> families)",

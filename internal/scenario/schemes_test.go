@@ -1,0 +1,43 @@
+package scenario
+
+import "testing"
+
+// TestSchemeFamilyMatchDeterministic pins the fix for a latent
+// map-iteration bug powervet's detrange analyzer found: family lookup
+// used to range over the schemeFamilies map, so a name matching two
+// prefixes would resolve to whichever the runtime visited first.
+// Prefixes are now tried in sorted order; an ambiguous name must always
+// resolve to the lexicographically smallest matching prefix.
+func TestSchemeFamilyMatchDeterministic(t *testing.T) {
+	// The two factories produce schemes distinguished by Gamma (Name is
+	// overwritten with the requested name by ResolveScheme).
+	mk := func(gamma float64) SchemeFactory {
+		return func(name string) (Scheme, error) {
+			s, err := ResolveScheme(PowerTCP)
+			if err != nil {
+				return Scheme{}, err
+			}
+			s.Gamma = gamma
+			return s, nil
+		}
+	}
+	const short, long = 0.111, 0.222
+	if err := RegisterSchemeFamily("zzfam-", mk(short)); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterSchemeFamily("zzfam-long", mk(long)); err != nil {
+		t.Fatal(err)
+	}
+	// "zzfam-long-7" matches both registered prefixes. Across many
+	// lookups the winner must be stable and must be the sorted-first
+	// prefix; before the fix this flipped with map iteration order.
+	for i := 0; i < 50; i++ {
+		s, err := ResolveScheme("zzfam-long-7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Gamma != short {
+			t.Fatalf("lookup %d resolved to family gamma=%v, want the sorted-first prefix zzfam- (gamma=%v)", i, s.Gamma, short)
+		}
+	}
+}

@@ -84,7 +84,12 @@ func (d *Dist) Percentile(p float64) float64 {
 	if p <= 0 {
 		return d.vals[0]
 	}
-	rank := int(math.Ceil(p/100*float64(len(d.vals)))) - 1
+	// Multiply before dividing: for integer p the product p*n is exact
+	// in float64 and the single division is correctly rounded, so Ceil
+	// lands on the true nearest rank. Dividing first (p/100*n) makes
+	// p/100 inexact and can overshoot the rank by one at exact
+	// boundaries, e.g. p=28, n=25: 0.28*25 = 7.000000000000001.
+	rank := int(math.Ceil(p*float64(len(d.vals))/100)) - 1
 	if rank < 0 {
 		rank = 0
 	}

@@ -88,8 +88,40 @@ func TestPercentileModelProperty(t *testing.T) {
 		}
 		return got == sorted[rank]
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+	// Fixed seed: the property run must be reproducible in CI. The
+	// boundary cases the randomized seed used to trip over are pinned
+	// explicitly in TestPercentileRankBoundary below.
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPercentileRankBoundary pins the rank computation at exact
+// percentile boundaries. Computing ceil(p/100*n) overshot the nearest
+// rank by one whenever p/100 is inexact and p*n/100 is an integer
+// (e.g. p=28, n=25: 0.28*25 rounds to 7.000000000000001, so Ceil gave
+// rank 8 instead of 7); Percentile now multiplies before dividing.
+func TestPercentileRankBoundary(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want float64 // value at the correct nearest rank, samples 1..n
+	}{
+		{25, 28, 7},  // 28% of 25 = 7 exactly
+		{25, 56, 14}, // 56% of 25 = 14 exactly
+		{50, 14, 7},
+		{100, 7, 7},
+		{100, 14, 14},
+	}
+	for _, c := range cases {
+		var d Dist
+		for i := 1; i <= c.n; i++ {
+			d.Add(float64(i))
+		}
+		if got := d.Percentile(c.p); got != c.want {
+			t.Errorf("P%v of 1..%d = %v, want %v", c.p, c.n, got, c.want)
+		}
 	}
 }
 
