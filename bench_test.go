@@ -14,8 +14,11 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/fluid"
+	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/topo"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 func fluidSys(law fluid.Law) *fluid.System {
@@ -540,4 +543,39 @@ func BenchmarkSuiteParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScale_FatTree10k drives the parallel fabric at scale: a
+// 10,240-host, 16-pod fat-tree under permutation traffic, sharded
+// across 8 partition engines (internal/psim). Topology build and flow
+// launch run off the clock, so the events/sec metric is pure drive
+// throughput. Run with -cpu 1,2,4,8 to sweep GOMAXPROCS: output is
+// byte-identical at every width (the partitioned determinism suite pins
+// it), so the events/sec ratio across -cpu values is the conservative
+// sync fabric's parallel speedup. cmd/bench records the same fabric
+// across partition counts in BENCH_6.json.
+func BenchmarkScale_FatTree10k(b *testing.B) {
+	b.ReportAllocs()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		scheme, err := scenario.ResolveScheme(scenario.PowerTCP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab := scenario.NewConfiguredFatTreeLab(scheme, topo.FatTreeConfig{
+			Pods: 16, TorsPerPod: 16, AggsPerPod: 8, Cores: 16,
+			ServersPerTor: 40, Parts: 8,
+		}, 1, nil)
+		for src, dst := range workload.Permutation(len(lab.Net.Hosts), 1) {
+			lab.Launch(workload.Flow{Src: src, Dst: dst, Size: lab.UnboundedSize()})
+		}
+		b.StartTimer()
+		lab.Net.PSim.Run(sim.Time(200 * sim.Microsecond))
+		b.StopTimer()
+		steps = lab.Net.Steps()
+		lab.Release()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }

@@ -43,6 +43,7 @@ var (
 	serversFlag  = flag.Int("servers", 0, "servers per ToR (32 = paper scale)")
 	durFlag      = flag.Float64("ms", 0, "override experiment duration (milliseconds)")
 	seedFlag     = flag.Int64("seed", 1, "RNG seed")
+	partsFlag    = flag.Int("parts", 0, "shard the fabric across N parallel engines (byte-identical results)")
 	pktGbps      = flag.Int64("pktgbps", 0, "RDCN packet-network bandwidth (Gbps)")
 	icRateFlag   = flag.Float64("icrate", 0, "websearch incast request rate (req/s)")
 	icSizeFlag   = flag.Int64("icmb", 2, "websearch incast request size (MB)")
@@ -100,6 +101,9 @@ func main() {
 	}
 	if *serversFlag > 0 {
 		opts = append(opts, exp.WithServersPerTor(*serversFlag))
+	}
+	if *partsFlag > 0 {
+		opts = append(opts, exp.WithPartitions(*partsFlag))
 	}
 	if *durFlag > 0 {
 		// The relevant horizon differs per experiment; consult the

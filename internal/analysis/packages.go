@@ -22,6 +22,7 @@ var SimPathPackages = []string{
 	"link",      // ports, serialization, delivery ordering
 	"monitor",   // taps and captures embedded in golden outputs
 	"packet",    // packet struct + pool — recycling must not alter output
+	"psim",      // parallel conservative-sync fabric — barrier order IS the output order
 	"queue",     // FIFO rings on the hot path
 	"rdcn",      // reconfigurable-DCN schedule + reTCP
 	"route",     // ECMP/WCMP tables, BFS rebuilds, failure events

@@ -132,7 +132,7 @@ func (p *asymmetryPanel) Finalize(env *scenario.Env, res *Result) error {
 	res.SetScalar("agg_goodput_gbps", ar.AggGbps)
 	res.SetScalar("jain", ar.Jain)
 	res.SetScalar("efficiency", ar.Efficiency)
-	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.SetScalar("engine_steps", float64(net.Steps()))
 	spineSeries := Series{Name: "spine_util", XLabel: "spine"}
 	for sp, u := range ar.SpineUtil {
 		res.SetScalar(fmt.Sprintf("spine%d_util", sp), u)

@@ -27,6 +27,10 @@ type Spec struct {
 	// Topology scale.
 	ServersPerTor int
 	Tors          int
+	// Partitions > 1 shards the fabric across that many parallel engines
+	// (internal/psim); the Result is byte-identical to the serial run at
+	// any count. 0 or 1 runs serially.
+	Partitions int
 
 	// Incast (Fig. 4, 9–11).
 	FanIn    int
@@ -88,6 +92,11 @@ func WithServersPerTor(n int) Option { return func(s *Spec) { s.ServersPerTor = 
 
 // WithTors sets the RDCN rack count (paper: 25).
 func WithTors(n int) Option { return func(s *Spec) { s.Tors = n } }
+
+// WithPartitions runs the fabric sharded across n parallel engines
+// (topology-natural cuts, conservative sync — internal/psim). Output is
+// byte-identical to the serial run; only wall-clock time changes.
+func WithPartitions(n int) Option { return func(s *Spec) { s.Partitions = n } }
 
 // WithFanIn sets the incast fan-in degree.
 func WithFanIn(n int) Option { return func(s *Spec) { s.FanIn = n } }

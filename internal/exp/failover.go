@@ -31,8 +31,9 @@ func init() {
 		Name:    "failover",
 		Figures: "Supplementary (multipath lab): mid-run link failure, per-scheme recovery",
 		Fields: []string{FieldTors, FieldSpines, FieldServersPerTor,
-			FieldSpineRates, FieldFlows, FieldRouting, FieldFailAfter,
-			FieldRestoreAfter, FieldReconverge, FieldWindow, FieldSamplePeriod},
+			FieldPartitions, FieldSpineRates, FieldFlows, FieldRouting,
+			FieldFailAfter, FieldRestoreAfter, FieldReconverge, FieldWindow,
+			FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.Tors == 0 {
 				s.Tors = 2 // leaves
@@ -105,6 +106,7 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 			ServersPerLeaf: s.ServersPerTor,
 			SpineRates:     s.SpineRates,
 			Routing:        s.Routing,
+			Partitions:     s.Partitions,
 		},
 		Traffic: []scenario.Traffic{scenario.RackPairs{
 			FromRack: scenario.RackStart(0),
@@ -233,7 +235,7 @@ func (p *failoverPanel) Finalize(env *scenario.Env, res *Result) error {
 	res.SetScalar("queue_spike_kb", fr.QueueSpikeKB)
 	res.SetScalar("lost_packets", float64(fr.LostPackets))
 	res.SetScalar("route_rebuilds", float64(net.Router.Rebuilds()))
-	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.SetScalar("engine_steps", float64(net.Steps()))
 	res.AddSeries(scenario.TimeSeries("goodput_gbps", fr.T, fr.Gbps))
 	res.AddSeries(scenario.TimeSeries("queue_kb", fr.T, fr.QueueKB))
 	return nil

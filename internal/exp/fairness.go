@@ -116,7 +116,7 @@ func (p *fairnessPanel) Finalize(env *scenario.Env, res *Result) error {
 	res.Raw = p.fr
 	res.SetScalar("jain", p.fr.JainAvg)
 	res.SetScalar("flows", float64(len(p.fr.Per)))
-	res.SetScalar("engine_steps", float64(env.Eng().Steps()))
+	res.SetScalar("engine_steps", float64(env.Steps()))
 	for i := range p.fr.Per {
 		res.AddSeries(scenario.TimeSeries(fmt.Sprintf("flow%d_gbps", i+1), p.fr.T, p.fr.Per[i]))
 	}

@@ -14,7 +14,7 @@ func TestGammaTradeoff(t *testing.T) {
 	run := func(gamma float64) *IncastResult {
 		return mustRun(t, NewSpec("incast", PowerTCP,
 			WithSchemeOptions(Gamma(gamma)),
-			WithFanIn(10), WithWindow(2*sim.Millisecond), WithSeed(4))).Raw.(*IncastResult)
+			WithFanIn(10), WithWindow(3*sim.Millisecond), WithSeed(4))).Raw.(*IncastResult)
 	}
 	slow := run(0.1)
 	rec := run(0.9)

@@ -30,7 +30,7 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "incast",
 		Figures: "Fig. 4 (10:1 and 255:1), Fig. 10–11 (HOMA overcommitment)",
-		Fields: []string{FieldServersPerTor, FieldFanIn, FieldFlowSize,
+		Fields: []string{FieldServersPerTor, FieldPartitions, FieldFanIn, FieldFlowSize,
 			FieldWindow, FieldWarmup, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.FanIn == 0 {
@@ -64,7 +64,7 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 		Name:     "incast",
 		Scheme:   scheme,
 		Seed:     s.Seed,
-		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor},
+		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor, Partitions: s.Partitions},
 		Traffic: []scenario.Traffic{
 			// Long flow from the last rack toward the receiver.
 			scenario.Flows{List: []scenario.FlowSpec{{
@@ -161,7 +161,7 @@ func (p *incastPanel) Finalize(env *scenario.Env, res *Result) error {
 
 	res.Raw = ic
 	res.SetScalar("fan_in", float64(ic.FanIn))
-	res.SetScalar("engine_steps", float64(env.Eng().Steps()))
+	res.SetScalar("engine_steps", float64(env.Steps()))
 	res.SetScalar("peak_queue_kb", ic.PeakQueueKB)
 	res.SetScalar("end_queue_kb", ic.EndQueueKB)
 	res.SetScalar("tail_mean_queue_kb", ic.TailMeanQueueKB)

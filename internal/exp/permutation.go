@@ -28,7 +28,7 @@ func init() {
 	mustRegisterExperiment(Experiment{
 		Name:    "permutation",
 		Figures: "Supplementary (multipath lab): ECMP hash imbalance on the §4.1 fat-tree",
-		Fields: []string{FieldServersPerTor, FieldRouting,
+		Fields: []string{FieldServersPerTor, FieldPartitions, FieldRouting,
 			FieldWindow, FieldSamplePeriod},
 		Normalize: func(s *Spec) {
 			if s.ServersPerTor == 0 {
@@ -54,7 +54,7 @@ func runPermutation(s Spec, scheme Scheme) (*Result, error) {
 		Name:     "permutation",
 		Scheme:   scheme,
 		Seed:     s.Seed,
-		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor, Routing: s.Routing},
+		Topology: scenario.FatTreeTopology{ServersPerTor: s.ServersPerTor, Routing: s.Routing, Partitions: s.Partitions},
 		Traffic:  []scenario.Traffic{scenario.Permutation{}},
 		Probes:   []scenario.Probe{&permutationPanel{period: s.SamplePeriod, window: s.Window}},
 		Until:    s.Window,
@@ -150,7 +150,7 @@ func (p *permutationPanel) Finalize(env *scenario.Env, res *Result) error {
 	res.SetScalar("uplinks_used", float64(pr.UplinksUsed))
 	res.SetScalar("uplinks_total", float64(pr.UplinksTotal))
 	res.SetScalar("uplink_imbalance", pr.UplinkImbalance)
-	res.SetScalar("engine_steps", float64(net.Eng.Steps()))
+	res.SetScalar("engine_steps", float64(net.Steps()))
 	res.AddSeries(scenario.TimeSeries("agg_goodput_gbps", pr.T, pr.AggGbps))
 	flowSeries := Series{Name: "flow_goodput_gbps", XLabel: "flow"}
 	for i, g := range pr.PerFlowGbps {

@@ -40,3 +40,28 @@ func ScenarioMix(seed int64) (scenario.Scenario, error) {
 		Until: 3 * sim.Millisecond,
 	}, nil
 }
+
+// ScaleFatTree10k builds the PDES scale stress tracked as
+// Scale_FatTree10k: permutation traffic across a 16-pod fat-tree of
+// 10,240 hosts (16 pods × 16 ToRs × 40 servers), sharded over parts
+// partitions (1 = serial). The benchmark measures events/sec at each
+// partition count; byte-identical output across counts is pinned by the
+// determinism suite, so the speedup vs parts=1 is a pure scheduling
+// win. cmd/bench and BenchmarkScale_FatTree10k share this builder.
+func ScaleFatTree10k(parts int) func(int64) (scenario.Scenario, error) {
+	return func(seed int64) (scenario.Scenario, error) {
+		scheme, err := scenario.ResolveScheme(scenario.PowerTCP)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		return scenario.Scenario{
+			Name: "scale-fattree-10k", Scheme: scheme, Seed: seed,
+			Topology: scenario.FatTreeTopology{
+				Pods: 16, TorsPerPod: 16, AggsPerPod: 8, Cores: 16,
+				ServersPerTor: 40, Partitions: parts,
+			},
+			Traffic: []scenario.Traffic{scenario.Permutation{}},
+			Until:   200 * sim.Microsecond,
+		}, nil
+	}
+}

@@ -11,6 +11,7 @@ import (
 const (
 	FieldServersPerTor = "ServersPerTor"
 	FieldTors          = "Tors"
+	FieldPartitions    = "Partitions"
 	FieldFanIn         = "FanIn"
 	FieldFlowSize      = "FlowSize"
 	FieldFlows         = "Flows"
@@ -48,6 +49,7 @@ func (s Spec) assignedFields() []string {
 	}
 	set(FieldServersPerTor, s.ServersPerTor != 0)
 	set(FieldTors, s.Tors != 0)
+	set(FieldPartitions, s.Partitions != 0)
 	set(FieldFanIn, s.FanIn != 0)
 	set(FieldFlowSize, s.FlowSize != 0)
 	set(FieldFlows, s.Flows != 0)

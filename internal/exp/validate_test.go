@@ -13,7 +13,7 @@ import (
 // Spec knobs it consumes. Validate rejects anything else, so this table
 // is the contract the options API is checked against.
 var acceptedFields = map[string][]string{
-	"incast": {FieldServersPerTor, FieldFanIn, FieldFlowSize,
+	"incast": {FieldServersPerTor, FieldPartitions, FieldFanIn, FieldFlowSize,
 		FieldWindow, FieldWarmup, FieldSamplePeriod},
 	"fairness": {FieldFlows, FieldStagger, FieldSizes,
 		FieldWindow, FieldSamplePeriod},
@@ -25,13 +25,14 @@ var acceptedFields = map[string][]string{
 		FieldDuration, FieldDrain, FieldSamplePeriod},
 	"rdcn": {FieldTors, FieldServersPerTor, FieldPacketRate,
 		FieldWeeks, FieldSamplePeriod},
-	"permutation": {FieldServersPerTor, FieldRouting,
+	"permutation": {FieldServersPerTor, FieldPartitions, FieldRouting,
 		FieldWindow, FieldSamplePeriod},
 	"asymmetry": {FieldTors, FieldSpines, FieldServersPerTor,
 		FieldSpineRates, FieldRouting, FieldWindow},
 	"failover": {FieldTors, FieldSpines, FieldServersPerTor,
-		FieldSpineRates, FieldFlows, FieldRouting, FieldFailAfter,
-		FieldRestoreAfter, FieldReconverge, FieldWindow, FieldSamplePeriod},
+		FieldPartitions, FieldSpineRates, FieldFlows, FieldRouting,
+		FieldFailAfter, FieldRestoreAfter, FieldReconverge, FieldWindow,
+		FieldSamplePeriod},
 }
 
 // Every registered experiment declares its consumed fields, and the
@@ -71,6 +72,7 @@ func TestExperimentAcceptedFields(t *testing.T) {
 var setOneField = map[string]Option{
 	FieldServersPerTor: WithServersPerTor(4),
 	FieldTors:          WithTors(4),
+	FieldPartitions:    WithPartitions(2),
 	FieldFanIn:         WithFanIn(4),
 	FieldFlowSize:      WithFlowSize(1000),
 	FieldFlows:         WithFlows(2),

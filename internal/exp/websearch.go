@@ -168,7 +168,7 @@ func (p *webSearchPanel) Finalize(env *scenario.Env, res *Result) error {
 		ws.BufferCDF = p.bufSamples.CDF(50)
 		ws.BufferP99 = p.bufSamples.Percentile(99)
 	}
-	ws.EngineSteps = env.Eng().Steps()
+	ws.EngineSteps = env.Steps()
 
 	res.Raw = ws
 	webSearchScalars(res, ws)

@@ -49,14 +49,27 @@ type Port struct {
 	// Pool, when set, recycles admission-dropped packets (the
 	// NIC/switch-side Put point of the engine's packet free list).
 	Pool *packet.Pool
+	// X, when set, replaces direct delivery scheduling: instead of an
+	// engine event invoking Peer.Receive, the packet and its computed
+	// arrival instant are handed to X (a cross-partition mailbox post —
+	// see internal/topo's cut wiring and internal/psim). The wire-down
+	// check that deliver would have performed moves to the mailbox's
+	// delivery callback on the receiving side.
+	X func(at sim.Time, p *packet.Packet)
 
 	txBytes uint64 // cumulative wire bytes transmitted
 	txPkts  uint64
 	drops   uint64
-	lost    uint64 // packets lost on a downed wire
-	busy    bool
-	paused  bool
-	down    bool
+	lost    uint64 // packets lost on a downed wire (local delivery path)
+	// remoteLost counts packets lost on a downed cut wire, counted by the
+	// receiving partition's delivery callback. It is a separate word from
+	// lost because the two are written by different goroutines (sender
+	// partition at transmit time, receiver partition at delivery time);
+	// the psim barrier orders each against the final read in Lost.
+	remoteLost uint64
+	busy       bool
+	paused     bool
+	down       bool
 
 	// Reusable transmit state, bound lazily on first kick: the timer that
 	// ends the current serialization and the delivery callback shared by
@@ -127,8 +140,15 @@ func (pt *Port) SetDown(down bool) { pt.down = down }
 // IsDown reports whether the wire is currently cut.
 func (pt *Port) IsDown() bool { return pt.down }
 
-// Lost returns the number of packets discarded on the downed wire.
-func (pt *Port) Lost() uint64 { return pt.lost }
+// Lost returns the number of packets discarded on the downed wire,
+// whichever side of a partition cut counted them.
+func (pt *Port) Lost() uint64 { return pt.lost + pt.remoteLost }
+
+// NoteRemoteLost records a packet lost at its delivery instant on a cut
+// crossing a partition boundary. Called only by the receiving
+// partition's mailbox delivery callback — never by the port's own
+// goroutine — keeping it race-free against the local lost counter.
+func (pt *Port) NoteRemoteLost() { pt.remoteLost++ }
 
 func (pt *Port) kick() {
 	if pt.busy || pt.paused {
@@ -159,7 +179,12 @@ func (pt *Port) kick() {
 		pt.Pool.Put(p)
 		return
 	}
-	pt.Eng.AtCall(now.Add(tx+pt.Delay), pt.deliverFn, p)
+	at := now.Add(tx + pt.Delay)
+	if pt.X != nil {
+		pt.X(at, p)
+		return
+	}
+	pt.Eng.AtCall(at, pt.deliverFn, p)
 }
 
 func (pt *Port) onTxDone() {

@@ -1,0 +1,271 @@
+// Package psim runs one simulation across several timing-wheel engines
+// in parallel — conservative parallel discrete-event simulation (PDES)
+// in the classic null-message lineage — while reproducing the serial
+// engine's firing order byte-for-byte at any partition count.
+//
+// # Model
+//
+// The fabric is sharded along topology-natural cuts (pods for
+// fat-trees, leaf/spine groups for leaf-spine; see
+// internal/topo.Plan): each partition owns a subset of hosts, switches
+// and queues and drives them with its own sim.Engine on its own
+// goroutine. Every cut link i→j carries a lookahead L(i,j) = the
+// minimum latency of any message crossing it (propagation delay plus
+// minimum serialization time) — a hard physical lower bound on how far
+// in the future a send from i can affect j.
+//
+// Cross-partition packet deliveries become mailbox messages: the
+// sending port consumes a causal child slot on its engine
+// (sim.Engine.ChildKey), ships the resulting canonical key with the
+// packet, and the coordinator injects it into the destination engine
+// (sim.Engine.InjectKey) at the next barrier. The injected entry is
+// bit-identical to the one a serial run would have scheduled, so the
+// canonical order (at, dsched, phash, k) — a pure function of the
+// causal tree, independent of which engine executes which branch —
+// makes every partition fire its events in exactly the serial
+// sub-order.
+//
+// # Synchronization
+//
+// The coordinator advances the run in barrier rounds. In each round a
+// partition may execute up to (exclusively) the canonical key
+// min(KeyBefore(safe_i), nextCtrl), where safe_i = min over incoming
+// cut edges j→i of clock_j + L(j,i): no message that a neighbor has
+// yet to send can arrive before safe_i, so everything earlier is
+// causally settled. Events shared by the whole fabric — probe
+// samplers, routing changes — live on a separate control engine that
+// fires only at a barrier, with every partition paused at exactly the
+// control event's canonical key, never past it; control callbacks may
+// therefore read and mutate any partition's state single-threaded.
+// The run terminates when no control event remains at or before the
+// horizon, no messages are in flight, and every partition has drained
+// up to the horizon.
+//
+// # Why the result is byte-identical to serial
+//
+// Three facts combine: (1) the canonical key totally orders all events
+// and is partition-invariant; (2) same-instant causal chains never
+// cross a cut (lookahead > 0 means an arrival's timestamp strictly
+// exceeds its send time), so a partition never needs an event another
+// partition has not yet sent while events below its bound remain; (3)
+// bounds only ever stop a partition at keys no other pending or future
+// event can precede. Induction over barrier rounds then gives: the
+// multiset of fired (key, callback) pairs and each partition's firing
+// sub-order equal the serial run's, and the record merge by canonical
+// key (internal/scenario) reconstructs the serial append order
+// exactly. PERF.md § PDES carries the full argument.
+package psim
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// msg is one cross-partition delivery: the canonical key the serial
+// engine would have given the delivery event, plus the callback
+// argument (the packet).
+type msg struct {
+	key sim.Key
+	arg any
+}
+
+// Mailbox buffers deliveries for one directed cut link. Exactly one
+// sending partition posts into a given mailbox (a mailbox belongs to
+// one boundary port), and the coordinator drains it only between
+// barrier rounds, so no lock is needed: the round barrier's
+// happens-before edge publishes the buffer.
+type Mailbox struct {
+	dst     int
+	deliver func(any)
+	buf     []msg
+}
+
+// Post enqueues a delivery under its pre-computed canonical key. Called
+// by the owning sender partition only, during its run slice.
+func (m *Mailbox) Post(k sim.Key, arg any) {
+	m.buf = append(m.buf, msg{key: k, arg: arg})
+}
+
+// edge is one directed cut with its lookahead.
+type edge struct {
+	from int
+	look sim.Duration
+}
+
+// Fabric couples the partition engines, the control engine, the cut
+// topology and the mailboxes into one runnable parallel simulation.
+type Fabric struct {
+	ctrl  *sim.Engine
+	parts []*sim.Engine
+	in    [][]edge   // in[i]: incoming cut edges of partition i
+	boxes []*Mailbox // drained in creation order — deterministic
+
+	steps uint64 // filled by Run: total events fired across all engines
+}
+
+// New returns a fabric over the given control engine and partition
+// engines. Cut edges and mailboxes are registered before Run.
+func New(ctrl *sim.Engine, parts []*sim.Engine) *Fabric {
+	return &Fabric{ctrl: ctrl, parts: parts, in: make([][]edge, len(parts))}
+}
+
+// AddEdge declares a directed cut from partition `from` to partition
+// `to` with the given lookahead (minimum latency of any crossing
+// message). Multiple edges between the same pair simply all constrain
+// the bound; the minimum governs.
+func (f *Fabric) AddEdge(from, to int, look sim.Duration) {
+	if look <= 0 {
+		panic("psim: cut lookahead must be positive")
+	}
+	f.in[to] = append(f.in[to], edge{from: from, look: look})
+}
+
+// NewMailbox registers a mailbox delivering into partition dst via the
+// given callback (invoked through InjectKey with the posted argument).
+// Registration order fixes drain order.
+func (f *Fabric) NewMailbox(dst int, deliver func(any)) *Mailbox {
+	m := &Mailbox{dst: dst, deliver: deliver}
+	f.boxes = append(f.boxes, m)
+	return m
+}
+
+// Steps reports the total number of events executed across the control
+// and partition engines by the last Run — by construction equal to the
+// serial engine's step count for the same scenario.
+func (f *Fabric) Steps() uint64 { return f.steps }
+
+// Run executes the partitioned simulation up to and including horizon,
+// then leaves every engine's clock at horizon — the partitioned
+// equivalent of sim.Engine.RunUntil(horizon) on a serial engine.
+func (f *Fabric) Run(horizon sim.Time) {
+	p := len(f.parts)
+	end := sim.KeyAtEnd(horizon)
+
+	// Persistent worker goroutines, one per partition: each round the
+	// coordinator publishes a bound per partition, releases the workers,
+	// and joins them on a WaitGroup. The Add/Wait pair carries the
+	// happens-before edges that publish mailbox buffers and engine state
+	// back to the coordinator.
+	bounds := make([]sim.Key, p)
+	start := make([]chan struct{}, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		start[i] = make(chan struct{}, 1)
+		go func(i int) {
+			for range start[i] {
+				f.parts[i].RunUntilKey(bounds[i])
+				wg.Done()
+			}
+		}(i)
+	}
+	defer func() {
+		for i := 0; i < p; i++ {
+			close(start[i])
+		}
+	}()
+
+	for {
+		// The next control event's key, capped by the horizon. While
+		// ctrlDue, no partition may run to or past kg.
+		kg := end
+		ctrlDue := false
+		if k, ok := f.ctrl.PeekKey(); ok && !end.Less(k) {
+			kg, ctrlDue = k, true
+		}
+
+		// Per-partition bound: strictly below the earliest possible
+		// future arrival, and never at/past the next control event.
+		for i := 0; i < p; i++ {
+			b := end
+			for _, e := range f.in[i] {
+				safe := f.parts[e.from].Now().Add(e.look)
+				if c := sim.KeyBefore(safe); c.Less(b) {
+					b = c
+				}
+			}
+			if kg.Less(b) {
+				b = kg
+			}
+			bounds[i] = b
+		}
+
+		// Parallel slice: each partition advances to its bound.
+		wg.Add(p)
+		for i := 0; i < p; i++ {
+			start[i] <- struct{}{}
+		}
+		wg.Wait()
+
+		// Drain mailboxes in creation order; within a mailbox, in post
+		// order. Injection order cannot affect firing order — the
+		// canonical key decides — but a fixed order keeps the whole
+		// coordinator deterministic.
+		delivered := false
+		for _, m := range f.boxes {
+			if len(m.buf) == 0 {
+				continue
+			}
+			delivered = true
+			eng := f.parts[m.dst]
+			for _, d := range m.buf {
+				eng.InjectKey(d.key, m.deliver, d.arg)
+			}
+			clear(m.buf)
+			m.buf = m.buf[:0]
+		}
+		if delivered {
+			// New arrivals may order before this round's control key or
+			// below a neighbor's bound; recompute everything.
+			continue
+		}
+
+		// Quiescent below the bounds. Fire the next control event once
+		// every partition has both reached its timestamp and drained all
+		// events ordering before it.
+		if ctrlDue {
+			ready := true
+			for i := 0; i < p && ready; i++ {
+				if f.parts[i].Now() < kg.At {
+					ready = false
+					break
+				}
+				if k, ok := f.parts[i].PeekKey(); ok && k.Less(kg) {
+					ready = false
+				}
+			}
+			if ready {
+				// Single-threaded control slice: all partitions are paused
+				// at or before kg.At with nothing earlier pending, so the
+				// callback may touch any partition's state.
+				f.ctrl.Step()
+			}
+			continue
+		}
+
+		// No control work left at or before the horizon: finish when
+		// every partition has drained up to and including it.
+		done := true
+		for i := 0; i < p; i++ {
+			if f.parts[i].Now() < horizon {
+				done = false
+				break
+			}
+			if k, ok := f.parts[i].PeekKey(); ok && !end.Less(k) {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	// Leave the control clock at the horizon, like a serial RunUntil.
+	f.ctrl.RunUntil(horizon)
+
+	f.steps = f.ctrl.Steps()
+	for _, e := range f.parts {
+		f.steps += e.Steps()
+	}
+}

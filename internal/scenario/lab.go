@@ -20,6 +20,28 @@ type FlowRecord struct {
 	Slowdown float64
 }
 
+// Causal-origin key namespaces. Setup code — flow launches, probe
+// installation, routing-event registration — schedules events outside
+// any engine callback, so each scheduling burst sets an explicit origin
+// (sim.Engine.SetOrigin) derived from a stable entity identity. The
+// namespaces keep launches, probes and route schedules from colliding;
+// within a namespace the entity counter (launch number, probe index)
+// disambiguates. Identical origins are set on the serial engine and on
+// the partitioned engines, which is what makes setup-event canonical
+// keys — and therefore the whole firing order — mode-invariant.
+const (
+	originFlowKey  = uint64(1) << 56
+	originProbeKey = uint64(2) << 56
+	originRouteKey = uint64(3) << 56
+)
+
+// keyedRecord is a FlowRecord tagged with the canonical key of the
+// event that produced it, for the cross-partition merge.
+type keyedRecord struct {
+	key sim.Key
+	rec FlowRecord
+}
+
 // Lab is a built network plus the scheme-appropriate launch/collect
 // plumbing shared by the experiment runners.
 type Lab struct {
@@ -31,6 +53,11 @@ type Lab struct {
 
 	started int
 	scratch *runScratch
+	// partRecs holds per-partition keyed record buffers on a partitioned
+	// network (nil when serial): each partition's completion callbacks
+	// append only to their own buffer, race-free, and mergeRecords
+	// rebuilds the exact serial append order from the canonical keys.
+	partRecs [][]keyedRecord
 }
 
 // labOpts assembles the switch/buffer options every lab shares. The
@@ -54,17 +81,25 @@ func (l *Lab) labOpts(seed int64, routing route.Strategy) topo.Options {
 // NewFatTreeLab builds the paper's fat-tree (§4.1) scaled to
 // serversPerTor servers per rack under default per-flow ECMP.
 func NewFatTreeLab(scheme Scheme, serversPerTor int, seed int64) *Lab {
-	return NewRoutedFatTreeLab(scheme, serversPerTor, seed, nil)
+	return NewRoutedFatTreeLab(scheme, serversPerTor, seed, nil, 0)
 }
 
 // NewRoutedFatTreeLab is NewFatTreeLab with an explicit multipath
-// strategy (nil keeps per-flow ECMP).
-func NewRoutedFatTreeLab(scheme Scheme, serversPerTor int, seed int64, routing route.Strategy) *Lab {
+// strategy (nil keeps per-flow ECMP) and partition count (≤1 runs
+// serially; >1 shards pods across engines — see topo.Plan).
+func NewRoutedFatTreeLab(scheme Scheme, serversPerTor int, seed int64, routing route.Strategy, parts int) *Lab {
+	return NewConfiguredFatTreeLab(scheme,
+		topo.FatTreeConfig{ServersPerTor: serversPerTor, Parts: parts}, seed, routing)
+}
+
+// NewConfiguredFatTreeLab builds a fat-tree lab from an explicit
+// structural config — pods, cores, partitioning — for fabrics beyond
+// the paper's default 4-pod shape (the 10k-host scale benchmarks size
+// theirs this way). cfg.Opts is replaced with the lab's shared options.
+func NewConfiguredFatTreeLab(scheme Scheme, cfg topo.FatTreeConfig, seed int64, routing route.Strategy) *Lab {
 	l := &Lab{Scheme: scheme}
-	cfg := topo.FatTreeConfig{
-		ServersPerTor: serversPerTor,
-		Opts:          l.labOpts(seed, routing),
-	}.WithDefaults()
+	cfg.Opts = l.labOpts(seed, routing)
+	cfg = cfg.WithDefaults()
 	cfg.Opts.Hosts = l.hostFactory(30 * sim.Microsecond)
 	l.Net = topo.FatTree(cfg)
 	l.FTCfg = cfg
@@ -122,7 +157,25 @@ func (l *Lab) wireCollectors() {
 		l.Records = sc.records
 		sc.records = nil
 	}
-	for _, n := range l.Net.Hosts {
+	if l.Net.Part != nil {
+		l.partRecs = make([][]keyedRecord, l.Net.Part.Parts)
+	}
+	for i, n := range l.Net.Hosts {
+		if l.partRecs != nil {
+			// Partitioned: completions land in the owning partition's
+			// buffer tagged with the producing event's canonical key.
+			p := l.Net.Part.HostPart[i]
+			eng := l.Net.Engs[p]
+			switch h := n.(type) {
+			case *transport.Host:
+				h.OnFlowDone = func(f *transport.Flow) { l.recordPart(p, eng, f.Size, f.FCT()) }
+			case *homa.Host:
+				h.OnMessageDone = func(_ uint64, size int64, fct sim.Duration) {
+					l.recordPart(p, eng, size, fct)
+				}
+			}
+			continue
+		}
 		switch h := n.(type) {
 		case *transport.Host:
 			h.OnFlowDone = func(f *transport.Flow) { l.record(f.Size, f.FCT()) }
@@ -140,6 +193,52 @@ func (l *Lab) record(size int64, fct sim.Duration) {
 		FCT:      fct,
 		Slowdown: stats.Slowdown(fct, size, l.Net.HostRate, l.Net.BaseRTT),
 	})
+}
+
+// recordPart is record for a partitioned run: called only from
+// partition p's goroutine, it appends to that partition's own buffer,
+// keyed by the canonical position of the completing event.
+func (l *Lab) recordPart(p int, eng *sim.Engine, size int64, fct sim.Duration) {
+	l.partRecs[p] = append(l.partRecs[p], keyedRecord{
+		key: eng.ExecKey(),
+		rec: FlowRecord{
+			Size:     size,
+			FCT:      fct,
+			Slowdown: stats.Slowdown(fct, size, l.Net.HostRate, l.Net.BaseRTT),
+		},
+	})
+}
+
+// mergeRecords rebuilds Records from the per-partition buffers after a
+// partitioned run. Each buffer is already ascending in canonical key
+// (a partition fires its events in the serial sub-order), so a k-way
+// merge by key reproduces the exact serial append order: the global
+// firing order is the canonical order, and every record's key is its
+// producing event's position in it.
+func (l *Lab) mergeRecords() {
+	if l.partRecs == nil {
+		return
+	}
+	idx := make([]int, len(l.partRecs))
+	for {
+		best := -1
+		for p := range l.partRecs {
+			if idx[p] >= len(l.partRecs[p]) {
+				continue
+			}
+			if best < 0 || l.partRecs[p][idx[p]].key.Less(l.partRecs[best][idx[best]].key) {
+				best = p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		l.Records = append(l.Records, l.partRecs[best][idx[best]].rec)
+		idx[best]++
+	}
+	for p := range l.partRecs {
+		l.partRecs[p] = l.partRecs[p][:0]
+	}
 }
 
 // UnboundedSize returns the "runs past any window" flow size for the
@@ -164,6 +263,12 @@ func (l *Lab) LaunchAlg(f workload.Flow, alg cc.Algorithm) packet.FlowID {
 	l.started++
 	id := l.Net.NextFlowID()
 	dst := l.Net.HostID(f.Dst)
+	// Each launch is a causal root: its origin key is the launch
+	// counter, identical on the serial engine and on the source host's
+	// partition engine, so the launch event's canonical key — and every
+	// packet event descending from it — is the same at any partition
+	// count.
+	l.Net.HostEngine(f.Src).SetOrigin(originFlowKey | uint64(l.started))
 	switch h := l.Net.Hosts[f.Src].(type) {
 	case *transport.Host:
 		if alg == nil {

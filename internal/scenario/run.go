@@ -34,12 +34,24 @@ type Env struct {
 	wrapAlg func(i int, alg cc.Algorithm) cc.Algorithm
 }
 
-// Eng returns the simulation engine of the built fabric.
+// Eng returns the simulation engine of the built fabric — on a
+// partitioned network, the control engine probes and routing events
+// schedule on.
 func (env *Env) Eng() *sim.Engine {
 	if env.Rotor != nil {
 		return env.Rotor.Eng
 	}
 	return env.Lab.Net.Eng
+}
+
+// Steps reports the total events executed by the run across every
+// engine driving the fabric (one engine serially; control plus
+// partition engines — an identical total — when partitioned).
+func (env *Env) Steps() uint64 {
+	if env.Rotor != nil {
+		return env.Rotor.Eng.Steps()
+	}
+	return env.Lab.Net.Steps()
 }
 
 // TrafficPreparer is an optional Probe refinement: BeforeTraffic runs
@@ -100,16 +112,32 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	if len(links) > 0 {
+		// Routing events are a causal root on the control engine; the
+		// explicit origin makes their canonical keys identical whether
+		// that engine is the only one (serial) or the psim control engine.
+		env.Eng().SetOrigin(originRouteKey)
 		env.Lab.Net.Router.Schedule(links, sc.Events.Reconverge)
 	}
 
-	for _, p := range sc.Probes {
+	for i, p := range sc.Probes {
+		// Each probe is its own causal root (samplers it installs descend
+		// from it), keyed by probe index.
+		env.Eng().SetOrigin(originProbeKey | uint64(i))
 		if err := p.Install(env); err != nil {
 			return nil, err
 		}
 	}
 
-	env.Eng().RunUntil(env.Horizon)
+	if env.Lab != nil && env.Lab.Net.PSim != nil {
+		// Partitioned: the conservative-sync fabric drives the partition
+		// engines in parallel and the control engine between slices, then
+		// the per-partition completion records merge back into the exact
+		// serial append order.
+		env.Lab.Net.PSim.Run(env.Horizon)
+		env.Lab.mergeRecords()
+	} else {
+		env.Eng().RunUntil(env.Horizon)
+	}
 
 	res := &Result{Experiment: sc.Name, Scheme: sc.Scheme.Name, Seed: sc.Seed}
 	for _, p := range sc.Probes {
@@ -118,7 +146,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	if _, ok := res.Scalars["engine_steps"]; !ok {
-		res.SetScalar("engine_steps", float64(env.Eng().Steps()))
+		res.SetScalar("engine_steps", float64(env.Steps()))
 	}
 	return res, nil
 }

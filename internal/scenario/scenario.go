@@ -221,6 +221,17 @@ type FatTreeTopology struct {
 	// Routing selects the multipath strategy by name ("", "ecmp",
 	// "single", "wecmp"); empty keeps per-flow ECMP.
 	Routing string
+	// Partitions > 1 runs the fabric sharded across that many parallel
+	// engines along pod cuts (internal/psim); output is byte-identical
+	// to the serial run at any count. 0 or 1 runs serially.
+	Partitions int
+	// Pods, TorsPerPod, AggsPerPod and Cores override the paper's 4-pod
+	// structure (0 keeps each default) — the scale benchmarks build
+	// multi-pod 10k-host fabrics through these.
+	Pods       int
+	TorsPerPod int
+	AggsPerPod int
+	Cores      int
 }
 
 func (t FatTreeTopology) build(env *Env) error {
@@ -232,7 +243,14 @@ func (t FatTreeTopology) build(env *Env) error {
 	if spt == 0 {
 		spt = 8
 	}
-	env.Lab = NewRoutedFatTreeLab(env.Scheme, spt, env.Seed, strategy)
+	env.Lab = NewConfiguredFatTreeLab(env.Scheme, topo.FatTreeConfig{
+		Pods:          t.Pods,
+		TorsPerPod:    t.TorsPerPod,
+		AggsPerPod:    t.AggsPerPod,
+		Cores:         t.Cores,
+		ServersPerTor: spt,
+		Parts:         t.Partitions,
+	}, env.Seed, strategy)
 	cfg := env.Lab.FTCfg
 	racks := cfg.Racks()
 	env.Fabric = Fabric{
@@ -290,6 +308,11 @@ type LeafSpineTopology struct {
 	// Routing selects the multipath strategy by name; empty keeps
 	// per-flow ECMP.
 	Routing string
+	// Partitions > 1 runs the fabric sharded across that many parallel
+	// engines along leaf/spine cuts (internal/psim); output is
+	// byte-identical to the serial run at any count. 0 or 1 runs
+	// serially.
+	Partitions int
 }
 
 func (t LeafSpineTopology) build(env *Env) error {
@@ -302,6 +325,7 @@ func (t LeafSpineTopology) build(env *Env) error {
 		Spines:         t.Spines,
 		ServersPerLeaf: t.ServersPerLeaf,
 		SpineRates:     t.SpineRates,
+		Parts:          t.Partitions,
 	}
 	env.Lab = NewLeafSpineLab(env.Scheme, cfg, env.Seed, strategy)
 	ls := env.Lab.LSCfg

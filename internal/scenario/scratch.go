@@ -42,7 +42,18 @@ func (l *Lab) Release() {
 		return
 	}
 	l.scratch = nil
-	sc.packets = l.Net.Pool.Drain()
+	if l.Net.Pools != nil {
+		// Partitioned: every partition pool's free list carries over
+		// (Pools[0] aliases Net.Pool). The partition engines are per-run
+		// and fall to the garbage collector; only the control engine —
+		// the one the builder got from the scratch — is recycled.
+		sc.packets = sc.packets[:0]
+		for _, pl := range l.Net.Pools {
+			sc.packets = append(sc.packets, pl.Drain()...)
+		}
+	} else {
+		sc.packets = l.Net.Pool.Drain()
+	}
 	l.Net.Eng.Reset()
 	sc.eng = l.Net.Eng
 	sc.records = l.Records[:0]

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"math/bits"
-	"slices"
-)
+import "math/bits"
 
 // node is the engine-owned storage behind a scheduled event. Nodes are
 // recycled through a free list: when an event fires, or a cancelled event
@@ -54,12 +51,51 @@ func (ev Event) Cancelled() bool {
 
 // entry is one element of the event queue. Entries are stored by value in
 // wheel slots, the firing batch, and the overflow heap, so ordering
-// compares (at, seq) without chasing pointers.
+// compares the canonical key (at, dsched, phash, k) without chasing
+// pointers.
+//
+// The key encodes the event's position in the causal tree instead of a
+// global sequence number:
+//
+//   - dsched is the (saturated) distance from the scheduling instant to
+//     the firing instant. Ordering same-timestamp events by *earlier
+//     scheduling first* (larger dsched first) preserves the FIFO flavor
+//     of the old (at, seq) order — an event scheduled earlier still fires
+//     earlier — without referencing global allocation order.
+//   - phash is the causal-path hash of the scheduling parent (the hash of
+//     the event whose callback scheduled this one, or an origin hash for
+//     events scheduled outside any callback).
+//   - k is the child index: the how-many-th schedule call the parent had
+//     issued. Ties within one parent keep exact program order.
+//
+// Every component is a pure function of the causal tree, so the total
+// order is identical no matter which engine — or how many engines — the
+// tree's branches execute on. That invariance is what lets the
+// partitioned runtime (internal/psim) reproduce the serial engine's
+// firing order byte-for-byte at any partition count.
+//
+// Storage packs the 128-bit tail of the key — the tuple
+// (^dsched, phash, k), 32+64+32 bits — into two uint64 words so the
+// comparator on the slot-sort hot path is three unsigned word compares
+// instead of four field branches. ^dsched leads because the canonical
+// order ranks larger dsched first; lexicographic (hi, lo) then equals
+// (dsched DESC, phash ASC, k ASC) exactly. packKey/unpack* are the only
+// places that know the layout.
 type entry struct {
-	at  Time
-	seq uint64
-	n   *node
+	at Time
+	hi uint64 // ^dsched(32) ++ phash[63:32]
+	lo uint64 // phash[31:0] ++ k(32)
+	n  *node
 }
+
+// packKey packs (phash, dsched, k) into the entry key words.
+func packKey(phash uint64, dsched, k uint32) (hi, lo uint64) {
+	return uint64(^dsched)<<32 | phash>>32, phash<<32 | uint64(k)
+}
+
+func (ent entry) phash() uint64  { return ent.hi<<32 | ent.lo>>32 }
+func (ent entry) dsched() uint32 { return ^uint32(ent.hi >> 32) }
+func (ent entry) k() uint32      { return uint32(ent.lo) }
 
 // The event queue is a hierarchical timing wheel (Varghese & Lauck; the
 // scheduler family production discrete-event simulators such as NS-2 use
@@ -75,17 +111,18 @@ type entry struct {
 // covering numSlots^level ticks per slot. Level 0 spans ~2.1 µs (covers
 // serialization and edge propagation), level 1 ~537 µs (RTTs, pacing,
 // sampling periods), level 2 ~137 ms (RTOs, failure schedules). Events
-// beyond the wheel horizon wait in a small (at, seq)-ordered overflow
+// beyond the wheel horizon wait in a small canonically-ordered overflow
 // heap and are pulled in as the wheel turns.
 //
-// Determinism: the engine preserves the exact (at, seq) total order of
-// the binary-heap implementation it replaced. A slot is drained as a
-// whole into the firing batch and sorted by (at, seq) — entries within a
-// tick fire in precise timestamp-then-insertion order, not bucket order —
-// and cascades only re-bucket entries into finer levels, never across an
-// undrained earlier tick. The property test in engine_prop_test.go runs
-// randomized schedule/cancel/re-arm scripts against the retired heap
-// (referenceQueue) and requires identical firing orders.
+// Determinism: events fire in the canonical causal order (at, dsched,
+// phash, k) — see entry. A slot is drained as a whole into the firing
+// batch and sorted by that key — entries within a tick fire in precise
+// canonical order, not bucket order — and cascades only re-bucket
+// entries into finer levels, never across an undrained earlier tick. The
+// property test in engine_prop_test.go runs randomized
+// schedule/cancel/re-arm scripts against a reference heap
+// (referenceQueue) carrying the same key and requires identical firing
+// orders.
 const (
 	tickBits  = 13 // one wheel tick = 8.192 ns
 	levelBits = 8  // slots per level
@@ -149,8 +186,19 @@ func (l *wheelLevel) take(idx int) []entry {
 // value entries with batched same-tick firing.
 type Engine struct {
 	now    Time
-	seq    uint64
 	nSteps uint64
+
+	// Causal scheduling context: curHash identifies the event whose
+	// callback is currently running (or the origin set by SetOrigin), and
+	// childIdx counts the schedule calls it has issued so far. Together
+	// they stamp each new entry's (phash, k) — see entry.
+	curHash  uint64
+	childIdx uint32
+	// Exec key of the entry being fired (for ExecKey), in the packed
+	// entry layout, so external accumulators (flow records) can tag data
+	// with the canonical position of the event that produced it.
+	execHi uint64
+	execLo uint64
 
 	// curTick is the wheel's drain position: every tick below it has been
 	// emptied into the firing batch. Entries scheduled into an
@@ -163,9 +211,9 @@ type Engine struct {
 	// so no boundary's cascade is ever skipped.
 	cascadedTo int64
 	levels     [numLevels]wheelLevel
-	over       []entry // overflow min-heap, ordered by (at, seq)
+	over       []entry // overflow min-heap in canonical order
 
-	// batch holds the tick being fired, sorted by (at, seq); bi is the
+	// batch holds the tick being fired, in canonical order; bi is the
 	// cursor of the next entry to fire. Run touches no other queue state
 	// between batch entries — same-tick firing is one bounds check and an
 	// index increment per event.
@@ -197,8 +245,9 @@ func (e *Engine) At(t Time, fn func()) Event {
 	n := e.take(t)
 	n.fn = fn
 	e.pending++
-	e.place(entry{at: t, seq: e.seq, n: n})
-	e.seq++
+	hi, lo := packKey(e.curHash, satDelta(t, e.now), e.childIdx)
+	e.place(entry{at: t, hi: hi, lo: lo, n: n})
+	e.childIdx++
 	return Event{n: n, gen: n.gen}
 }
 
@@ -212,8 +261,9 @@ func (e *Engine) AtCall(t Time, fn func(any), arg any) Event {
 	n.afn = fn
 	n.arg = arg
 	e.pending++
-	e.place(entry{at: t, seq: e.seq, n: n})
-	e.seq++
+	hi, lo := packKey(e.curHash, satDelta(t, e.now), e.childIdx)
+	e.place(entry{at: t, hi: hi, lo: lo, n: n})
+	e.childIdx++
 	return Event{n: n, gen: n.gen}
 }
 
@@ -272,7 +322,7 @@ func (e *Engine) place(ent entry) {
 	switch {
 	case delta < 0:
 		// The tick being fired right now (at ≥ now rules out anything
-		// older): merge into the batch at the (at, seq) position.
+		// older): merge into the batch at its canonical position.
 		e.batchInsert(ent)
 	case delta < 1<<levelBits:
 		e.levels[0].add(int(tk)&slotMask, ent)
@@ -286,15 +336,17 @@ func (e *Engine) place(ent entry) {
 }
 
 // batchInsert merges a same-tick entry into the live firing batch,
-// keeping it sorted. The entry carries the highest seq issued so far, so
-// its position is after every queued entry with the same timestamp —
-// exactly where the heap would have fired it. Scheduling cannot target
-// anything before the cursor (at ≥ now), so fired entries never move.
+// keeping it sorted by the canonical key. Scheduling cannot target
+// anything before the cursor (at ≥ now), so fired entries never move;
+// an entry keying before the cursor position (a zero-delay child that
+// the canonical order ranks ahead of already-fired siblings) is clamped
+// to fire next, which matches the serial reference queue exactly —
+// events that already fired are in the past regardless of key.
 func (e *Engine) batchInsert(ent entry) {
 	lo, hi := e.bi, len(e.batch)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if e.batch[mid].at <= ent.at {
+		if cmpEntry(e.batch[mid], ent) <= 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -305,10 +357,12 @@ func (e *Engine) batchInsert(ent entry) {
 	e.batch[lo] = ent
 }
 
-// cmpEntry is THE (at, seq) total order: the batch sort, the overflow
-// heap (via entry.less), and the reference-heap property test all rank
-// entries through it, so the determinism argument has a single
-// comparator to audit.
+// cmpEntry is THE canonical total order (at ASC, dsched DESC, phash ASC,
+// k ASC): the batch sort, the overflow heap (via entry.less), and the
+// reference-heap property test all rank entries through it, so the
+// determinism argument has a single comparator to audit. The packed key
+// words make the descending-dsched / ascending-(phash, k) tail two plain
+// unsigned compares — see entry and packKey for the layout proof.
 func cmpEntry(a, b entry) int {
 	switch {
 	case a.at != b.at:
@@ -316,9 +370,15 @@ func cmpEntry(a, b entry) int {
 			return -1
 		}
 		return 1
-	case a.seq < b.seq:
-		return -1
-	case a.seq > b.seq:
+	case a.hi != b.hi:
+		if a.hi < b.hi {
+			return -1
+		}
+		return 1
+	case a.lo != b.lo:
+		if a.lo < b.lo {
+			return -1
+		}
 		return 1
 	}
 	return 0
@@ -400,8 +460,8 @@ func (e *Engine) runCascades(b int64) {
 }
 
 // loadSlot drains level-0 slot j (holding tick tk) into the firing batch
-// and sorts it by (at, seq): batched same-tick firing with the exact
-// heap order. The batch and the slot swap backing arrays instead of
+// and sorts it by the canonical key: batched same-tick firing with the
+// exact heap order. The batch and the slot swap backing arrays instead of
 // copying — entries carry pointers, and a bulk copy would pay a GC
 // write-barrier sweep per slot. Consumed entries linger beyond the
 // slices' lengths; they only pin pooled nodes, which the free list
@@ -415,7 +475,100 @@ func (e *Engine) loadSlot(j int, tk int64) {
 	e.batch = s
 	e.curTick = tk + 1
 	if len(s) > 1 {
-		slices.SortFunc(s, cmpEntry)
+		sortEntries(s, bits.Len(uint(len(s)))*2)
+	}
+}
+
+// sortEntries is an introsort over the canonical key with the comparator
+// inlined: median-of-three quicksort, insertion sort below 16 elements,
+// heapsort past the depth limit. The generic slices.SortFunc pays an
+// indirect call per comparison; with 32-byte value entries and slots of
+// 10–100 same-tick events drained every few microseconds of simulated
+// time, that call overhead dominated the engine profile. The ordering is
+// identical to slices.SortFunc(s, cmpEntry) — elements are unique under
+// the total key, so stability is moot.
+func sortEntries(s []entry, depth int) {
+	for len(s) > 16 {
+		if depth--; depth < 0 {
+			heapSortEntries(s)
+			return
+		}
+		// Median-of-three pivot: order s[0], s[mid], s[last] so the
+		// median lands at s[mid], then use it as the pivot value.
+		m := len(s) / 2
+		last := len(s) - 1
+		if s[m].less(s[0]) {
+			s[m], s[0] = s[0], s[m]
+		}
+		if s[last].less(s[m]) {
+			s[last], s[m] = s[m], s[last]
+			if s[m].less(s[0]) {
+				s[m], s[0] = s[0], s[m]
+			}
+		}
+		p := s[m]
+		i, j := 0, last
+		for {
+			for s[i].less(p) {
+				i++
+			}
+			for p.less(s[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 < len(s)-(j+1) {
+			sortEntries(s[:j+1], depth)
+			s = s[j+1:]
+		} else {
+			sortEntries(s[j+1:], depth)
+			s = s[:j+1]
+		}
+	}
+	// Insertion sort: short slices and nearly-sorted slot tails.
+	for i := 1; i < len(s); i++ {
+		ent := s[i]
+		j := i - 1
+		for j >= 0 && ent.less(s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = ent
+	}
+}
+
+// heapSortEntries is the introsort depth-limit fallback (adversarial
+// partition patterns only; never hit by real slot contents).
+func heapSortEntries(s []entry) {
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftEntries(s, i, len(s))
+	}
+	for end := len(s) - 1; end > 0; end-- {
+		s[0], s[end] = s[end], s[0]
+		siftEntries(s, 0, end)
+	}
+}
+
+func siftEntries(s []entry, root, end int) {
+	for {
+		c := 2*root + 1
+		if c >= end {
+			return
+		}
+		if c+1 < end && s[c].less(s[c+1]) {
+			c++
+		}
+		if !s[root].less(s[c]) {
+			return
+		}
+		s[root], s[c] = s[c], s[root]
+		root = c
 	}
 }
 
@@ -459,6 +612,13 @@ func (e *Engine) Step() bool {
 			}
 			e.now = ent.at
 			e.nSteps++
+			// Establish the causal context for anything the callback
+			// schedules: the running event's identity hash becomes the
+			// parent hash, children count from zero. The entry's own key
+			// is exposed via ExecKey for external record tagging.
+			e.execHi, e.execLo = ent.hi, ent.lo
+			e.curHash = mix64(ent.phash(), ent.lo&0xFFFFFFFF)
+			e.childIdx = 0
 			fn, afn, arg := n.fn, n.afn, n.arg
 			e.reap(n)
 			if afn != nil {
@@ -508,8 +668,9 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// Reset returns the engine to its initial zero-time state — clock, seq,
-// step count and drain position at zero, no pending events — while
+// Reset returns the engine to its initial zero-time state — clock,
+// causal context, step count and drain position at zero, no pending
+// events — while
 // keeping every warmed buffer: slot and batch capacities, the overflow
 // heap's backing array, and the node free list (pending events are
 // discarded and their nodes recycled). A reset engine is observationally
@@ -543,11 +704,23 @@ func (e *Engine) Reset() {
 	clear(e.batch)
 	e.batch = e.batch[:0]
 	e.bi = 0
-	e.now, e.seq, e.nSteps, e.curTick, e.cascadedTo, e.pending = 0, 0, 0, 0, 0, 0
+	e.now, e.nSteps, e.curTick, e.cascadedTo, e.pending = 0, 0, 0, 0, 0
+	e.curHash, e.childIdx = 0, 0
+	e.execHi, e.execLo = 0, 0
 }
 
-// less orders entries by (at, seq): FIFO among events at the same instant.
-func (a entry) less(b entry) bool { return cmpEntry(a, b) < 0 }
+// less orders entries by the canonical key. It must agree with cmpEntry
+// exactly (the property test cross-checks both); it is written out
+// rather than delegating so the sort and heap hot paths inline it.
+func (a entry) less(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.hi != b.hi {
+		return a.hi < b.hi
+	}
+	return a.lo < b.lo
+}
 
 // overPush inserts an entry into the overflow heap and sifts it up.
 func (e *Engine) overPush(ent entry) {

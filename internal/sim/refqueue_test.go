@@ -4,35 +4,63 @@ package sim
 // replaced (PR 2's hand-rolled value-entry heap), kept as the ordering
 // oracle for the equivalence property test: any schedule/cancel/re-arm
 // script must fire in exactly the same order on both implementations.
-// It lives in a test file on purpose — production code has exactly one
-// queue.
+// It carries the same canonical key (at, dsched, phash, k) and mirrors
+// the engine's causal scheduling context — popping an entry makes it
+// the parent of whatever is scheduled next, exactly as firing does on
+// the engine. It lives in a test file on purpose — production code has
+// exactly one queue.
 type referenceQueue struct {
-	heap []refEntry
-	seq  uint64
-	now  Time
+	heap     []refEntry
+	now      Time
+	curHash  uint64
+	childIdx uint32
 }
 
 type refEntry struct {
-	at  Time
-	seq uint64
-	id  int
+	at     Time
+	phash  uint64
+	dsched uint32
+	k      uint32
+	id     int
 }
 
-// schedule enqueues event id at time t, mirroring Engine.At's (at, seq)
-// keying.
+// schedule enqueues event id at time t, deriving the canonical key from
+// the mirrored causal context exactly as Engine.At does.
 func (q *referenceQueue) schedule(t Time, id int) {
 	if t < q.now {
 		panic("referenceQueue: event scheduled in the past")
 	}
-	q.push(refEntry{at: t, seq: q.seq, id: id})
-	q.seq++
+	q.push(refEntry{at: t, phash: q.curHash, dsched: satDelta(t, q.now), k: q.childIdx, id: id})
+	q.childIdx++
 }
 
+// scheduleKey enqueues event id under an explicit canonical key,
+// mirroring Engine.InjectKey.
+func (q *referenceQueue) scheduleKey(k Key, id int) {
+	if k.At < q.now {
+		panic("referenceQueue: event scheduled in the past")
+	}
+	q.push(refEntry{at: k.At, phash: k.PHash, dsched: k.DSched, k: k.K, id: id})
+}
+
+// setOrigin mirrors Engine.SetOrigin.
+func (q *referenceQueue) setOrigin(key uint64) {
+	q.curHash = mix64(originSalt, key)
+	q.childIdx = 0
+}
+
+// less mirrors cmpEntry's (at ASC, dsched DESC, phash ASC, k ASC).
 func (a refEntry) less(b refEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.dsched != b.dsched {
+		return a.dsched > b.dsched
+	}
+	if a.phash != b.phash {
+		return a.phash < b.phash
+	}
+	return a.k < b.k
 }
 
 func (q *referenceQueue) push(ent refEntry) {
@@ -49,7 +77,9 @@ func (q *referenceQueue) push(ent refEntry) {
 	q.heap = h
 }
 
-// pop removes and returns the minimum entry, advancing the clock.
+// pop removes and returns the minimum entry, advancing the clock and
+// the causal context: the popped entry becomes the parent of subsequent
+// schedule calls, as on the engine.
 func (q *referenceQueue) pop() (refEntry, bool) {
 	if len(q.heap) == 0 {
 		return refEntry{}, false
@@ -77,5 +107,7 @@ func (q *referenceQueue) pop() (refEntry, bool) {
 	}
 	q.heap = h
 	q.now = top.at
+	q.curHash = mix64(top.phash, uint64(top.k))
+	q.childIdx = 0
 	return top, true
 }

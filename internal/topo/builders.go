@@ -102,7 +102,11 @@ type LeafSpineConfig struct {
 	// experiments stress. Shorter slices leave later spines at FabricRate.
 	SpineRates []units.BitRate
 	LinkDelay  sim.Duration // default 1 µs
-	Opts       Options
+	// Parts > 1 shards the fabric for parallel execution using the
+	// rack-aligned plan from Partitions (ignored when Opts.Partition is
+	// already set).
+	Parts int
+	Opts  Options
 }
 
 func (c *LeafSpineConfig) fillDefaults() {
@@ -156,6 +160,9 @@ func (c LeafSpineConfig) SpineSwitch(s int) int {
 // (l+1)·ServersPerLeaf) share leaf l; Switches lists leaves then spines.
 func LeafSpine(cfg LeafSpineConfig) *Network {
 	cfg.fillDefaults()
+	if cfg.Parts > 1 && cfg.Opts.Partition == nil {
+		cfg.Opts.Partition = cfg.Partitions(cfg.Parts)
+	}
 	n := newNetwork(cfg.HostRate, cfg.Opts)
 	leaves := make([]int, cfg.Leaves)
 	spines := make([]int, cfg.Spines)
@@ -252,7 +259,11 @@ type FatTreeConfig struct {
 	FabricRate    units.BitRate // default 100 Gbps
 	EdgeDelay     sim.Duration  // default 1 µs (server and intra-pod links)
 	CoreDelay     sim.Duration  // default 5 µs (links to core)
-	Opts          Options
+	// Parts > 1 shards the fabric for parallel execution using the
+	// pod-aligned plan from Partitions (ignored when Opts.Partition is
+	// already set).
+	Parts int
+	Opts  Options
 }
 
 // WithDefaults returns the config with every zero field replaced by the
@@ -297,6 +308,9 @@ func (c *FatTreeConfig) fillDefaults() {
 // Switches[0..Pods·TorsPerPod), then aggregations, then cores.
 func FatTree(cfg FatTreeConfig) *Network {
 	cfg.fillDefaults()
+	if cfg.Parts > 1 && cfg.Opts.Partition == nil {
+		cfg.Opts.Partition = cfg.Partitions(cfg.Parts)
+	}
 	n := newNetwork(cfg.HostRate, cfg.Opts)
 
 	nTors := cfg.Pods * cfg.TorsPerPod

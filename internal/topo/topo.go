@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/link"
 	"repro/internal/packet"
+	"repro/internal/psim"
 	"repro/internal/queue"
 	"repro/internal/route"
 	"repro/internal/sim"
@@ -62,8 +63,16 @@ type Options struct {
 	// the seam suite harnesses use to hand a Reset() engine (warmed slot
 	// rings and node free list) from one run to the next. Nil builds a
 	// fresh engine. The engine must be at time zero with no pending
-	// events.
+	// events. Under a partition plan this engine becomes the control
+	// engine (probes, routing events); each partition gets a fresh
+	// engine of its own.
 	Engine *sim.Engine
+	// Partition, when non-nil with Parts > 1, shards the fabric for
+	// parallel execution (internal/psim): every host and switch runs on
+	// its partition's engine and packet pool, cut links deliver through
+	// mailboxes, and the built Network carries a ready psim.Fabric.
+	// Plans come from FatTreeConfig.Partitions / LeafSpineConfig.Partitions.
+	Partition *Plan
 }
 
 // TofinoBufferPerGbps is the default buffer/bandwidth ratio (§4.1).
@@ -71,17 +80,28 @@ const TofinoBufferPerGbps int64 = 10 * 1024
 
 // Network is a wired topology ready to run experiments on.
 type Network struct {
+	// Eng is the engine a serial network runs on. Under a partition plan
+	// it is the control engine: probes and routing events live here and
+	// fire single-threaded between partition slices (see internal/psim).
 	Eng      *sim.Engine
 	Hosts    []Node
 	Switches []*swtch.Switch
 	BaseRTT  sim.Duration
 	HostRate units.BitRate
 	// Pool is the engine-wide packet free list every endpoint and switch
-	// recycles through.
+	// recycles through. Under a partition plan it aliases Pools[0].
 	Pool *packet.Pool
 	// Router is the routing control plane: it computed the installed
 	// tables and can fail/restore links and reconverge (internal/route).
 	Router *route.Router
+
+	// Partitioned-execution state, nil/empty on a serial network: the
+	// per-partition engines and packet pools, the plan that placed every
+	// entity, and the conservative-sync fabric that runs them.
+	Engs  []*sim.Engine
+	Pools []*packet.Pool
+	Part  *Plan
+	PSim  *psim.Fabric
 
 	nextFlow uint64
 	swPeers  [][]peerRef // per switch, per port: what the port points at
@@ -111,13 +131,83 @@ func (n *Network) TransportHost(i int) *transport.Host {
 // HostID returns the node ID of host i.
 func (n *Network) HostID(i int) packet.NodeID { return n.Hosts[i].ID() }
 
-// newNetwork allocates the shell all builders fill in.
+// newNetwork allocates the shell all builders fill in. Under a
+// partition plan it also spins up the per-partition engines and pools
+// and the psim fabric with one bidirectional sync edge per cut.
 func newNetwork(hostRate units.BitRate, opts Options) *Network {
 	eng := opts.Engine
 	if eng == nil {
 		eng = sim.New()
 	}
-	return &Network{Eng: eng, HostRate: hostRate, Pool: packet.NewPool()}
+	n := &Network{Eng: eng, HostRate: hostRate, Pool: packet.NewPool()}
+	if pl := opts.Partition; pl != nil && pl.Parts > 1 {
+		pl.validate()
+		n.Part = pl
+		n.Engs = make([]*sim.Engine, pl.Parts)
+		n.Pools = make([]*packet.Pool, pl.Parts)
+		for i := range n.Engs {
+			n.Engs[i] = sim.New()
+			n.Pools[i] = packet.NewPool()
+		}
+		// Partition 0 shares the network-wide pool so warmed packets
+		// adopted into it (scenario scratch reuse) stay in circulation.
+		n.Pools[0] = n.Pool
+		n.PSim = psim.New(eng, n.Engs)
+		for _, c := range pl.Cuts {
+			pa, pb := pl.SwitchPart[c.A], pl.SwitchPart[c.B]
+			n.PSim.AddEdge(pa, pb, c.Lookahead)
+			n.PSim.AddEdge(pb, pa, c.Lookahead)
+		}
+	}
+	return n
+}
+
+// hostPart returns the partition owning host hi (0 when serial).
+func (n *Network) hostPart(hi int) int {
+	if n.Part == nil {
+		return 0
+	}
+	return n.Part.HostPart[hi]
+}
+
+// switchPart returns the partition owning switch si (0 when serial).
+func (n *Network) switchPart(si int) int {
+	if n.Part == nil {
+		return 0
+	}
+	return n.Part.SwitchPart[si]
+}
+
+// engFor returns partition part's engine (the shared engine when serial).
+func (n *Network) engFor(part int) *sim.Engine {
+	if n.Engs == nil {
+		return n.Eng
+	}
+	return n.Engs[part]
+}
+
+// poolFor returns partition part's packet pool (the shared pool when
+// serial).
+func (n *Network) poolFor(part int) *packet.Pool {
+	if n.Pools == nil {
+		return n.Pool
+	}
+	return n.Pools[part]
+}
+
+// HostEngine returns the engine host hi runs on: the shared engine on
+// a serial network, the owning partition's engine otherwise. Setup code
+// that schedules on a host's behalf (flow launches) must use it.
+func (n *Network) HostEngine(hi int) *sim.Engine { return n.engFor(n.hostPart(hi)) }
+
+// Steps reports the total number of events executed: the single
+// engine's count on a serial network, the sum over control and
+// partition engines after a partitioned run — equal by construction.
+func (n *Network) Steps() uint64 {
+	if n.PSim != nil {
+		return n.PSim.Steps()
+	}
+	return n.Eng.Steps()
 }
 
 // poolUser lets endpoints opt into the network-wide packet free list
@@ -128,9 +218,10 @@ type poolUser interface {
 
 func (n *Network) addHost(f HostFactory) int {
 	id := packet.NodeID(len(n.Hosts))
-	h := f(n.Eng, id)
+	part := n.hostPart(len(n.Hosts))
+	h := f(n.engFor(part), id)
 	if pu, ok := h.(poolUser); ok {
-		pu.SetPool(n.Pool)
+		pu.SetPool(n.poolFor(part))
 	}
 	n.Hosts = append(n.Hosts, h)
 	return len(n.Hosts) - 1
@@ -140,13 +231,14 @@ func (n *Network) addSwitch(opts Options) int {
 	// Switch node IDs live above host IDs; they only matter for debug
 	// output since routing is table-driven.
 	id := packet.NodeID(1<<16 + len(n.Switches))
-	s := swtch.New(n.Eng, id, swtch.Config{
+	part := n.switchPart(len(n.Switches))
+	s := swtch.New(n.engFor(part), id, swtch.Config{
 		Alpha:       opts.Alpha,
 		INT:         opts.INT,
 		QuantizeINT: opts.QuantizeINT,
 		ECN:         opts.ECN,
 		Seed:        opts.Seed,
-		Pool:        n.Pool,
+		Pool:        n.poolFor(part),
 	})
 	n.Switches = append(n.Switches, s)
 	n.swPeers = append(n.swPeers, nil)
@@ -160,24 +252,60 @@ func (n *Network) qFor(opts Options) queue.Queue {
 	return nil
 }
 
-// wireHost connects host hi and switch si bidirectionally.
+// wireHost connects host hi and switch si bidirectionally. Under a
+// partition plan host and switch must be co-partitioned — plans keep
+// racks whole, so host links are never cuts.
 func (n *Network) wireHost(hi, si int, rate units.BitRate, delay sim.Duration, opts Options) {
+	part := n.hostPart(hi)
+	if sp := n.switchPart(si); sp != part {
+		panic(fmt.Sprintf("topo: host %d (partition %d) wired to switch %d (partition %d)", hi, part, si, sp))
+	}
 	h := n.Hosts[hi]
 	s := n.Switches[si]
-	up := link.NewPort(n.Eng, rate, delay, s)
+	up := link.NewPort(n.engFor(part), rate, delay, s)
 	up.Name = fmt.Sprintf("host%d.nic", hi)
-	up.Pool = n.Pool
+	up.Pool = n.poolFor(part)
 	h.SetUplink(up)
 	s.AddPort(rate, delay, h, n.qFor(opts))
 	n.swPeers[si] = append(n.swPeers[si], peerRef{isHost: true, idx: hi})
 }
 
-// wireSwitches connects switches ai and bi bidirectionally.
+// wireSwitches connects switches ai and bi bidirectionally. When the
+// two ends live on different partitions, each direction's deliveries
+// are rerouted through a psim mailbox instead of a local engine event.
 func (n *Network) wireSwitches(ai, bi int, rate units.BitRate, delay sim.Duration, opts Options) {
-	n.Switches[ai].AddPort(rate, delay, n.Switches[bi], n.qFor(opts))
+	pa := n.Switches[ai].AddPort(rate, delay, n.Switches[bi], n.qFor(opts))
 	n.swPeers[ai] = append(n.swPeers[ai], peerRef{idx: bi})
-	n.Switches[bi].AddPort(rate, delay, n.Switches[ai], n.qFor(opts))
+	pb := n.Switches[bi].AddPort(rate, delay, n.Switches[ai], n.qFor(opts))
 	n.swPeers[bi] = append(n.swPeers[bi], peerRef{idx: ai})
+	if wa, wb := n.switchPart(ai), n.switchPart(bi); wa != wb {
+		n.crossWire(n.Switches[ai].Ports()[pa], wb, n.Switches[bi])
+		n.crossWire(n.Switches[bi].Ports()[pb], wa, n.Switches[ai])
+	}
+}
+
+// crossWire reroutes pt's deliveries through a mailbox into partition
+// dst. The sender consumes a causal child slot at transmit time
+// (ChildKey) exactly where a local AtCall would have, so the injected
+// delivery carries the canonical key the serial engine would have
+// assigned; the delivery callback replicates Port.deliver — the
+// wire-down check happens at the arrival instant, on the receiving
+// side, with losses counted on the port's remote counter and the
+// packet recycled into the receiver's pool.
+func (n *Network) crossWire(pt *link.Port, dst int, peer link.Receiver) {
+	pool := n.poolFor(dst)
+	mb := n.PSim.NewMailbox(dst, func(arg any) {
+		p := arg.(*packet.Packet)
+		if pt.IsDown() {
+			pt.NoteRemoteLost()
+			pool.Put(p)
+			return
+		}
+		peer.Receive(p)
+	})
+	pt.X = func(at sim.Time, p *packet.Packet) {
+		mb.Post(pt.Eng.ChildKey(at), p)
+	}
 }
 
 // finish sizes the shared buffers and hands the wired graph to the
