@@ -11,6 +11,10 @@
 // cannot express: mixed traffic-class schemes, an incast pulse during a
 // failover, a mid-run load step. 'powersim -scenario list' names them.
 //
+// The -fuzz mode drives internal/fuzzlab outside `go test`: generate a
+// scenario from a seed, run the invariant battery over it, sweep seed
+// bands (time-budgeted with -deep), or -replay a pinned corpus spec.
+//
 // Examples:
 //
 //	powersim -exp incast -scheme powertcp -fanin 32
@@ -21,6 +25,10 @@
 //	powersim -exp list
 //	powersim -scenario incast-failover -scheme powertcp
 //	powersim -scenario load-step -scheme dcqcn -json
+//	powersim -fuzz -seed 7
+//	powersim -fuzz -seed 1 -seeds 200
+//	powersim -fuzz -deep -minutes 30 -pin /tmp/repros
+//	powersim -replay internal/fuzzlab/testdata/corpus/drop-undercount.json
 package main
 
 import (
@@ -56,6 +64,13 @@ var (
 	flowsFlag    = flag.Int("flows", 0, "flow count (fairness, failover)")
 	jsonFlag     = flag.Bool("json", false, "emit the result envelope as JSON")
 	tsvFlag      = flag.Bool("tsv", false, "emit the result envelope as TSV blocks")
+
+	fuzzFlag    = flag.Bool("fuzz", false, "fuzz mode: generate scenarios from seeds and check every invariant (internal/fuzzlab)")
+	deepFlag    = flag.Bool("deep", false, "fuzz: sweep seeds until the -minutes wall-clock budget instead of a fixed count")
+	minutesFlag = flag.Float64("minutes", 10, "fuzz: wall-clock budget of a -deep sweep")
+	seedsFlag   = flag.Int("seeds", 1, "fuzz: how many consecutive seeds to check, starting at -seed")
+	replayFlag  = flag.String("replay", "", "fuzz: re-check a pinned spec JSON file and emit its result")
+	pinFlag     = flag.String("pin", "", "fuzz: directory to write shrunk repros into (ready for testdata/corpus)")
 )
 
 func main() {
@@ -64,6 +79,28 @@ func main() {
 		fmt.Printf("experiments: %s\n", strings.Join(exp.ExperimentNames(), ", "))
 		fmt.Printf("scenarios  : %s\n", strings.Join(scenarioNames(), ", "))
 		fmt.Printf("schemes    : %s (plus homa-oc<N>, retcp-<µs>)\n", strings.Join(exp.SchemeNames(), ", "))
+		return
+	}
+
+	if *fuzzFlag || *replayFlag != "" {
+		// Fuzz mode is self-contained: the generator derives everything
+		// from the seed, so experiment knobs cannot apply.
+		allowed := map[string]bool{
+			"fuzz": true, "deep": true, "minutes": true, "seeds": true,
+			"seed": true, "replay": true, "pin": true, "json": true, "tsv": true,
+		}
+		var stray []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			fmt.Fprintf(os.Stderr, "powersim: fuzz mode does not consume %s (specs derive from the seed alone)\n",
+				strings.Join(stray, ", "))
+			os.Exit(2)
+		}
+		runFuzz()
 		return
 	}
 

@@ -183,6 +183,21 @@ func TestDocsReadmeSnippetsBuild(t *testing.T) {
 		}
 	}
 
+	// The fuzz workflow documentation must point at the real pinned
+	// corpus: the directory exists, holds the committed counterexamples,
+	// and the README tells readers where to put new ones.
+	corpusDir := filepath.Join("internal", "fuzzlab", "testdata", "corpus")
+	if !strings.Contains(string(readme), "internal/fuzzlab/testdata/corpus") {
+		t.Errorf("README.md never mentions %s — document how shrunk repros get pinned", corpusDir)
+	}
+	pinned, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) < 5 {
+		t.Errorf("pinned corpus %s holds %d specs, want ≥5 — the documented regression gate is hollow", corpusDir, len(pinned))
+	}
+
 	// And the reverse: every command under cmd/ must be documented in
 	// the README, so new tools (powervet included) stay discoverable.
 	cmds, err := filepath.Glob("cmd/*")

@@ -18,6 +18,7 @@ var SimPathPackages = []string{
 	"core",      // PowerTCP / θ-PowerTCP laws — the paper's algorithms
 	"exp",       // experiment registry + suite fan-out feeding Result encoders
 	"fluid",     // RK4 fluid model — deterministic integration
+	"fuzzlab",   // scenario generator/shrinker — seeded RNG, reproducible minimization
 	"homa",      // HOMA transport — grants, resends
 	"link",      // ports, serialization, delivery ordering
 	"monitor",   // taps and captures embedded in golden outputs

@@ -114,13 +114,16 @@ func runFailover(s Spec, scheme Scheme) (*Result, error) {
 			Count:    s.Flows,
 		}},
 		Events: scenario.Timeline{Events: events, Reconverge: s.Reconverge},
-		Probes: []scenario.Probe{&failoverPanel{
-			period:    s.SamplePeriod,
-			window:    s.Window,
-			failAt:    s.FailAfter,
-			restoreAt: restoreAt,
-			flows:     s.Flows,
-		}},
+		Probes: []scenario.Probe{
+			&failoverPanel{
+				period:    s.SamplePeriod,
+				window:    s.Window,
+				failAt:    s.FailAfter,
+				restoreAt: restoreAt,
+				flows:     s.Flows,
+			},
+			scenario.AccountingProbe{},
+		},
 		Until: s.Window,
 	})
 }

@@ -80,8 +80,11 @@ func runIncast(s Spec, scheme Scheme) (*Result, error) {
 				Senders:  scenario.Span{From: scenario.RackStart(1), To: scenario.HostFromEnd(1)},
 			},
 		},
-		Probes: []scenario.Probe{&incastPanel{receiver: 0, flowSize: s.FlowSize, period: s.SamplePeriod}},
-		Until:  s.Warmup + s.Window,
+		Probes: []scenario.Probe{
+			&incastPanel{receiver: 0, flowSize: s.FlowSize, period: s.SamplePeriod},
+			scenario.AccountingProbe{},
+		},
+		Until: s.Warmup + s.Window,
 	})
 }
 

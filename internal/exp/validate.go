@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/route"
 )
 
 // Spec field names used by Validate and Experiment.Fields. Each names
@@ -91,6 +93,13 @@ func (s Spec) Validate() error {
 }
 
 func (s Spec) validateAgainst(e Experiment) error {
+	// Domain checks apply to every assigned knob regardless of which
+	// experiment consumes it — a negative fan-in is wrong everywhere.
+	for _, f := range s.assignedFields() {
+		if err := s.checkDomain(f); err != nil {
+			return err
+		}
+	}
 	if e.Fields == nil {
 		return nil
 	}
@@ -107,6 +116,95 @@ func (s Spec) validateAgainst(e Experiment) error {
 	if len(bad) > 0 {
 		return fmt.Errorf("exp: experiment %q does not consume %s (accepted: %s)",
 			e.Name, strings.Join(bad, ", "), strings.Join(e.Fields, ", "))
+	}
+	return nil
+}
+
+// checkDomain validates one assigned knob's value against its domain.
+// Assigned means non-zero, so zero values (defaults) never reach here;
+// the checks reject the values no experiment could meaningfully read —
+// negative counts, sizes and durations, out-of-range loads, unknown
+// routing strategies.
+func (s Spec) checkDomain(field string) error {
+	positive := func(name string, v int64) error {
+		if v < 0 {
+			return fmt.Errorf("exp: %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	switch field {
+	case FieldServersPerTor:
+		return positive(field, int64(s.ServersPerTor))
+	case FieldTors:
+		return positive(field, int64(s.Tors))
+	case FieldPartitions:
+		return positive(field, int64(s.Partitions))
+	case FieldFanIn:
+		return positive(field, int64(s.FanIn))
+	case FieldFlowSize:
+		return positive(field, s.FlowSize)
+	case FieldFlows:
+		return positive(field, int64(s.Flows))
+	case FieldStagger:
+		return positive(field, int64(s.Stagger))
+	case FieldSizes:
+		for _, v := range s.Sizes {
+			if v <= 0 {
+				return fmt.Errorf("exp: Sizes entries must be positive, got %d", v)
+			}
+		}
+	case FieldLoad:
+		if s.Load < 0 || s.Load > 1 {
+			return fmt.Errorf("exp: Load must be within (0, 1], got %g", s.Load)
+		}
+	case FieldLoads:
+		for _, v := range s.Loads {
+			if v <= 0 || v > 1 {
+				return fmt.Errorf("exp: Loads entries must be within (0, 1], got %g", v)
+			}
+		}
+	case FieldIncastRate:
+		if s.IncastRate < 0 {
+			return fmt.Errorf("exp: IncastRate must be positive, got %g", s.IncastRate)
+		}
+	case FieldIncastSize:
+		return positive(field, s.IncastSize)
+	case FieldIncastFanIn:
+		return positive(field, int64(s.IncastFanIn))
+	case FieldPacketRate:
+		return positive(field, int64(s.PacketRate))
+	case FieldWeeks:
+		return positive(field, int64(s.Weeks))
+	case FieldRouting:
+		if _, err := route.StrategyByName(s.Routing); err != nil {
+			return fmt.Errorf("exp: Routing: %w", err)
+		}
+	case FieldSpines:
+		return positive(field, int64(s.Spines))
+	case FieldSpineRates:
+		for _, v := range s.SpineRates {
+			if v <= 0 {
+				return fmt.Errorf("exp: SpineRates entries must be positive, got %v", v)
+			}
+		}
+	case FieldFailAfter:
+		return positive(field, int64(s.FailAfter))
+	case FieldRestoreAfter:
+		if s.RestoreAfter < 0 && s.RestoreAfter != KeepLinkDown {
+			return fmt.Errorf("exp: RestoreAfter must be positive or KeepLinkDown, got %v", s.RestoreAfter)
+		}
+	case FieldReconverge:
+		return positive(field, int64(s.Reconverge))
+	case FieldWindow:
+		return positive(field, int64(s.Window))
+	case FieldWarmup:
+		return positive(field, int64(s.Warmup))
+	case FieldDuration:
+		return positive(field, int64(s.Duration))
+	case FieldDrain:
+		return positive(field, int64(s.Drain))
+	case FieldSamplePeriod:
+		return positive(field, int64(s.SamplePeriod))
 	}
 	return nil
 }

@@ -125,6 +125,84 @@ func TestValidateRejectsUnconsumedFields(t *testing.T) {
 	}
 }
 
+// invalidValues assigns, per knob, a value outside its domain.
+// SampleBuffers is the one declared knob with no possible invalid value
+// (a bool), so it is deliberately absent; the coverage loop below pins
+// that every other knob has a negative case here.
+var invalidValues = map[string]Option{
+	FieldServersPerTor: WithServersPerTor(-4),
+	FieldTors:          WithTors(-1),
+	FieldPartitions:    WithPartitions(-2),
+	FieldFanIn:         WithFanIn(-8),
+	FieldFlowSize:      WithFlowSize(-1000),
+	FieldFlows:         WithFlows(-2),
+	FieldStagger:       WithStagger(-sim.Millisecond),
+	FieldSizes:         WithSizes(1<<20, -5),
+	FieldLoad:          WithLoad(1.5),
+	FieldLoads:         WithLoads(0.2, -0.4),
+	FieldIncastRate:    func(s *Spec) { s.IncastRate = -100 },
+	FieldIncastSize:    func(s *Spec) { s.IncastSize = -1 },
+	FieldIncastFanIn:   func(s *Spec) { s.IncastFanIn = -8 },
+	FieldPacketRate:    WithPacketRate(-10 * units.Gbps),
+	FieldWeeks:         WithWeeks(-1),
+	FieldRouting:       WithRouting("spray"),
+	FieldSpines:        WithSpines(-2),
+	FieldSpineRates:    WithSpineRates(100*units.Gbps, -units.Gbps),
+	FieldFailAfter:     func(s *Spec) { s.FailAfter = -sim.Millisecond },
+	FieldRestoreAfter:  func(s *Spec) { s.RestoreAfter = -2 * sim.Millisecond },
+	FieldReconverge:    WithReconverge(-sim.Microsecond),
+	FieldWindow:        WithWindow(-sim.Millisecond),
+	FieldWarmup:        WithWarmup(-sim.Microsecond),
+	FieldDuration:      WithDuration(-sim.Millisecond),
+	FieldDrain:         WithDrain(-sim.Millisecond),
+	FieldSamplePeriod:  WithSamplePeriod(-sim.Microsecond),
+}
+
+// TestValidateRejectsOutOfDomainValues pins a negative case for every
+// declared knob: an assigned value outside the knob's domain must fail
+// validation with an error naming the knob — even on an experiment that
+// consumes it.
+func TestValidateRejectsOutOfDomainValues(t *testing.T) {
+	// Every declared knob except the boolean must carry a negative case.
+	for field := range setOneField {
+		if field == FieldSampleBuffers {
+			continue
+		}
+		if _, ok := invalidValues[field]; !ok {
+			t.Errorf("declared knob %s has no out-of-domain case", field)
+		}
+	}
+	// consumers maps each knob to an experiment that accepts it, so the
+	// rejection below is attributable to the domain check alone.
+	consumers := map[string]string{}
+	for name, fields := range acceptedFields {
+		for _, f := range fields {
+			if _, ok := consumers[f]; !ok {
+				consumers[f] = name
+			}
+		}
+	}
+	for field, opt := range invalidValues {
+		expName, ok := consumers[field]
+		if !ok {
+			t.Errorf("no registered experiment consumes %s", field)
+			continue
+		}
+		err := NewSpec(expName, PowerTCP, opt).Validate()
+		if err == nil {
+			t.Errorf("%s: accepted an out-of-domain %s", expName, field)
+		} else if !strings.Contains(err.Error(), field) {
+			t.Errorf("%s/%s: error does not name the knob: %v", expName, field, err)
+		}
+	}
+	// The KeepLinkDown sentinel is the one negative duration with a
+	// meaning; it must keep validating.
+	if err := NewSpec("failover", PowerTCP,
+		WithFailure(sim.Millisecond, KeepLinkDown)).Validate(); err != nil {
+		t.Errorf("KeepLinkDown rejected: %v", err)
+	}
+}
+
 // specIdentityFields are the Spec fields that are not scenario knobs:
 // they are always accepted and assignedFields must not report them.
 var specIdentityFields = map[string]bool{

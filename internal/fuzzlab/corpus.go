@@ -1,0 +1,72 @@
+package fuzzlab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Canonical renders a Spec as the corpus JSON form: indented, trailing
+// newline, field order fixed by the struct. Two specs are equal exactly
+// when their canonical bytes are — the equality the shrinker and the
+// determinism tests rely on.
+func Canonical(sp *Spec) []byte {
+	b, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		// Spec holds only plain data; marshaling cannot fail.
+		panic(fmt.Sprintf("fuzzlab: marshaling spec: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// WriteRepro pins a spec under dir as <name>.json (the spec's Name,
+// falling back to its seed) and returns the written path. This is how a
+// shrunk counterexample becomes a permanent regression test: the pinned
+// corpus test re-checks every file here on every run.
+func WriteRepro(dir string, sp *Spec) (string, error) {
+	name := sp.Name
+	if name == "" {
+		name = fmt.Sprintf("seed-%d", sp.Seed)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, Canonical(sp), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.json spec under dir, sorted by filename so
+// iteration order is stable. Each spec's Name is set to its file stem.
+func LoadCorpus(dir string) ([]Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	specs := make([]Spec, 0, len(names))
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		var sp Spec
+		if err := json.Unmarshal(b, &sp); err != nil {
+			return nil, fmt.Errorf("fuzzlab: corpus file %s: %w", n, err)
+		}
+		sp.Name = strings.TrimSuffix(n, ".json")
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}

@@ -128,6 +128,7 @@ type Host struct {
 	OnMessageDone func(id uint64, size int64, fct sim.Duration)
 
 	rcvdTotal int64
+	rcvdRaw   int64
 }
 
 // NewHost builds a HOMA host.
@@ -157,8 +158,15 @@ func (h *Host) SetPool(pl *packet.Pool) {
 // NIC implements topo.Node.
 func (h *Host) NIC() *link.Port { return h.nic }
 
-// ReceivedTotal returns payload bytes received across all messages.
+// ReceivedTotal returns payload bytes received across all messages,
+// deduplicated: a retransmitted range counts once.
 func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
+
+// DeliveredPayload returns the raw payload bytes delivered to this
+// host, counting retransmitted duplicates — the receiver-side word of
+// the network-wide byte-conservation identity, which must match what
+// the wire actually carried here.
+func (h *Host) DeliveredPayload() int64 { return h.rcvdRaw }
 
 // ReceivedBytes returns payload bytes received for one flow.
 func (h *Host) ReceivedBytes(flow packet.FlowID) int64 {
@@ -287,6 +295,7 @@ func (h *Host) onGrant(p *packet.Packet) {
 }
 
 func (h *Host) onData(p *packet.Packet) {
+	h.rcvdRaw += int64(p.PayloadLen)
 	m := h.recvQ[p.MsgID]
 	if m == nil {
 		m = &recvMsg{

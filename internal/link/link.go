@@ -67,9 +67,27 @@ type Port struct {
 	// partition at transmit time, receiver partition at delivery time);
 	// the psim barrier orders each against the final read in Lost.
 	remoteLost uint64
-	busy       bool
-	paused     bool
-	down       bool
+
+	// Payload-byte ledger. Each word is updated at exactly one point of
+	// the packet's life through this port, so the network-wide sums form
+	// an exact conservation identity (the fuzzlab invariant): everything
+	// accepted is eventually transmitted or still queued; everything
+	// transmitted is delivered, lost on a downed wire, or still on the
+	// wire. The pl* words are written by the port's own engine; the
+	// remotePl* words only by the receiving partition's mailbox callback
+	// on a cut (same discipline as remoteLost).
+	plAccepted        uint64 // admitted into the queue
+	plDropped         uint64 // rejected at admission
+	plTx              uint64 // dequeued for transmission
+	plLostTx          uint64 // serialized onto a downed wire
+	plDelivered       uint64 // handed to Peer (local delivery path)
+	plLostRx          uint64 // lost at the delivery instant (local path)
+	remotePlDelivered uint64 // handed to Peer across a partition cut
+	remotePlLost      uint64 // lost at delivery across a partition cut
+
+	busy   bool
+	paused bool
+	down   bool
 
 	// Reusable transmit state, bound lazily on first kick: the timer that
 	// ends the current serialization and the delivery callback shared by
@@ -95,17 +113,47 @@ func (pt *Port) Drops() uint64 { return pt.drops }
 // QueueBytes returns the bytes currently queued.
 func (pt *Port) QueueBytes() int64 { return pt.Q.Bytes() }
 
+// PayloadAccepted returns the cumulative payload bytes admitted into the
+// queue (for a host NIC: everything the endpoint emitted).
+func (pt *Port) PayloadAccepted() uint64 { return pt.plAccepted }
+
+// PayloadDropped returns the cumulative payload bytes rejected at
+// admission (shared-buffer drops).
+func (pt *Port) PayloadDropped() uint64 { return pt.plDropped }
+
+// PayloadDelivered returns the cumulative payload bytes handed to the
+// peer, whichever side of a partition cut counted them.
+func (pt *Port) PayloadDelivered() uint64 { return pt.plDelivered + pt.remotePlDelivered }
+
+// PayloadLost returns the cumulative payload bytes discarded on the
+// downed wire — at transmit time, at the local delivery instant, or by
+// the remote side of a partition cut.
+func (pt *Port) PayloadLost() uint64 { return pt.plLostTx + pt.plLostRx + pt.remotePlLost }
+
+// PayloadQueued returns the payload bytes currently sitting in the
+// queue (accepted but not yet dequeued for transmission).
+func (pt *Port) PayloadQueued() uint64 { return pt.plAccepted - pt.plTx }
+
+// PayloadOnWire returns the payload bytes transmitted but not yet
+// delivered, lost, or consumed by the remote side of a cut — in-flight
+// on the wire (or parked in a cross-partition mailbox) at read time.
+func (pt *Port) PayloadOnWire() uint64 {
+	return pt.plTx - pt.plLostTx - pt.plDelivered - pt.plLostRx - pt.remotePlDelivered - pt.remotePlLost
+}
+
 // Send enqueues p for transmission, subject to admission control, and
 // starts the serializer if idle.
 func (pt *Port) Send(p *packet.Packet) {
 	if pt.Admit != nil && !pt.Admit(p) {
 		pt.drops++
+		pt.plDropped += uint64(p.PayloadLen)
 		if pt.OnDrop != nil {
 			pt.OnDrop(p)
 		}
 		pt.Pool.Put(p)
 		return
 	}
+	pt.plAccepted += uint64(p.PayloadLen)
 	pt.Q.Push(p)
 	pt.kick()
 }
@@ -144,11 +192,19 @@ func (pt *Port) IsDown() bool { return pt.down }
 // whichever side of a partition cut counted them.
 func (pt *Port) Lost() uint64 { return pt.lost + pt.remoteLost }
 
-// NoteRemoteLost records a packet lost at its delivery instant on a cut
-// crossing a partition boundary. Called only by the receiving
-// partition's mailbox delivery callback — never by the port's own
-// goroutine — keeping it race-free against the local lost counter.
-func (pt *Port) NoteRemoteLost() { pt.remoteLost++ }
+// NoteRemoteLost records a packet (and its payload bytes) lost at its
+// delivery instant on a cut crossing a partition boundary. Called only
+// by the receiving partition's mailbox delivery callback — never by the
+// port's own goroutine — keeping it race-free against the local lost
+// counter.
+func (pt *Port) NoteRemoteLost(payload int32) {
+	pt.remoteLost++
+	pt.remotePlLost += uint64(payload)
+}
+
+// NoteRemoteDelivered records payload bytes handed to the peer across a
+// partition cut. Same single-writer discipline as NoteRemoteLost.
+func (pt *Port) NoteRemoteDelivered(payload int32) { pt.remotePlDelivered += uint64(payload) }
 
 func (pt *Port) kick() {
 	if pt.busy || pt.paused {
@@ -164,6 +220,7 @@ func (pt *Port) kick() {
 	wire := p.WireLen() // after OnDequeue: includes any freshly stamped INT hop
 	pt.txBytes += uint64(wire)
 	pt.txPkts++
+	pt.plTx += uint64(p.PayloadLen)
 	tx := pt.Rate.TxTime(wire)
 	pt.busy = true
 	if pt.txDone == nil {
@@ -176,6 +233,7 @@ func (pt *Port) kick() {
 		// Serialized into a cut cable: lost immediately, whatever the
 		// wire's state by the time a delivery would have fired.
 		pt.lost++
+		pt.plLostTx += uint64(p.PayloadLen)
 		pt.Pool.Put(p)
 		return
 	}
@@ -201,8 +259,10 @@ func (pt *Port) deliver(arg any) {
 	p := arg.(*packet.Packet)
 	if pt.down {
 		pt.lost++
+		pt.plLostRx += uint64(p.PayloadLen)
 		pt.Pool.Put(p)
 		return
 	}
+	pt.plDelivered += uint64(p.PayloadLen)
 	pt.Peer.Receive(p)
 }

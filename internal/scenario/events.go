@@ -31,6 +31,9 @@ type LinkFail struct {
 }
 
 func (e LinkFail) apply(env *Env, links *[]route.LinkEvent) error {
+	if e.At < 0 {
+		return fmt.Errorf("scenario: link failure at negative time %v", e.At)
+	}
 	a, b, err := env.resolveLink(e.A, e.B)
 	if err != nil {
 		return err
@@ -46,6 +49,9 @@ type LinkRestore struct {
 }
 
 func (e LinkRestore) apply(env *Env, links *[]route.LinkEvent) error {
+	if e.At < 0 {
+		return fmt.Errorf("scenario: link restore at negative time %v", e.At)
+	}
 	a, b, err := env.resolveLink(e.A, e.B)
 	if err != nil {
 		return err
@@ -65,6 +71,9 @@ type InjectTraffic struct {
 func (e InjectTraffic) apply(env *Env, links *[]route.LinkEvent) error {
 	if e.Traffic == nil {
 		return fmt.Errorf("scenario: InjectTraffic needs a traffic component")
+	}
+	if e.At < 0 {
+		return fmt.Errorf("scenario: traffic injected at negative time %v", e.At)
 	}
 	return env.launchComponent(e.Traffic, e.At)
 }

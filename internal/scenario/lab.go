@@ -302,6 +302,19 @@ func (l *Lab) ReceivedTotal(i int) int64 {
 	return 0
 }
 
+// DeliveredPayload returns the raw payload bytes delivered to host i,
+// retransmitted duplicates included — the endpoint-side word of the
+// byte-conservation identity (ReceivedTotal deduplicates under HOMA).
+func (l *Lab) DeliveredPayload(i int) int64 {
+	switch h := l.Net.Hosts[i].(type) {
+	case *transport.Host:
+		return h.DeliveredPayload()
+	case *homa.Host:
+		return h.DeliveredPayload()
+	}
+	return 0
+}
+
 // ReceivedBytes returns the payload bytes host i received on one flow.
 func (l *Lab) ReceivedBytes(i int, id packet.FlowID) int64 {
 	switch h := l.Net.Hosts[i].(type) {

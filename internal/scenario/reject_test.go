@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// rejectScenario wraps one malformed axis value into a minimal
+// otherwise-valid scenario.
+func rejectScenario(mutate func(*Scenario)) Scenario {
+	sc := Scenario{
+		Name:     "reject",
+		Seed:     1,
+		Topology: LeafSpineTopology{Leaves: 2, Spines: 2, ServersPerLeaf: 2},
+		Traffic: []Traffic{Flows{List: []FlowSpec{{
+			Src: Host(0), Dst: RackStart(1), Size: 10_000,
+		}}}},
+		Until: 100 * sim.Microsecond,
+	}
+	mutate(&sc)
+	return sc
+}
+
+// TestRunRejectsMalformedScenarios pins that every malformed selector,
+// topology dim, flow value, and event the fuzzlab generator/shrinker
+// can legitimately produce is rejected with an error — never a panic.
+// Each case names the substring its error must carry, so a rejection
+// cannot silently migrate to a different (possibly wrong) code path.
+func TestRunRejectsMalformedScenarios(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Scenario)
+		wantErr string
+	}{
+		{"no topology", func(sc *Scenario) { sc.Topology = nil }, "no topology"},
+		{"no horizon", func(sc *Scenario) { sc.Until = 0 }, "no run horizon"},
+		{"star too small", func(sc *Scenario) { sc.Topology = StarTopology{Hosts: 1} }, "≥2 hosts"},
+		{"star negative rate", func(sc *Scenario) {
+			sc.Topology = StarTopology{Hosts: 4, HostRate: -units.Gbps}
+		}, "negative"},
+		{"fat-tree negative servers", func(sc *Scenario) {
+			sc.Topology = FatTreeTopology{ServersPerTor: -1}
+		}, "ServersPerTor -1 is negative"},
+		{"fat-tree negative pods", func(sc *Scenario) {
+			sc.Topology = FatTreeTopology{ServersPerTor: 2, Pods: -2}
+		}, "Pods -2 is negative"},
+		{"fat-tree negative partitions", func(sc *Scenario) {
+			sc.Topology = FatTreeTopology{ServersPerTor: 2, Partitions: -4}
+		}, "Partitions -4 is negative"},
+		{"leaf-spine negative leaves", func(sc *Scenario) {
+			sc.Topology = LeafSpineTopology{Leaves: -1, Spines: 2, ServersPerLeaf: 2}
+		}, "Leaves -1 is negative"},
+		{"leaf-spine negative spine rate", func(sc *Scenario) {
+			sc.Topology = LeafSpineTopology{Leaves: 2, Spines: 2, ServersPerLeaf: 2,
+				SpineRates: []units.BitRate{-units.Gbps}}
+		}, "rate"},
+		{"leaf-spine bad routing", func(sc *Scenario) {
+			sc.Topology = LeafSpineTopology{Leaves: 2, Spines: 2, ServersPerLeaf: 2, Routing: "spray"}
+		}, "spray"},
+		{"rotor one tor", func(sc *Scenario) {
+			sc.Topology = RotorTopology{Tors: 1, ServersPerTor: 2, Weeks: 1}
+		}, "≥2 ToRs"},
+		{"unset host ref", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Dst: Host(1), Size: 1000}}}}
+		}, "unset host reference"},
+		{"host out of range", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: Host(99), Dst: Host(0), Size: 1000}}}}
+		}, "fabric has 4 hosts"},
+		{"rack out of range", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: RackStart(7), Dst: Host(0), Size: 1000}}}}
+		}, "rack 7"},
+		{"rack-local overflow", func(sc *Scenario) {
+			// Host 2 of a 2-host rack exists globally (it is rack 1's first
+			// host) but must not resolve across the rack boundary.
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: RackHost(0, 2), Dst: Host(0), Size: 1000}}}}
+		}, "racks hold 2 hosts"},
+		{"negative rack host", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: RackHost(0, -1), Dst: Host(3), Size: 1000}}}}
+		}, "host -1"},
+		{"zero-size flow", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: Host(0), Dst: Host(2), Size: 0}}}}
+		}, "non-positive size"},
+		{"negative-size flow", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: Host(0), Dst: Host(2), Size: -7}}}}
+		}, "non-positive size"},
+		{"self flow", func(sc *Scenario) {
+			sc.Traffic = []Traffic{Flows{List: []FlowSpec{{Src: Host(1), Dst: Host(1), Size: 1000}}}}
+		}, "to itself"},
+		{"zero-host span", func(sc *Scenario) {
+			sc.Traffic = []Traffic{IncastPulse{Receiver: Host(0), FanIn: 4, FlowSize: 1000,
+				Senders: Span{From: Host(2), To: Host(2)}}}
+		}, "no eligible senders"},
+		{"zero fan-in", func(sc *Scenario) {
+			sc.Traffic = []Traffic{IncastPulse{Receiver: Host(0), FanIn: 0, FlowSize: 1000}}
+		}, "FanIn"},
+		{"pulse zero flow size", func(sc *Scenario) {
+			sc.Traffic = []Traffic{IncastPulse{Receiver: Host(0), FanIn: 2, FlowSize: 0}}
+		}, "non-positive size"},
+		{"negative event time", func(sc *Scenario) {
+			sc.Events = Timeline{Events: []Event{LinkFail{At: -sim.Microsecond, A: Leaf(0), B: Spine(0)}}}
+		}, "negative time"},
+		{"negative restore time", func(sc *Scenario) {
+			sc.Events = Timeline{Events: []Event{LinkRestore{At: -sim.Microsecond, A: Leaf(0), B: Spine(0)}}}
+		}, "negative time"},
+		{"negative inject time", func(sc *Scenario) {
+			sc.Events = Timeline{Events: []Event{InjectTraffic{At: -sim.Microsecond,
+				Traffic: Flows{List: []FlowSpec{{Src: Host(0), Dst: Host(2), Size: 1000}}}}}}
+		}, "negative time"},
+		{"negative reconverge", func(sc *Scenario) {
+			sc.Events = Timeline{Reconverge: -sim.Microsecond}
+		}, "reconvergence"},
+		{"event switch out of range", func(sc *Scenario) {
+			sc.Events = Timeline{Events: []Event{LinkFail{At: sim.Microsecond, A: Leaf(0), B: Spine(9)}}}
+		}, "spine switch 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := rejectScenario(tc.mutate)
+			scheme, err := ResolveScheme("powertcp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Scheme = scheme
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Run panicked instead of erroring: %v", r)
+				}
+			}()
+			_, err = Run(sc)
+			if err == nil {
+				t.Fatalf("Run accepted the malformed scenario")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Run error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

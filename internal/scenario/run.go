@@ -105,6 +105,9 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 
+	if sc.Events.Reconverge < 0 {
+		return nil, fmt.Errorf("scenario: negative reconvergence delay %v", sc.Events.Reconverge)
+	}
 	var links []route.LinkEvent
 	for _, ev := range sc.Events.Events {
 		if err := ev.apply(env, &links); err != nil {
@@ -174,6 +177,19 @@ func (env *Env) launchComponent(tr Traffic, shift sim.Duration) error {
 	if shift > 0 {
 		for i := range flows {
 			flows[i].Start = flows[i].Start.Add(shift)
+		}
+	}
+	// Every component's trace passes one sanity gate: sizes must be
+	// positive (or the Unbounded sentinel) and starts non-negative —
+	// malformed values the fuzzlab shrinker legitimately produces at
+	// boundaries must error here, not corrupt transport state downstream.
+	for _, f := range flows {
+		if f.Size != Unbounded && f.Size <= 0 {
+			return fmt.Errorf("scenario: flow %d→%d has non-positive size %d (use Unbounded for endless flows)",
+				f.Src, f.Dst, f.Size)
+		}
+		if f.Start < 0 {
+			return fmt.Errorf("scenario: flow %d→%d starts at negative time %v", f.Src, f.Dst, f.Start)
 		}
 	}
 	if env.Rotor != nil {

@@ -97,7 +97,9 @@ func RackStart(r int) HostRef { return HostRef{kind: refRackStart, rack: r} }
 // RackHost references host i of rack r.
 func RackHost(r, i int) HostRef { return HostRef{kind: refRackHost, rack: r, i: i} }
 
-// Resolve returns the absolute host index of the reference.
+// Resolve returns the absolute host index of the reference. Rack-based
+// references are bounds-checked against their own rack, so RackHost(0,
+// perRack) errors instead of silently naming the first host of rack 1.
 func (h HostRef) Resolve(f Fabric) (int, error) {
 	var idx int
 	switch h.kind {
@@ -107,9 +109,14 @@ func (h HostRef) Resolve(f Fabric) (int, error) {
 		idx = h.i
 	case refFromEnd:
 		idx = f.Hosts - h.i
-	case refRackStart:
-		idx = h.rack * f.HostsPerRack
-	case refRackHost:
+	case refRackStart, refRackHost:
+		if h.rack < 0 || h.rack >= f.Racks {
+			return 0, fmt.Errorf("scenario: host reference names rack %d, fabric has %d racks", h.rack, f.Racks)
+		}
+		if h.kind == refRackHost && (h.i < 0 || h.i >= f.HostsPerRack) {
+			return 0, fmt.Errorf("scenario: host reference names host %d of rack %d, racks hold %d hosts",
+				h.i, h.rack, f.HostsPerRack)
+		}
 		idx = h.rack*f.HostsPerRack + h.i
 	}
 	if idx < 0 || idx >= f.Hosts {
@@ -188,6 +195,9 @@ func (t StarTopology) build(env *Env) error {
 	if t.Hosts < 2 {
 		return fmt.Errorf("scenario: star topology needs ≥2 hosts, got %d", t.Hosts)
 	}
+	if t.HostRate < 0 {
+		return fmt.Errorf("scenario: star topology host rate %v is negative", t.HostRate)
+	}
 	if t.HostRate == 0 {
 		env.Lab = NewStarLab(env.Scheme, t.Hosts, env.Seed)
 	} else {
@@ -235,6 +245,20 @@ type FatTreeTopology struct {
 }
 
 func (t FatTreeTopology) build(env *Env) error {
+	// Structural dims are validated here, not panicked on downstream: the
+	// fuzzlab shrinker legitimately drives them through zero and below.
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"ServersPerTor", t.ServersPerTor}, {"Partitions", t.Partitions},
+		{"Pods", t.Pods}, {"TorsPerPod", t.TorsPerPod},
+		{"AggsPerPod", t.AggsPerPod}, {"Cores", t.Cores},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("scenario: fat-tree %s %d is negative", d.name, d.v)
+		}
+	}
 	strategy, err := resolveRouting(t.Routing)
 	if err != nil {
 		return err
@@ -316,6 +340,22 @@ type LeafSpineTopology struct {
 }
 
 func (t LeafSpineTopology) build(env *Env) error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"Leaves", t.Leaves}, {"Spines", t.Spines},
+		{"ServersPerLeaf", t.ServersPerLeaf}, {"Partitions", t.Partitions},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("scenario: leaf-spine %s %d is negative", d.name, d.v)
+		}
+	}
+	for i, r := range t.SpineRates {
+		if r < 0 {
+			return fmt.Errorf("scenario: leaf-spine spine %d rate %v is negative", i, r)
+		}
+	}
 	strategy, err := resolveRouting(t.Routing)
 	if err != nil {
 		return err
@@ -374,6 +414,15 @@ type RotorTopology struct {
 func (t RotorTopology) build(env *Env) error {
 	if t.Weeks <= 0 {
 		return fmt.Errorf("scenario: rotor topology needs Weeks ≥ 1")
+	}
+	if t.Tors < 0 || t.Tors == 1 {
+		return fmt.Errorf("scenario: rotor topology needs ≥2 ToRs (0 keeps the default), got %d", t.Tors)
+	}
+	if t.ServersPerTor < 0 {
+		return fmt.Errorf("scenario: rotor ServersPerTor %d is negative", t.ServersPerTor)
+	}
+	if t.PacketRate < 0 {
+		return fmt.Errorf("scenario: rotor packet rate %v is negative", t.PacketRate)
 	}
 	env.Rotor = rdcn.Build(rdcn.Config{
 		Tors:          t.Tors,

@@ -297,10 +297,11 @@ func (n *Network) crossWire(pt *link.Port, dst int, peer link.Receiver) {
 	mb := n.PSim.NewMailbox(dst, func(arg any) {
 		p := arg.(*packet.Packet)
 		if pt.IsDown() {
-			pt.NoteRemoteLost()
+			pt.NoteRemoteLost(p.PayloadLen)
 			pool.Put(p)
 			return
 		}
+		pt.NoteRemoteDelivered(p.PayloadLen)
 		peer.Receive(p)
 	})
 	pt.X = func(at sim.Time, p *packet.Packet) {

@@ -120,8 +120,15 @@ func (h *Host) ReceivedBytes(id packet.FlowID) int64 {
 	return 0
 }
 
-// ReceivedTotal returns payload bytes received across all flows.
+// ReceivedTotal returns payload bytes received across all flows. The
+// window transport counts raw arrivals (retransmitted ranges included).
 func (h *Host) ReceivedTotal() int64 { return h.rcvdTotal }
+
+// DeliveredPayload returns the raw payload bytes delivered to this
+// host — for the window transport identical to ReceivedTotal, named
+// separately so the byte-conservation identity reads the same word on
+// every host type (HOMA's ReceivedTotal deduplicates).
+func (h *Host) DeliveredPayload() int64 { return h.rcvdTotal }
 
 // Receive implements link.Receiver. Every arriving packet is consumed
 // here: data packets are recycled after receiver bookkeeping (and the
