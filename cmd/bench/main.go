@@ -14,15 +14,20 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/exp"
 	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -43,6 +48,11 @@ type Measurement struct {
 	// events/sec to the same fabric at 1 partition (scale benchmarks
 	// only).
 	SpeedupVsSerialX float64 `json:"speedup_vs_serial_x,omitempty"`
+	// RequestsPerSec and CacheHitRate are the powersimd serving smoke:
+	// HTTP submissions answered per second over a repeated figure
+	// workload, and the fraction answered from the result cache.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	CacheHitRate   float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // Baseline is the pre-optimization record a measurement is compared to.
@@ -273,6 +283,80 @@ func measureScale(parts int) Measurement {
 	return m
 }
 
+// serveSmokeRequests is the powersimd smoke workload: one figure spec
+// submitted this many times. The first submission computes; the rest
+// must come from the content-addressed cache.
+const serveSmokeRequests = 64
+
+// measureServe boots an in-process powersimd (serve.Server behind a
+// real HTTP listener) and replays one experiment preset repeatedly —
+// the serving pattern of figure regeneration, where every worker asks
+// for the same runs. Reported as requests/sec over the wire plus the
+// cache hit rate; ns/op is per request.
+func measureServe() (Measurement, error) {
+	srv, err := serve.New(serve.Config{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		return Measurement{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var sp *scenario.Spec
+	for _, p := range scenario.SpecPresets() {
+		if p.Name == "incast" {
+			p := p
+			sp = &p
+		}
+	}
+	body, err := scenario.MarshalCanonical(sp)
+	if err != nil {
+		return Measurement{}, err
+	}
+	var requests, hits uint64
+	submit := func() error {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("powersimd smoke: status %d", resp.StatusCode)
+		}
+		requests++
+		if resp.Header.Get("X-Powersim-Cache") == "hit" {
+			hits++
+		}
+		return nil
+	}
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < serveSmokeRequests; j++ {
+				if err := submit(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return Measurement{}, runErr
+	}
+	m := Measurement{
+		Name:    "Powersimd_RepeatedFigure",
+		NsPerOp: float64(br.NsPerOp()) / serveSmokeRequests,
+	}
+	if br.T > 0 {
+		m.RequestsPerSec = float64(requests) / br.T.Seconds()
+	}
+	if requests > 0 {
+		m.CacheHitRate = float64(hits) / float64(requests)
+	}
+	return m, nil
+}
+
 // measureEngine benchmarks the raw scheduler: schedule+run cycles with a
 // pre-bound timer, the purest events/sec number the simulator has.
 func measureEngine() Measurement {
@@ -304,7 +388,7 @@ func measureEngine() Measurement {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output snapshot path")
+	out := flag.String("o", "BENCH_7.json", "output snapshot path")
 	list := flag.Bool("list", false, "print the benchmark set and exit")
 	compare := flag.String("compare", "", "previous BENCH_<n>.json: fail if events/sec regresses >15% on the gate benchmarks")
 	gateOnly := flag.Bool("gate", false, "run only the regression-gate benchmarks (CI smoke)")
@@ -316,6 +400,7 @@ func main() {
 		for _, sb := range specBenches {
 			fmt.Println(sb.name)
 		}
+		fmt.Println("Powersimd_RepeatedFigure")
 		for _, p := range scalePartCounts {
 			fmt.Printf("Scale_FatTree10k/parts%d\n", p)
 		}
@@ -332,23 +417,21 @@ func main() {
 	}
 
 	snap := Snapshot{
-		PR: 6,
-		Note: fmt.Sprintf("Parallel discrete-event fabric: canonical "+
-			"(at, dsched, phash, k) event order replaces (at, seq), and "+
-			"internal/psim shards the fabric across per-partition wheel "+
-			"engines under conservative sync — byte-identical output at "+
-			"any partition count. Scale_FatTree10k drives a 10,240-host "+
-			"fat-tree at 1/2/4/8 partitions; speedup_vs_serial_x is its "+
-			"events/sec over the 1-partition run. Snapshot machine: "+
-			"GOMAXPROCS=%d, %d CPU(s) — partition speedup needs multiple "+
-			"cores, a single-core host only shows sync overhead and cache "+
-			"locality. BENCH_5 numbers are the fixed 'before'; they were "+
-			"recorded under different machine conditions (the pre-change "+
-			"tree re-measured on the snapshot machine scores ~0.84x "+
-			"BENCH_5 on the gate benches), so cross-snapshot ratios mix "+
-			"machine drift with code effects — PERF.md's PR 7 section "+
-			"records the same-machine before/after.",
-			runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		PR: 9,
+		Note: fmt.Sprintf("Run supervision + powersimd: every bench here "+
+			"executes with supervision structurally on — the engine loop "+
+			"now carries the livelock/step-cap admission check on every "+
+			"event (the only supervision cost that can touch the hot path; "+
+			"budget checkpoints run between sim-time slices, off the loop). "+
+			"Comparing against BENCH_6 (pre-supervision) is therefore the "+
+			"before/after for that check. Powersimd_RepeatedFigure is new: "+
+			"an in-process powersimd replays one figure spec %d times over "+
+			"HTTP; requests_per_sec and cache_hit_rate record the "+
+			"content-addressed cache answering repeats without recomputing. "+
+			"Snapshot machine: GOMAXPROCS=%d, %d CPU(s). Cross-snapshot "+
+			"ratios mix machine drift with code effects; PERF.md records "+
+			"same-machine before/afters.",
+			serveSmokeRequests, runtime.GOMAXPROCS(0), runtime.NumCPU()),
 	}
 
 	regressed := false
@@ -430,6 +513,16 @@ func main() {
 		regressed = true
 		fmt.Fprintf(os.Stderr, "bench: Scenario_Mix allocates %.4f allocs/event (gate: %.2f) — the composition layer left the zero-allocation hot path\n",
 			mix.AllocsPerEvent, maxScenarioAllocsPerEvent)
+	}
+	if !*gateOnly {
+		sm, err := measureServe()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		add(sm)
+		fmt.Printf("  powersimd: %.0f requests/sec, %.1f%% cache hits\n",
+			sm.RequestsPerSec, sm.CacheHitRate*100)
 	}
 	counts := scalePartCounts
 	if *gateOnly {

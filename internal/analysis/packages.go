@@ -19,6 +19,7 @@ var SimPathPackages = []string{
 	"exp",       // experiment registry + suite fan-out feeding Result encoders
 	"fluid",     // RK4 fluid model — deterministic integration
 	"fuzzlab",   // scenario generator/shrinker — seeded RNG, reproducible minimization
+	"guard",     // run supervision — budgets trip at sim-time checkpoints, so no wall clock allowed
 	"homa",      // HOMA transport — grants, resends
 	"link",      // ports, serialization, delivery ordering
 	"monitor",   // taps and captures embedded in golden outputs
@@ -56,6 +57,11 @@ var ExcludedPackages = map[string]string{
 	// The linter does not lint itself: analysis runs at development
 	// time, never inside a simulation.
 	"analysis": "powervet's own implementation; not simulation code",
+	// serve is the HTTP boundary of powersimd: Retry-After hints,
+	// admission control, and request timeouts are wall-clock concerns by
+	// design. Nothing in it schedules onto a sim engine — runs execute
+	// through guard, which stays on the sim-path list.
+	"serve": "powersimd HTTP layer: wall-clock admission control and Retry-After live here, outside the sim path by design",
 }
 
 // IsSimPath reports whether importPath is a simulation-path package

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/guard"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -300,7 +301,11 @@ func Run(s Spec) (*Result, error) {
 	if e.Normalize != nil {
 		e.Normalize(&s)
 	}
-	r, err := e.Run(s, scheme)
+	// Panic capture around the run body: a crash in a model or probe
+	// surfaces as a typed *guard.PanicError instead of unwinding through
+	// whoever called Run — which in a Suite would take every sibling
+	// spec's worker down with it.
+	r, err := guard.Capture(func() (*Result, error) { return e.Run(s, scheme) })
 	if err != nil {
 		return nil, fmt.Errorf("exp: experiment %q scheme %q: %w", s.Experiment, scheme.Name, err)
 	}

@@ -29,7 +29,10 @@ func (su *Suite) Add(specs ...Spec) *Suite {
 
 // Run executes every spec and returns results in spec order. Failed
 // specs leave a nil slot; the joined error names each failure. The
-// remaining specs still run to completion.
+// remaining specs still run to completion — a spec whose experiment
+// panics is recovered per spec (exp.Run wraps the registered runner in
+// guard.Capture), so one crash surfaces as a *guard.PanicError in the
+// joined error instead of killing the pool.
 func (su *Suite) Run() ([]*Result, error) {
 	n := su.Workers
 	if n <= 0 {

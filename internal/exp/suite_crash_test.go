@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/sim"
+)
+
+// crasherSpec installs a test-only experiment whose Run panics
+// mid-flight — the injected fault for the suite isolation battery —
+// and removes it when the test ends, so the registry meta-tests
+// (accepted-fields table, golden coverage) never see it.
+func crasherSpec(t *testing.T) Spec {
+	t.Helper()
+	mustRegisterExperiment(Experiment{
+		Name:    "crash-test",
+		Figures: "none (test-only fault injection)",
+		Run: func(Spec, Scheme) (*Result, error) {
+			panic("deliberate suite-isolation crash")
+		},
+	})
+	t.Cleanup(func() {
+		expMu.Lock()
+		delete(experiments, "crash-test")
+		expMu.Unlock()
+	})
+	return NewSpec("crash-test", PowerTCP)
+}
+
+// A panic inside one spec's Run must not take down the worker pool: the
+// crashing spec yields a typed *guard.PanicError in the joined error,
+// its result slot stays nil, and every sibling still completes with
+// byte-identical output serial vs parallel.
+func TestSuiteIsolatesCrashingSpec(t *testing.T) {
+	crash := crasherSpec(t)
+	specs := func() []Spec {
+		return []Spec{
+			NewSpec("incast", PowerTCP,
+				WithFanIn(6), WithWindow(sim.Millisecond), WithSeed(11)),
+			crash,
+			NewSpec("fairness", PowerTCP,
+				WithWindow(2*sim.Millisecond), WithSeed(2)),
+			NewSpec("websearch", PowerTCP,
+				WithLoad(0.15), WithServersPerTor(4),
+				WithDuration(2*sim.Millisecond), WithDrain(sim.Millisecond), WithSeed(3)),
+		}
+	}
+	const crashIdx = 1
+
+	run := func(workers int) []*Result {
+		su := Suite{Specs: specs(), Workers: workers}
+		results, err := su.Run()
+		if err == nil {
+			t.Fatalf("workers=%d: suite swallowed the crash", workers)
+		}
+		var pe *guard.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *guard.PanicError", workers, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error carries no stack", workers)
+		}
+		for i, r := range results {
+			if i == crashIdx {
+				if r != nil {
+					t.Fatalf("workers=%d: crashed spec produced a result", workers)
+				}
+				continue
+			}
+			if r == nil {
+				t.Fatalf("workers=%d: sibling spec %d lost its result to the crash", workers, i)
+			}
+		}
+		return results
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		if i == crashIdx {
+			continue
+		}
+		var sb, pb bytes.Buffer
+		if err := serial[i].EncodeJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel[i].EncodeJSON(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("spec %d: surviving result differs serial vs parallel after a sibling crash", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/scenario"
 )
 
@@ -119,7 +120,9 @@ func runAt(sp *Spec, parts int) (*scenario.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return scenario.Run(sc)
+	// Panic capture: a generated spec that crashes the fabric is a
+	// finding to report (and shrink), not a reason to kill the sweep.
+	return guard.Capture(func() (*scenario.Result, error) { return scenario.Run(sc) })
 }
 
 // checkConservation asserts the payload ledger closes: the residual the

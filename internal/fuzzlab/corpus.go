@@ -7,14 +7,23 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/scenario"
 )
 
 // Canonical renders a Spec as the corpus JSON form: indented, trailing
-// newline, field order fixed by the struct. Two specs are equal exactly
-// when their canonical bytes are — the equality the shrinker and the
-// determinism tests rely on.
+// newline, field order fixed by the struct, version stamped. Two specs
+// are equal exactly when their canonical bytes are — the equality the
+// shrinker and the determinism tests rely on. (The corpus form is the
+// human-readable sibling of scenario.MarshalCanonical's compact
+// cache-key form; both carry the same version field and decode
+// identically under scenario.DecodeSpec.)
 func Canonical(sp *Spec) []byte {
-	b, err := json.MarshalIndent(sp, "", "  ")
+	norm := *sp
+	if norm.V == 0 {
+		norm.V = scenario.SpecVersion
+	}
+	b, err := json.MarshalIndent(&norm, "", "  ")
 	if err != nil {
 		// Spec holds only plain data; marshaling cannot fail.
 		panic(fmt.Sprintf("fuzzlab: marshaling spec: %v", err))
@@ -61,12 +70,14 @@ func LoadCorpus(dir string) ([]Spec, error) {
 		if err != nil {
 			return nil, err
 		}
-		var sp Spec
-		if err := json.Unmarshal(b, &sp); err != nil {
+		// Strict decode: a corpus file with a misspelled field would
+		// otherwise silently pin a different scenario than it names.
+		sp, err := scenario.DecodeSpec(b)
+		if err != nil {
 			return nil, fmt.Errorf("fuzzlab: corpus file %s: %w", n, err)
 		}
 		sp.Name = strings.TrimSuffix(n, ".json")
-		specs = append(specs, sp)
+		specs = append(specs, *sp)
 	}
 	return specs, nil
 }

@@ -1,359 +1,28 @@
 package fuzzlab
 
-import (
-	"fmt"
+import "repro/internal/scenario"
 
-	"repro/internal/scenario"
-	"repro/internal/sim"
+// The Spec vocabulary was born here and was promoted to
+// internal/scenario when the serving path (internal/serve) adopted the
+// same wire form as its request body and cache-key input. The lab keeps
+// these aliases so generators, shrinkers, corpus files, and external
+// callers are untouched; the types, the Build compiler, and the
+// canonical encoding (scenario.MarshalCanonical / scenario.DecodeSpec /
+// scenario.SpecKey) now live next to the Scenario they compile into.
+type (
+	// Spec is a fully serializable scenario description; see
+	// scenario.Spec for the field and canonical-encoding contract.
+	Spec = scenario.Spec
+	// TopoSpec describes the fabric axis.
+	TopoSpec = scenario.TopoSpec
+	// RefSpec is the serializable form of scenario.HostRef.
+	RefSpec = scenario.RefSpec
+	// SwitchRefSpec is the serializable form of scenario.SwitchRef.
+	SwitchRefSpec = scenario.SwitchRefSpec
+	// FlowEntry is one explicit transfer of a "flows" component.
+	FlowEntry = scenario.FlowEntry
+	// TrafficSpec is one workload component, a tagged union over Kind.
+	TrafficSpec = scenario.TrafficSpec
+	// EventSpec is one timeline entry.
+	EventSpec = scenario.EventSpec
 )
-
-// Spec is a fully serializable scenario description — the value the
-// generator emits, the shrinker edits, and the corpus pins as JSON.
-// Build compiles it into a fresh scenario.Scenario (scenarios are
-// single-use), so one Spec can be run repeatedly and at different
-// partition counts for the serial-vs-partitioned comparison.
-type Spec struct {
-	Name         string        `json:"name,omitempty"`
-	Seed         int64         `json:"seed"`
-	Scheme       string        `json:"scheme"`
-	Topo         TopoSpec      `json:"topo"`
-	Traffic      []TrafficSpec `json:"traffic"`
-	Events       []EventSpec   `json:"events,omitempty"`
-	ReconvergeUS int64         `json:"reconverge_us,omitempty"`
-	HorizonUS    int64         `json:"horizon_us"`
-}
-
-// TopoSpec describes the fabric axis. Kind selects the topology; the
-// dimension fields that apply to other kinds are ignored (and kept
-// zero by the generator, so canonical JSON stays minimal).
-type TopoSpec struct {
-	// Kind is "star", "leafspine", or "fattree".
-	Kind string `json:"kind"`
-	// Hosts sizes a star.
-	Hosts int `json:"hosts,omitempty"`
-	// Leaves/Spines/ServersPerLeaf size a leaf-spine.
-	Leaves         int `json:"leaves,omitempty"`
-	Spines         int `json:"spines,omitempty"`
-	ServersPerLeaf int `json:"servers_per_leaf,omitempty"`
-	// ServersPerTor sizes a fat-tree (the default 4-pod structure).
-	ServersPerTor int `json:"servers_per_tor,omitempty"`
-	// Routing names the multipath strategy ("" keeps per-flow ECMP).
-	Routing string `json:"routing,omitempty"`
-}
-
-// RefSpec is the serializable form of scenario.HostRef.
-type RefSpec struct {
-	// Kind is "host", "from_end", "rack_start", or "rack_host".
-	Kind string `json:"kind"`
-	Rack int    `json:"rack,omitempty"`
-	I    int    `json:"i,omitempty"`
-}
-
-func (r *RefSpec) toRef() (scenario.HostRef, error) {
-	if r == nil {
-		return scenario.HostRef{}, fmt.Errorf("fuzzlab: missing host reference")
-	}
-	switch r.Kind {
-	case "host":
-		return scenario.Host(r.I), nil
-	case "from_end":
-		return scenario.HostFromEnd(r.I), nil
-	case "rack_start":
-		return scenario.RackStart(r.Rack), nil
-	case "rack_host":
-		return scenario.RackHost(r.Rack, r.I), nil
-	}
-	return scenario.HostRef{}, fmt.Errorf("fuzzlab: unknown host reference kind %q", r.Kind)
-}
-
-// SwitchRefSpec is the serializable form of scenario.SwitchRef.
-type SwitchRefSpec struct {
-	// Tier is "leaf", "spine", "tor", "agg", "core", or "index".
-	Tier string `json:"tier"`
-	I    int    `json:"i"`
-}
-
-func (r *SwitchRefSpec) toRef() (scenario.SwitchRef, error) {
-	if r == nil {
-		return scenario.SwitchRef{}, fmt.Errorf("fuzzlab: missing switch reference")
-	}
-	switch r.Tier {
-	case "leaf":
-		return scenario.Leaf(r.I), nil
-	case "spine":
-		return scenario.Spine(r.I), nil
-	case "tor":
-		return scenario.Tor(r.I), nil
-	case "agg":
-		return scenario.Agg(r.I), nil
-	case "core":
-		return scenario.Core(r.I), nil
-	case "index":
-		return scenario.SwitchIndex(r.I), nil
-	}
-	return scenario.SwitchRef{}, fmt.Errorf("fuzzlab: unknown switch tier %q", r.Tier)
-}
-
-// FlowEntry is one explicit transfer of a "flows" component.
-type FlowEntry struct {
-	StartUS int64    `json:"start_us,omitempty"`
-	Src     *RefSpec `json:"src"`
-	Dst     *RefSpec `json:"dst"`
-	// Size in bytes; -1 means Unbounded.
-	Size int64 `json:"size"`
-}
-
-// TrafficSpec is one workload component, a tagged union over Kind.
-// Fields that do not apply to the Kind stay zero.
-type TrafficSpec struct {
-	// Kind is "flows", "pulse", "staggered", "poisson", "requests",
-	// "permutation", or "rackpairs".
-	Kind string `json:"kind"`
-	// Override runs this component under its own per-flow scheme
-	// (scenario.WithScheme); empty keeps the base scheme.
-	Override string `json:"override,omitempty"`
-
-	Flows []FlowEntry `json:"flows,omitempty"`
-
-	AtUS     int64    `json:"at_us,omitempty"`
-	Receiver *RefSpec `json:"receiver,omitempty"`
-	FanIn    int      `json:"fan_in,omitempty"`
-	FlowSize int64    `json:"flow_size,omitempty"`
-	SpanFrom *RefSpec `json:"span_from,omitempty"`
-	SpanTo   *RefSpec `json:"span_to,omitempty"`
-
-	FirstSender *RefSpec `json:"first_sender,omitempty"`
-	Count       int      `json:"count,omitempty"`
-	StaggerUS   int64    `json:"stagger_us,omitempty"`
-	Sizes       []int64  `json:"sizes,omitempty"`
-
-	Load        float64 `json:"load,omitempty"`
-	RequestRate float64 `json:"request_rate,omitempty"`
-	RequestSize int64   `json:"request_size,omitempty"`
-	// GenHorizonUS bounds open-loop trace generation (poisson, requests).
-	GenHorizonUS int64 `json:"gen_horizon_us,omitempty"`
-
-	FromRack *RefSpec `json:"from_rack,omitempty"`
-	ToRack   *RefSpec `json:"to_rack,omitempty"`
-	Size     int64    `json:"size,omitempty"`
-
-	SeedOffset int64 `json:"seed_offset,omitempty"`
-}
-
-// EventSpec is one timeline entry.
-type EventSpec struct {
-	// Kind is "fail", "restore", or "inject".
-	Kind string         `json:"kind"`
-	AtUS int64          `json:"at_us"`
-	A    *SwitchRefSpec `json:"a,omitempty"`
-	B    *SwitchRefSpec `json:"b,omitempty"`
-	// Inject carries the injected component for Kind "inject".
-	Inject *TrafficSpec `json:"inject,omitempty"`
-}
-
-func us(v int64) sim.Duration { return sim.Duration(v) * sim.Microsecond }
-
-// Partitionable reports whether the fabric supports PDES sharding —
-// the specs eligible for the serial-vs-partitioned comparison.
-func (s *Spec) Partitionable() bool {
-	return s.Topo.Kind == "leafspine" || s.Topo.Kind == "fattree"
-}
-
-// PartsAxis returns the partition counts the invariant checker compares
-// this spec across: [1] for unshardable fabrics, the full 1/2/4/8 axis
-// otherwise.
-func (s *Spec) PartsAxis() []int {
-	if !s.Partitionable() {
-		return []int{1}
-	}
-	return []int{1, 2, 4, 8}
-}
-
-func (s *Spec) buildTopology(parts int) (scenario.Topology, error) {
-	switch s.Topo.Kind {
-	case "star":
-		return scenario.StarTopology{Hosts: s.Topo.Hosts}, nil
-	case "leafspine":
-		return scenario.LeafSpineTopology{
-			Leaves:         s.Topo.Leaves,
-			Spines:         s.Topo.Spines,
-			ServersPerLeaf: s.Topo.ServersPerLeaf,
-			Routing:        s.Topo.Routing,
-			Partitions:     parts,
-		}, nil
-	case "fattree":
-		return scenario.FatTreeTopology{
-			ServersPerTor: s.Topo.ServersPerTor,
-			Routing:       s.Topo.Routing,
-			Partitions:    parts,
-		}, nil
-	}
-	return nil, fmt.Errorf("fuzzlab: unknown topology kind %q", s.Topo.Kind)
-}
-
-func (t *TrafficSpec) build() (scenario.Traffic, error) {
-	var built scenario.Traffic
-	switch t.Kind {
-	case "flows":
-		list := make([]scenario.FlowSpec, 0, len(t.Flows))
-		for _, fe := range t.Flows {
-			src, err := fe.Src.toRef()
-			if err != nil {
-				return nil, err
-			}
-			dst, err := fe.Dst.toRef()
-			if err != nil {
-				return nil, err
-			}
-			list = append(list, scenario.FlowSpec{
-				Start: sim.Time(us(fe.StartUS)), Src: src, Dst: dst, Size: fe.Size,
-			})
-		}
-		built = scenario.Flows{List: list}
-	case "pulse":
-		rx, err := t.Receiver.toRef()
-		if err != nil {
-			return nil, err
-		}
-		var span scenario.Span
-		if t.SpanFrom != nil {
-			if span.From, err = t.SpanFrom.toRef(); err != nil {
-				return nil, err
-			}
-		}
-		if t.SpanTo != nil {
-			if span.To, err = t.SpanTo.toRef(); err != nil {
-				return nil, err
-			}
-		}
-		built = scenario.IncastPulse{
-			At: us(t.AtUS), Receiver: rx, FanIn: t.FanIn,
-			FlowSize: t.FlowSize, Senders: span,
-		}
-	case "staggered":
-		rx, err := t.Receiver.toRef()
-		if err != nil {
-			return nil, err
-		}
-		first, err := t.FirstSender.toRef()
-		if err != nil {
-			return nil, err
-		}
-		built = scenario.Staggered{
-			Receiver: rx, FirstSender: first, Count: t.Count,
-			Stagger: us(t.StaggerUS), Sizes: t.Sizes,
-		}
-	case "poisson":
-		built = scenario.PoissonLoad{
-			Load: t.Load, Start: us(t.AtUS),
-			Horizon: us(t.GenHorizonUS), SeedOffset: t.SeedOffset,
-		}
-	case "requests":
-		built = scenario.IncastRequests{
-			RequestRate: t.RequestRate, RequestSize: t.RequestSize,
-			FanIn: t.FanIn, Start: us(t.AtUS),
-			Horizon: us(t.GenHorizonUS), SeedOffset: t.SeedOffset,
-		}
-	case "permutation":
-		built = scenario.Permutation{SeedOffset: t.SeedOffset}
-	case "rackpairs":
-		from, err := t.FromRack.toRef()
-		if err != nil {
-			return nil, err
-		}
-		to, err := t.ToRack.toRef()
-		if err != nil {
-			return nil, err
-		}
-		built = scenario.RackPairs{FromRack: from, ToRack: to, Count: t.Count, Size: t.Size}
-	default:
-		return nil, fmt.Errorf("fuzzlab: unknown traffic kind %q", t.Kind)
-	}
-	if t.Override != "" {
-		built = scenario.WithScheme(t.Override, built)
-	}
-	return built, nil
-}
-
-func (e *EventSpec) build() (scenario.Event, error) {
-	switch e.Kind {
-	case "fail", "restore":
-		a, err := e.A.toRef()
-		if err != nil {
-			return nil, err
-		}
-		b, err := e.B.toRef()
-		if err != nil {
-			return nil, err
-		}
-		if e.Kind == "fail" {
-			return scenario.LinkFail{At: us(e.AtUS), A: a, B: b}, nil
-		}
-		return scenario.LinkRestore{At: us(e.AtUS), A: a, B: b}, nil
-	case "inject":
-		if e.Inject == nil {
-			return nil, fmt.Errorf("fuzzlab: inject event carries no traffic component")
-		}
-		tr, err := e.Inject.build()
-		if err != nil {
-			return nil, err
-		}
-		return scenario.InjectTraffic{At: us(e.AtUS), Traffic: tr}, nil
-	}
-	return nil, fmt.Errorf("fuzzlab: unknown event kind %q", e.Kind)
-}
-
-// HasFailures reports whether the timeline cuts any link — the gate for
-// the zero-black-hole invariant.
-func (s *Spec) HasFailures() bool {
-	for _, e := range s.Events {
-		if e.Kind == "fail" {
-			return true
-		}
-	}
-	return false
-}
-
-// Build compiles the Spec into a fresh single-use Scenario sharded
-// across parts partition engines (1 runs serially), instrumented with
-// the accounting and FCT probes the invariant checker reads.
-func (s *Spec) Build(parts int) (scenario.Scenario, error) {
-	topo, err := s.buildTopology(parts)
-	if err != nil {
-		return scenario.Scenario{}, err
-	}
-	scheme, err := scenario.ResolveScheme(s.Scheme)
-	if err != nil {
-		return scenario.Scenario{}, err
-	}
-	var traffic []scenario.Traffic
-	for i := range s.Traffic {
-		tr, err := s.Traffic[i].build()
-		if err != nil {
-			return scenario.Scenario{}, err
-		}
-		traffic = append(traffic, tr)
-	}
-	var events []scenario.Event
-	for i := range s.Events {
-		ev, err := s.Events[i].build()
-		if err != nil {
-			return scenario.Scenario{}, err
-		}
-		events = append(events, ev)
-	}
-	name := s.Name
-	if name == "" {
-		name = fmt.Sprintf("fuzz-%d", s.Seed)
-	}
-	return scenario.Scenario{
-		Name:     name,
-		Scheme:   scheme,
-		Seed:     s.Seed,
-		Topology: topo,
-		Traffic:  traffic,
-		Events:   scenario.Timeline{Events: events, Reconverge: us(s.ReconvergeUS)},
-		Probes:   []scenario.Probe{scenario.AccountingProbe{}, scenario.FCTProbe{}},
-		Until:    us(s.HorizonUS),
-	}, nil
-}

@@ -87,6 +87,20 @@ func (pl *Pool) Stats() (gets, news, puts uint64) {
 	return pl.gets, pl.news, pl.puts
 }
 
+// Live reports the packets currently checked out of the pool (Gets
+// minus Puts) — the live-object watermark the guard package's pool
+// budget samples at its sim-time checkpoints. The count is a pure
+// function of the simulation's event history, so it is deterministic
+// and partition-invariant when summed across a fabric's pools. With
+// pooling disabled both counters stay zero and Live reports zero; the
+// pool budget is documented as inert in that (test-only) mode.
+func (pl *Pool) Live() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.gets - pl.puts
+}
+
 // Adopt seeds the free list with recycled packets from a finished run
 // (see Drain). Adopted packets must already be zeroed — Put leaves them
 // that way — so a pool warmed from another run hands out packets

@@ -135,12 +135,42 @@ func (f *Fabric) NewMailbox(dst int, deliver func(any)) *Mailbox {
 // serial engine's step count for the same scenario.
 func (f *Fabric) Steps() uint64 { return f.steps }
 
+// Tripped reports whether any engine in the fabric hit an in-loop limit
+// (sim.Engine.SetLimits), returning the trip whose refused event orders
+// earliest in the canonical order — a deterministic choice even when
+// several partitions trip in the same barrier round. A tripped fabric
+// is frozen: Run returns without advancing further until the engines
+// are Reset.
+func (f *Fabric) Tripped() *sim.Trip {
+	var best *sim.Trip
+	consider := func(tr *sim.Trip) {
+		if tr == nil {
+			return
+		}
+		if best == nil || tr.Key.Less(best.Key) {
+			best = tr
+		}
+	}
+	consider(f.ctrl.Tripped())
+	for _, e := range f.parts {
+		consider(e.Tripped())
+	}
+	return best
+}
+
 // Run executes the partitioned simulation up to and including horizon,
 // then leaves every engine's clock at horizon — the partitioned
 // equivalent of sim.Engine.RunUntil(horizon) on a serial engine.
 func (f *Fabric) Run(horizon sim.Time) {
 	p := len(f.parts)
 	end := sim.KeyAtEnd(horizon)
+
+	// A fabric left tripped by an earlier Run slice stays frozen; the
+	// step tally is still refreshed so callers see the watermark.
+	if f.Tripped() != nil {
+		f.tally()
+		return
+	}
 
 	// Persistent worker goroutines, one per partition: each round the
 	// coordinator publishes a bound per partition, releases the workers,
@@ -197,6 +227,15 @@ func (f *Fabric) Run(horizon sim.Time) {
 		}
 		wg.Wait()
 
+		// A tripped partition's RunUntilKey returns without advancing, so
+		// the coordinator would re-issue the same bounds forever; freeze
+		// the whole fabric at the first trip instead. Undelivered mailbox
+		// posts are left buffered — a tripped run never resumes.
+		if f.Tripped() != nil {
+			f.tally()
+			return
+		}
+
 		// Drain mailboxes in creation order; within a mailbox, in post
 		// order. Injection order cannot affect firing order — the
 		// canonical key decides — but a fixed order keeps the whole
@@ -238,7 +277,13 @@ func (f *Fabric) Run(horizon sim.Time) {
 				// Single-threaded control slice: all partitions are paused
 				// at or before kg.At with nothing earlier pending, so the
 				// callback may touch any partition's state.
-				f.ctrl.Step()
+				if !f.ctrl.Step() && f.ctrl.Tripped() != nil {
+					// The control engine refused the event: without this
+					// break the due-but-unfired control key would spin the
+					// coordinator forever.
+					f.tally()
+					return
+				}
 			}
 			continue
 		}
@@ -264,6 +309,11 @@ func (f *Fabric) Run(horizon sim.Time) {
 	// Leave the control clock at the horizon, like a serial RunUntil.
 	f.ctrl.RunUntil(horizon)
 
+	f.tally()
+}
+
+// tally refreshes the cross-engine step count.
+func (f *Fabric) tally() {
 	f.steps = f.ctrl.Steps()
 	for _, e := range f.parts {
 		f.steps += e.Steps()

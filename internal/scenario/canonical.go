@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the canonical Spec wire form — the documented
+// encoding behind corpus pins, repro bundles, and powersimd cache keys.
+//
+// Canonical form, version 1:
+//
+//   - One compact JSON document (no insignificant whitespace), keys in
+//     lexicographic order at every object level, no trailing newline.
+//   - The version field "v" is always present and equals SpecVersion.
+//   - Fields at their zero value are omitted exactly where the Spec
+//     struct tags say omitempty — the canonical bytes of a spec and of
+//     its decode→encode round trip are identical.
+//
+// Two Specs are semantically equal exactly when their canonical bytes
+// are equal, and SpecKey extends that equality to the full run identity
+// (spec, seed, partition count): because the engine is deterministic, a
+// run's Result bytes are a pure function of its SpecKey — which is what
+// makes the content-addressed Result cache (internal/serve) exact
+// rather than heuristic.
+//
+// DecodeSpec is strict: unknown fields and version mismatches are
+// errors, so a request written against a future spec vocabulary can
+// never be silently misread as this one (and then cached under a key
+// that collides with the misreading).
+
+// SpecVersion is the current canonical Spec encoding version.
+const SpecVersion = 1
+
+// MarshalCanonical renders the Spec in canonical form. A zero V is
+// normalized to SpecVersion; any other mismatched version is an error
+// (an in-memory Spec carrying a foreign version is a decode that should
+// have failed).
+func MarshalCanonical(sp *Spec) ([]byte, error) {
+	if sp.V != 0 && sp.V != SpecVersion {
+		return nil, fmt.Errorf("scenario: cannot canonicalize spec version %d (current %d)", sp.V, SpecVersion)
+	}
+	norm := *sp
+	norm.V = SpecVersion
+	// Struct-marshal first (field tags decide omission), then round-trip
+	// through an untyped map so encoding/json re-emits every object with
+	// lexicographically sorted keys. UseNumber keeps 64-bit seeds exact —
+	// float64 would corrupt seeds above 2^53.
+	first, err := json.Marshal(&norm)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshaling spec: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(first))
+	dec.UseNumber()
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scenario: canonicalizing spec: %w", err)
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeSpec parses canonical (or hand-written) Spec JSON strictly:
+// unknown fields are rejected, and the document's version must be
+// SpecVersion (or absent/zero, accepted for pre-versioning documents
+// and normalized). The returned Spec has V set to SpecVersion.
+func DecodeSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	// A second document in the payload is malformed input, not trailing
+	// garbage to ignore.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: decoding spec: trailing data after JSON document")
+	}
+	switch sp.V {
+	case 0, SpecVersion:
+		sp.V = SpecVersion
+	default:
+		return nil, fmt.Errorf("scenario: unsupported spec version %d (current %d)", sp.V, SpecVersion)
+	}
+	return &sp, nil
+}
+
+// SpecKey returns the content address of one run:
+// hex(sha256(canonical(spec) ‖ seed ‖ parts)). Seed and partition count
+// are hashed alongside the spec because both are run inputs the Spec
+// body does not fully pin down (the service may override the seed, and
+// parts selects the execution fabric — identical Results by the
+// determinism contract, but a distinct supervised run worth its own
+// cache slot while budgets are partition-aware).
+func SpecKey(sp *Spec, seed int64, parts int) (string, error) {
+	canon, err := MarshalCanonical(sp)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(canon)
+	var tail [16]byte
+	binary.BigEndian.PutUint64(tail[:8], uint64(seed))
+	binary.BigEndian.PutUint64(tail[8:], uint64(parts))
+	h.Write(tail[:])
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}

@@ -1,0 +1,27 @@
+package scenario
+
+import "testing"
+
+// TestPresetsRun compiles and executes every preset serially: the
+// presets double as powersimd's smoke workload and README examples, so
+// each must be a complete, runnable request body — not merely valid
+// JSON.
+func TestPresetsRun(t *testing.T) {
+	for _, sp := range SpecPresets() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			t.Parallel()
+			sc, err := sp.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scalar("engine_steps") <= 0 {
+				t.Fatal("preset run executed no events")
+			}
+		})
+	}
+}

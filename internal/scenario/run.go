@@ -66,7 +66,45 @@ type TrafficPreparer interface {
 // drive the engine to the horizon, and let each probe finalize into the
 // Result envelope. The run owns an isolated engine, so distinct
 // scenarios may Run concurrently.
+//
+// Run is the unsupervised composition of Prepare → DriveTo(horizon) →
+// Finish → Release. Supervised callers (internal/guard) use the pieces
+// directly so they can slice the drive at budget checkpoints; the
+// composed behavior — and the Result bytes at a fixed seed — are
+// identical either way.
 func Run(sc Scenario) (*Result, error) {
+	p, err := Prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	p.DriveTo(p.Horizon())
+	res, err := p.Finish()
+	// Deliberately not deferred: a panic during the drive or finalize
+	// must NOT recycle the lab's buffers into the scratch pool (the
+	// engine and packet free lists are in an unknown state mid-unwind).
+	// The unwound lab falls to the garbage collector instead; typed
+	// error returns are safe to recycle.
+	p.Release()
+	return res, err
+}
+
+// Prepared is a built, launched, probe-installed run that has not been
+// driven yet: the seam run supervision needs between "set the world up"
+// and "turn the crank". The caller drives the engine with DriveTo —
+// once to the horizon for an unsupervised run, or in sim-time slices
+// with budget checks between them — then composes the Result with
+// Finish and recycles the lab with Release.
+type Prepared struct {
+	env      *Env
+	released bool
+}
+
+// Prepare builds and arms a Scenario without executing any simulated
+// event: topology, traffic launches, event timeline, probe
+// installation. On error the partially built lab is recycled; on a
+// panic (a model bug in a builder or probe) nothing is recycled and the
+// lab falls to the garbage collector, keeping the scratch pool clean.
+func Prepare(sc Scenario) (*Prepared, error) {
 	if sc.Topology == nil {
 		return nil, fmt.Errorf("scenario: no topology")
 	}
@@ -74,12 +112,24 @@ func Run(sc Scenario) (*Result, error) {
 	if err := sc.Topology.build(env); err != nil {
 		return nil, err
 	}
+	p := &Prepared{env: env}
+	if err := p.setup(); err != nil {
+		p.Release()
+		return nil, err
+	}
+	return p, nil
+}
+
+// setup is the launch/schedule/install phase of Prepare, split out so
+// Prepare can recycle the lab on any error path.
+func (p *Prepared) setup() error {
+	env := p.env
+	sc := env.Scenario
 	if env.Lab != nil {
-		defer env.Lab.Release()
 		// Switched topologies launch through the lab, which needs either
 		// the HOMA transport or a per-flow algorithm builder.
 		if !sc.Scheme.IsHoma() && sc.Scheme.Alg == nil {
-			return nil, fmt.Errorf("scenario: scheme %q provides no per-flow algorithm for a switched topology",
+			return fmt.Errorf("scenario: scheme %q provides no per-flow algorithm for a switched topology",
 				sc.Scheme.Name)
 		}
 	}
@@ -89,29 +139,29 @@ func Run(sc Scenario) (*Result, error) {
 		env.Horizon = sim.Time(sc.Until)
 	}
 	if env.Horizon <= 0 {
-		return nil, fmt.Errorf("scenario: no run horizon (set Until)")
+		return fmt.Errorf("scenario: no run horizon (set Until)")
 	}
 
-	for _, p := range sc.Probes {
-		if tp, ok := p.(TrafficPreparer); ok {
+	for _, pr := range sc.Probes {
+		if tp, ok := pr.(TrafficPreparer); ok {
 			if err := tp.BeforeTraffic(env); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	for _, tr := range sc.Traffic {
 		if err := env.launchComponent(tr, 0); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	if sc.Events.Reconverge < 0 {
-		return nil, fmt.Errorf("scenario: negative reconvergence delay %v", sc.Events.Reconverge)
+		return fmt.Errorf("scenario: negative reconvergence delay %v", sc.Events.Reconverge)
 	}
 	var links []route.LinkEvent
 	for _, ev := range sc.Events.Events {
 		if err := ev.apply(env, &links); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if len(links) > 0 {
@@ -122,29 +172,110 @@ func Run(sc Scenario) (*Result, error) {
 		env.Lab.Net.Router.Schedule(links, sc.Events.Reconverge)
 	}
 
-	for i, p := range sc.Probes {
+	for i, pr := range sc.Probes {
 		// Each probe is its own causal root (samplers it installs descend
 		// from it), keyed by probe index.
 		env.Eng().SetOrigin(originProbeKey | uint64(i))
-		if err := p.Install(env); err != nil {
-			return nil, err
+		if err := pr.Install(env); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	if env.Lab != nil && env.Lab.Net.PSim != nil {
-		// Partitioned: the conservative-sync fabric drives the partition
-		// engines in parallel and the control engine between slices, then
-		// the per-partition completion records merge back into the exact
-		// serial append order.
-		env.Lab.Net.PSim.Run(env.Horizon)
-		env.Lab.mergeRecords()
-	} else {
-		env.Eng().RunUntil(env.Horizon)
+// Horizon returns the absolute end time of the run.
+func (p *Prepared) Horizon() sim.Time { return p.env.Horizon }
+
+// Env exposes the built run environment (fabric, launched flows,
+// engines) for probes-adjacent tooling; the supervised drive loop only
+// needs the methods on Prepared itself.
+func (p *Prepared) Env() *Env { return p.env }
+
+// DriveTo advances the simulation to time t (clamped at the horizon).
+// Driving in slices is byte-identical to one call at the horizon: on a
+// serial engine consecutive RunUntil calls compose exactly, and the
+// partitioned fabric's barrier protocol terminates each slice with
+// every engine's clock at the slice end, so the next slice resumes the
+// identical event order. A tripped run (Trip non-nil) stops advancing.
+func (p *Prepared) DriveTo(t sim.Time) {
+	if t > p.env.Horizon {
+		t = p.env.Horizon
 	}
+	if p.env.Lab != nil && p.env.Lab.Net.PSim != nil {
+		// Partitioned: the conservative-sync fabric drives the partition
+		// engines in parallel and the control engine between slices; the
+		// per-partition completion records merge back into the exact
+		// serial append order in Finish.
+		p.env.Lab.Net.PSim.Run(t)
+	} else {
+		p.env.Eng().RunUntil(t)
+	}
+}
 
+// ArmLimits installs in-loop engine limits (sim.Engine.SetLimits) on
+// every engine driving the fabric: the control/serial engine and, when
+// partitioned, each partition engine. stopSteps is a PER-ENGINE hard
+// backstop — deterministic but partition-dependent — so supervised
+// budget accounting compares aggregate Steps() at sim-time checkpoints
+// instead and sets this cap far above the real budget (see
+// internal/guard).
+func (p *Prepared) ArmLimits(stopSteps, maxSameInstant uint64) {
+	p.env.Eng().SetLimits(stopSteps, maxSameInstant)
+	if p.env.Lab != nil {
+		for _, e := range p.env.Lab.Net.Engs {
+			e.SetLimits(stopSteps, maxSameInstant)
+		}
+	}
+}
+
+// Trip reports the in-loop limit stop that froze the run, or nil while
+// it is healthy. On a partitioned fabric the earliest refused event in
+// canonical order is returned (deterministic even when several
+// partitions trip in one barrier round).
+func (p *Prepared) Trip() *sim.Trip {
+	if p.env.Lab != nil && p.env.Lab.Net.PSim != nil {
+		return p.env.Lab.Net.PSim.Tripped()
+	}
+	return p.env.Eng().Tripped()
+}
+
+// Steps reports the events executed so far across every engine driving
+// the fabric. At a given sim-time checkpoint the total is
+// partition-count-invariant: the partitioned fabric fires exactly the
+// serial event set below any barrier time.
+func (p *Prepared) Steps() uint64 { return p.env.Steps() }
+
+// LivePackets reports the packets currently checked out of the fabric's
+// pools — the live-object watermark of the guard pool budget. Summed
+// across partition pools the count at a sim-time checkpoint is
+// partition-count-invariant. (With packet pooling globally disabled —
+// a test-only mode — pools count nothing and this reports zero.)
+func (p *Prepared) LivePackets() uint64 {
+	if p.env.Rotor != nil {
+		return p.env.Rotor.Pool.Live()
+	}
+	if pools := p.env.Lab.Net.Pools; pools != nil {
+		var n uint64
+		for _, pl := range pools {
+			n += pl.Live()
+		}
+		return n
+	}
+	return p.env.Lab.Net.Pool.Live()
+}
+
+// Finish merges partitioned completion records and finalizes every
+// probe into the Result envelope. Call it once, after the final
+// DriveTo.
+func (p *Prepared) Finish() (*Result, error) {
+	env := p.env
+	sc := env.Scenario
+	if env.Lab != nil && env.Lab.Net.PSim != nil {
+		env.Lab.mergeRecords()
+	}
 	res := &Result{Experiment: sc.Name, Scheme: sc.Scheme.Name, Seed: sc.Seed}
-	for _, p := range sc.Probes {
-		if err := p.Finalize(env, res); err != nil {
+	for _, pr := range sc.Probes {
+		if err := pr.Finalize(env, res); err != nil {
 			return nil, err
 		}
 	}
@@ -152,6 +283,19 @@ func Run(sc Scenario) (*Result, error) {
 		res.SetScalar("engine_steps", float64(env.Steps()))
 	}
 	return res, nil
+}
+
+// Release recycles the lab's warmed buffers into the scratch pool
+// (idempotent; a no-op for rotor runs, which have no lab). Never call
+// it after a panic on the run path — see Run.
+func (p *Prepared) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	if p.env.Lab != nil {
+		p.env.Lab.Release()
+	}
 }
 
 // launchComponent generates one traffic component's trace and launches

@@ -1,0 +1,366 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Spec is a fully serializable scenario description — the wire form of
+// a run. The fuzz lab's generator emits Specs, its shrinker edits them,
+// the pinned corpus stores them, and the powersimd service accepts them
+// as request bodies; Build compiles one into a fresh Scenario
+// (scenarios are single-use), so one Spec can be run repeatedly and at
+// different partition counts.
+//
+// The JSON encoding is canonical and versioned — see MarshalCanonical,
+// DecodeSpec, and SpecKey in canonical.go. V carries the encoding
+// version (SpecVersion); a zero V in an in-memory Spec is normalized to
+// the current version on encode.
+type Spec struct {
+	V            int           `json:"v"`
+	Name         string        `json:"name,omitempty"`
+	Seed         int64         `json:"seed"`
+	Scheme       string        `json:"scheme"`
+	Topo         TopoSpec      `json:"topo"`
+	Traffic      []TrafficSpec `json:"traffic"`
+	Events       []EventSpec   `json:"events,omitempty"`
+	ReconvergeUS int64         `json:"reconverge_us,omitempty"`
+	HorizonUS    int64         `json:"horizon_us"`
+}
+
+// TopoSpec describes the fabric axis. Kind selects the topology; the
+// dimension fields that apply to other kinds are ignored (and kept
+// zero by the generator, so canonical JSON stays minimal).
+type TopoSpec struct {
+	// Kind is "star", "leafspine", or "fattree".
+	Kind string `json:"kind"`
+	// Hosts sizes a star.
+	Hosts int `json:"hosts,omitempty"`
+	// Leaves/Spines/ServersPerLeaf size a leaf-spine.
+	Leaves         int `json:"leaves,omitempty"`
+	Spines         int `json:"spines,omitempty"`
+	ServersPerLeaf int `json:"servers_per_leaf,omitempty"`
+	// ServersPerTor sizes a fat-tree (the default 4-pod structure).
+	ServersPerTor int `json:"servers_per_tor,omitempty"`
+	// Routing names the multipath strategy ("" keeps per-flow ECMP).
+	Routing string `json:"routing,omitempty"`
+}
+
+// RefSpec is the serializable form of HostRef.
+type RefSpec struct {
+	// Kind is "host", "from_end", "rack_start", or "rack_host".
+	Kind string `json:"kind"`
+	Rack int    `json:"rack,omitempty"`
+	I    int    `json:"i,omitempty"`
+}
+
+func (r *RefSpec) toRef() (HostRef, error) {
+	if r == nil {
+		return HostRef{}, fmt.Errorf("scenario: missing host reference")
+	}
+	switch r.Kind {
+	case "host":
+		return Host(r.I), nil
+	case "from_end":
+		return HostFromEnd(r.I), nil
+	case "rack_start":
+		return RackStart(r.Rack), nil
+	case "rack_host":
+		return RackHost(r.Rack, r.I), nil
+	}
+	return HostRef{}, fmt.Errorf("scenario: unknown host reference kind %q", r.Kind)
+}
+
+// SwitchRefSpec is the serializable form of SwitchRef.
+type SwitchRefSpec struct {
+	// Tier is "leaf", "spine", "tor", "agg", "core", or "index".
+	Tier string `json:"tier"`
+	I    int    `json:"i"`
+}
+
+func (r *SwitchRefSpec) toRef() (SwitchRef, error) {
+	if r == nil {
+		return SwitchRef{}, fmt.Errorf("scenario: missing switch reference")
+	}
+	switch r.Tier {
+	case "leaf":
+		return Leaf(r.I), nil
+	case "spine":
+		return Spine(r.I), nil
+	case "tor":
+		return Tor(r.I), nil
+	case "agg":
+		return Agg(r.I), nil
+	case "core":
+		return Core(r.I), nil
+	case "index":
+		return SwitchIndex(r.I), nil
+	}
+	return SwitchRef{}, fmt.Errorf("scenario: unknown switch tier %q", r.Tier)
+}
+
+// FlowEntry is one explicit transfer of a "flows" component.
+type FlowEntry struct {
+	StartUS int64    `json:"start_us,omitempty"`
+	Src     *RefSpec `json:"src"`
+	Dst     *RefSpec `json:"dst"`
+	// Size in bytes; -1 means Unbounded.
+	Size int64 `json:"size"`
+}
+
+// TrafficSpec is one workload component, a tagged union over Kind.
+// Fields that do not apply to the Kind stay zero.
+type TrafficSpec struct {
+	// Kind is "flows", "pulse", "staggered", "poisson", "requests",
+	// "permutation", or "rackpairs".
+	Kind string `json:"kind"`
+	// Override runs this component under its own per-flow scheme
+	// (WithScheme); empty keeps the base scheme.
+	Override string `json:"override,omitempty"`
+
+	Flows []FlowEntry `json:"flows,omitempty"`
+
+	AtUS     int64    `json:"at_us,omitempty"`
+	Receiver *RefSpec `json:"receiver,omitempty"`
+	FanIn    int      `json:"fan_in,omitempty"`
+	FlowSize int64    `json:"flow_size,omitempty"`
+	SpanFrom *RefSpec `json:"span_from,omitempty"`
+	SpanTo   *RefSpec `json:"span_to,omitempty"`
+
+	FirstSender *RefSpec `json:"first_sender,omitempty"`
+	Count       int      `json:"count,omitempty"`
+	StaggerUS   int64    `json:"stagger_us,omitempty"`
+	Sizes       []int64  `json:"sizes,omitempty"`
+
+	Load        float64 `json:"load,omitempty"`
+	RequestRate float64 `json:"request_rate,omitempty"`
+	RequestSize int64   `json:"request_size,omitempty"`
+	// GenHorizonUS bounds open-loop trace generation (poisson, requests).
+	GenHorizonUS int64 `json:"gen_horizon_us,omitempty"`
+
+	FromRack *RefSpec `json:"from_rack,omitempty"`
+	ToRack   *RefSpec `json:"to_rack,omitempty"`
+	Size     int64    `json:"size,omitempty"`
+
+	SeedOffset int64 `json:"seed_offset,omitempty"`
+}
+
+// EventSpec is one timeline entry.
+type EventSpec struct {
+	// Kind is "fail", "restore", or "inject".
+	Kind string         `json:"kind"`
+	AtUS int64          `json:"at_us"`
+	A    *SwitchRefSpec `json:"a,omitempty"`
+	B    *SwitchRefSpec `json:"b,omitempty"`
+	// Inject carries the injected component for Kind "inject".
+	Inject *TrafficSpec `json:"inject,omitempty"`
+}
+
+func us(v int64) sim.Duration { return sim.Duration(v) * sim.Microsecond }
+
+// Partitionable reports whether the fabric supports PDES sharding —
+// the specs eligible for the serial-vs-partitioned comparison.
+func (s *Spec) Partitionable() bool {
+	return s.Topo.Kind == "leafspine" || s.Topo.Kind == "fattree"
+}
+
+// PartsAxis returns the partition counts the invariant checker compares
+// this spec across: [1] for unshardable fabrics, the full 1/2/4/8 axis
+// otherwise.
+func (s *Spec) PartsAxis() []int {
+	if !s.Partitionable() {
+		return []int{1}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+func (s *Spec) buildTopology(parts int) (Topology, error) {
+	switch s.Topo.Kind {
+	case "star":
+		return StarTopology{Hosts: s.Topo.Hosts}, nil
+	case "leafspine":
+		return LeafSpineTopology{
+			Leaves:         s.Topo.Leaves,
+			Spines:         s.Topo.Spines,
+			ServersPerLeaf: s.Topo.ServersPerLeaf,
+			Routing:        s.Topo.Routing,
+			Partitions:     parts,
+		}, nil
+	case "fattree":
+		return FatTreeTopology{
+			ServersPerTor: s.Topo.ServersPerTor,
+			Routing:       s.Topo.Routing,
+			Partitions:    parts,
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown topology kind %q", s.Topo.Kind)
+}
+
+func (t *TrafficSpec) build() (Traffic, error) {
+	var built Traffic
+	switch t.Kind {
+	case "flows":
+		list := make([]FlowSpec, 0, len(t.Flows))
+		for _, fe := range t.Flows {
+			src, err := fe.Src.toRef()
+			if err != nil {
+				return nil, err
+			}
+			dst, err := fe.Dst.toRef()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, FlowSpec{
+				Start: sim.Time(us(fe.StartUS)), Src: src, Dst: dst, Size: fe.Size,
+			})
+		}
+		built = Flows{List: list}
+	case "pulse":
+		rx, err := t.Receiver.toRef()
+		if err != nil {
+			return nil, err
+		}
+		var span Span
+		if t.SpanFrom != nil {
+			if span.From, err = t.SpanFrom.toRef(); err != nil {
+				return nil, err
+			}
+		}
+		if t.SpanTo != nil {
+			if span.To, err = t.SpanTo.toRef(); err != nil {
+				return nil, err
+			}
+		}
+		built = IncastPulse{
+			At: us(t.AtUS), Receiver: rx, FanIn: t.FanIn,
+			FlowSize: t.FlowSize, Senders: span,
+		}
+	case "staggered":
+		rx, err := t.Receiver.toRef()
+		if err != nil {
+			return nil, err
+		}
+		first, err := t.FirstSender.toRef()
+		if err != nil {
+			return nil, err
+		}
+		built = Staggered{
+			Receiver: rx, FirstSender: first, Count: t.Count,
+			Stagger: us(t.StaggerUS), Sizes: t.Sizes,
+		}
+	case "poisson":
+		built = PoissonLoad{
+			Load: t.Load, Start: us(t.AtUS),
+			Horizon: us(t.GenHorizonUS), SeedOffset: t.SeedOffset,
+		}
+	case "requests":
+		built = IncastRequests{
+			RequestRate: t.RequestRate, RequestSize: t.RequestSize,
+			FanIn: t.FanIn, Start: us(t.AtUS),
+			Horizon: us(t.GenHorizonUS), SeedOffset: t.SeedOffset,
+		}
+	case "permutation":
+		built = Permutation{SeedOffset: t.SeedOffset}
+	case "rackpairs":
+		from, err := t.FromRack.toRef()
+		if err != nil {
+			return nil, err
+		}
+		to, err := t.ToRack.toRef()
+		if err != nil {
+			return nil, err
+		}
+		built = RackPairs{FromRack: from, ToRack: to, Count: t.Count, Size: t.Size}
+	default:
+		return nil, fmt.Errorf("scenario: unknown traffic kind %q", t.Kind)
+	}
+	if t.Override != "" {
+		built = WithScheme(t.Override, built)
+	}
+	return built, nil
+}
+
+func (e *EventSpec) build() (Event, error) {
+	switch e.Kind {
+	case "fail", "restore":
+		a, err := e.A.toRef()
+		if err != nil {
+			return nil, err
+		}
+		b, err := e.B.toRef()
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == "fail" {
+			return LinkFail{At: us(e.AtUS), A: a, B: b}, nil
+		}
+		return LinkRestore{At: us(e.AtUS), A: a, B: b}, nil
+	case "inject":
+		if e.Inject == nil {
+			return nil, fmt.Errorf("scenario: inject event carries no traffic component")
+		}
+		tr, err := e.Inject.build()
+		if err != nil {
+			return nil, err
+		}
+		return InjectTraffic{At: us(e.AtUS), Traffic: tr}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown event kind %q", e.Kind)
+}
+
+// HasFailures reports whether the timeline cuts any link — the gate for
+// the zero-black-hole invariant.
+func (s *Spec) HasFailures() bool {
+	for _, e := range s.Events {
+		if e.Kind == "fail" {
+			return true
+		}
+	}
+	return false
+}
+
+// Build compiles the Spec into a fresh single-use Scenario sharded
+// across parts partition engines (1 runs serially), instrumented with
+// the accounting and FCT probes the invariant checker and the serving
+// path read.
+func (s *Spec) Build(parts int) (Scenario, error) {
+	topo, err := s.buildTopology(parts)
+	if err != nil {
+		return Scenario{}, err
+	}
+	scheme, err := ResolveScheme(s.Scheme)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var traffic []Traffic
+	for i := range s.Traffic {
+		tr, err := s.Traffic[i].build()
+		if err != nil {
+			return Scenario{}, err
+		}
+		traffic = append(traffic, tr)
+	}
+	var events []Event
+	for i := range s.Events {
+		ev, err := s.Events[i].build()
+		if err != nil {
+			return Scenario{}, err
+		}
+		events = append(events, ev)
+	}
+	name := s.Name
+	if name == "" {
+		name = fmt.Sprintf("fuzz-%d", s.Seed)
+	}
+	return Scenario{
+		Name:     name,
+		Scheme:   scheme,
+		Seed:     s.Seed,
+		Topology: topo,
+		Traffic:  traffic,
+		Events:   Timeline{Events: events, Reconverge: us(s.ReconvergeUS)},
+		Probes:   []Probe{AccountingProbe{}, FCTProbe{}},
+		Until:    us(s.HorizonUS),
+	}, nil
+}

@@ -222,6 +222,17 @@ type Engine struct {
 
 	pending int // entries anywhere in the queue, incl. cancelled unreaped
 	free    []*node
+
+	// In-loop supervision state (see limit.go): lastAt/sameRun track the
+	// consecutive same-instant run for livelock detection, stopSteps is
+	// the hard executed-events cap (0 = off), maxSame the livelock
+	// threshold (0 = lazily initialised to DefaultMaxSameInstant), and
+	// trip freezes the engine once a limit is hit.
+	lastAt    Time
+	sameRun   uint64
+	stopSteps uint64
+	maxSame   uint64
+	trip      *Trip
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -597,19 +608,26 @@ func (e *Engine) refill() {
 	}
 }
 
-// Step executes the single earliest pending event and returns true, or
-// returns false if no live events remain.
+// Step executes the single earliest pending event and returns true. It
+// returns false when no live events remain — or when an in-loop limit
+// trips (Tripped non-nil): the refused entry stays pending and the
+// clock does not move.
 func (e *Engine) Step() bool {
 	for {
 		for e.bi < len(e.batch) {
 			ent := e.batch[e.bi]
-			e.bi++
 			n := ent.n
-			e.pending--
 			if n.cancelled {
+				e.bi++
+				e.pending--
 				e.reap(n)
 				continue
 			}
+			if !e.admit(ent) {
+				return false
+			}
+			e.bi++
+			e.pending--
 			e.now = ent.at
 			e.nSteps++
 			// Establish the causal context for anything the callback
@@ -641,9 +659,11 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes all events scheduled at or before t, then advances the
-// clock to t. Events scheduled after t remain pending.
+// clock to t. Events scheduled after t remain pending. If an in-loop
+// limit trips (Tripped non-nil) RunUntil returns immediately without
+// advancing the clock, leaving the refused entry pending.
 func (e *Engine) RunUntil(t Time) {
-	for {
+	for e.trip == nil {
 		// Reap cancelled entries at the batch cursor eagerly so the
 		// horizon check below sees the earliest *live* event (Step would
 		// otherwise skip past a dead head and run an event beyond t).
@@ -662,6 +682,9 @@ func (e *Engine) RunUntil(t Time) {
 			break
 		}
 		e.Step()
+	}
+	if e.trip != nil {
+		return
 	}
 	if e.now < t {
 		e.now = t
@@ -707,6 +730,7 @@ func (e *Engine) Reset() {
 	e.now, e.nSteps, e.curTick, e.cascadedTo, e.pending = 0, 0, 0, 0, 0
 	e.curHash, e.childIdx = 0, 0
 	e.execHi, e.execLo = 0, 0
+	e.lastAt, e.sameRun, e.stopSteps, e.maxSame, e.trip = 0, 0, 0, 0, nil
 }
 
 // less orders entries by the canonical key. It must agree with cmpEntry

@@ -167,12 +167,17 @@ func (e *Engine) PeekKey() (Key, bool) {
 // so no partition fires past an instant where another engine's event
 // interleaves. RunUntil(t) ≡ RunUntilKey(KeyAtEnd(t)).
 func (e *Engine) RunUntilKey(bound Key) {
-	for {
+	for e.trip == nil {
 		k, ok := e.PeekKey()
 		if !ok || !k.Less(bound) {
 			break
 		}
 		e.Step()
+	}
+	if e.trip != nil {
+		// An in-loop limit stopped the engine: the refused entry stays
+		// pending and the clock must not advance past it.
+		return
 	}
 	if e.now < bound.At {
 		e.now = bound.At

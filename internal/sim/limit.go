@@ -1,0 +1,128 @@
+package sim
+
+// This file is the engine half of run supervision (internal/guard): two
+// cheap, deterministic checks inside the wheel loop that stop the engine
+// before a broken model can wedge the process.
+//
+//   - Progress (livelock) detection: a counter of consecutively fired
+//     events whose timestamps are all the same instant. A discrete-event
+//     model that schedules unbounded zero-delay follow-ups never advances
+//     the clock, so no time-based bound — horizon, budget checkpoint,
+//     partition barrier — can ever interrupt it; only a check between
+//     fired events can. The counter resets whenever the clock moves, so
+//     legitimate same-instant bursts (simultaneous launches, batched
+//     same-tick firing) stay far below the default threshold.
+//   - Step backstop: a hard per-engine cap on total executed events. The
+//     deterministic budget accounting lives OUTSIDE the loop, at
+//     guard.Supervisor's sim-time checkpoints; the in-loop cap exists for
+//     the pathological runs that never reach the next checkpoint cheaply
+//     (event storms advancing picoseconds per event).
+//
+// Both checks run before the next live entry executes, so a trip leaves
+// the engine frozen in a consistent state: the offending entry is still
+// at the head of the queue, the clock has not moved, and the Trip
+// records the entry's timestamp and canonical key — enough to name the
+// exact event the serial order would have fired next. Once tripped, the
+// engine refuses to execute anything until Reset.
+//
+// Cost: one predictable branch plus a timestamp compare per fired event
+// (the detector is always armed). PERF.md's "Run supervision" section
+// records the before/after events/sec — within run-to-run noise.
+
+// DefaultMaxSameInstant is the always-on livelock threshold: the number
+// of consecutive same-instant events an engine fires before declaring
+// the model stuck. The largest legitimate same-instant bursts in this
+// repository (whole-fabric simultaneous launches at 10k-host scale,
+// probe sampling ticks) stay below ~10^5; a genuine zero-delay cycle
+// blows past any finite threshold, so 8M trips it promptly while
+// leaving real workloads two orders of magnitude of headroom.
+const DefaultMaxSameInstant = 8 << 20
+
+// TripReason says which in-loop limit stopped the engine.
+type TripReason uint8
+
+const (
+	// TripSteps: the engine reached its hard executed-events cap.
+	TripSteps TripReason = iota + 1
+	// TripLivelock: too many consecutive events at one instant.
+	TripLivelock
+)
+
+func (r TripReason) String() string {
+	switch r {
+	case TripSteps:
+		return "step-cap"
+	case TripLivelock:
+		return "livelock"
+	}
+	return "unknown"
+}
+
+// Trip describes an in-loop limit stop: the reason, the timestamp and
+// canonical key of the event the engine refused to execute, and the
+// counter values at the stop. At a fixed seed the trip is
+// byte-reproducible — the engine fires events in the canonical order, so
+// the refused entry (and every counter) is a pure function of the
+// scenario.
+type Trip struct {
+	Reason TripReason
+	// At and Key identify the pending event the engine stopped in front
+	// of (the stuck instant, for a livelock).
+	At  Time
+	Key Key
+	// Steps is the engine's executed-event count at the stop.
+	Steps uint64
+	// SameRun is the consecutive same-instant run length (livelock trips).
+	SameRun uint64
+}
+
+// SetLimits configures the in-loop checks: stopSteps is the hard cap on
+// executed events (0 disables), maxSameInstant the livelock threshold
+// (0 restores DefaultMaxSameInstant). Reset returns both to defaults.
+func (e *Engine) SetLimits(stopSteps, maxSameInstant uint64) {
+	e.stopSteps = stopSteps
+	if maxSameInstant == 0 {
+		maxSameInstant = DefaultMaxSameInstant
+	}
+	e.maxSame = maxSameInstant
+}
+
+// Tripped returns the in-loop limit stop, or nil while the engine is
+// healthy. A tripped engine executes nothing further (Step returns
+// false, Run/RunUntil/RunUntilKey return immediately, the clock stays
+// frozen) until Reset.
+func (e *Engine) Tripped() *Trip { return e.trip }
+
+// admit decides whether the live entry at the batch cursor may execute,
+// recording a Trip and freezing the engine when a limit is hit. It runs
+// once per fired event; keep it branch-cheap.
+func (e *Engine) admit(ent entry) bool {
+	if e.trip != nil {
+		return false
+	}
+	if e.stopSteps != 0 && e.nSteps >= e.stopSteps {
+		e.trip = &Trip{Reason: TripSteps, At: ent.at, Key: entKey(ent), Steps: e.nSteps, SameRun: e.sameRun}
+		return false
+	}
+	if ent.at == e.lastAt {
+		e.sameRun++
+		// The zero-value Engine is ready to use, so the threshold is
+		// lazily defaulted here rather than in a constructor.
+		if e.maxSame == 0 {
+			e.maxSame = DefaultMaxSameInstant
+		}
+		if e.sameRun >= e.maxSame {
+			e.trip = &Trip{Reason: TripLivelock, At: ent.at, Key: entKey(ent), Steps: e.nSteps, SameRun: e.sameRun}
+			return false
+		}
+	} else {
+		e.lastAt = ent.at
+		e.sameRun = 1
+	}
+	return true
+}
+
+// entKey unpacks an entry's canonical key (diagnostics path only).
+func entKey(ent entry) Key {
+	return Key{At: ent.at, PHash: ent.phash(), DSched: ent.dsched(), K: ent.k()}
+}
