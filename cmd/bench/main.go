@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                        # run and write BENCH_6.json
+//	go run ./cmd/bench                        # run and write BENCH_8.json
 //	go run ./cmd/bench -o out.json            # write elsewhere
 //	go run ./cmd/bench -list                  # print the benchmark set
 //	go run ./cmd/bench -compare BENCH_5.json  # fail on >15%% events/sec regression
@@ -48,6 +48,10 @@ type Measurement struct {
 	// events/sec to the same fabric at 1 partition (scale benchmarks
 	// only).
 	SpeedupVsSerialX float64 `json:"speedup_vs_serial_x,omitempty"`
+	// SpeedupVsPacketX compares the hybrid (fluid-background) run's
+	// wall-clock to the identical all-packet scenario
+	// (Scale_HybridWebsearch only).
+	SpeedupVsPacketX float64 `json:"speedup_vs_packet_x,omitempty"`
 	// RequestsPerSec and CacheHitRate are the powersimd serving smoke:
 	// HTTP submissions answered per second over a repeated figure
 	// workload, and the fraction answered from the result cache.
@@ -128,9 +132,10 @@ var specBenches = []struct {
 // scenario (absent from snapshots older than BENCH_5, where it is
 // skipped with a notice).
 var gateBenches = map[string]bool{
-	"EngineScheduleRun":   true,
-	"SimulatorThroughput": true,
-	"Scenario_Mix":        true,
+	"EngineScheduleRun":           true,
+	"SimulatorThroughput":         true,
+	"Scenario_Mix":                true,
+	"Scale_HybridWebsearch/fluid": true,
 }
 
 // maxScenarioAllocsPerEvent is the absolute composition-overhead gate
@@ -142,6 +147,43 @@ const maxScenarioAllocsPerEvent = 0.02
 // gateTolerance is the allowed events/sec regression before the gate
 // fails (noise headroom for shared CI runners).
 const gateTolerance = 0.15
+
+// minHybridSpeedupX is the hybrid co-simulation's headline contract: the
+// fluid-background run of the hybrid-websearch scenario must complete at
+// least this many times faster (wall-clock) than the identical scenario
+// with the background at packet fidelity.
+const minHybridSpeedupX = 10.0
+
+// hybridWebsearchBuild mirrors cmd/powersim's hybrid-websearch composed
+// scenario: a websearch Poisson background — at fluid or packet fidelity
+// — under three packet-fidelity foreground transfers on a 64-host fat
+// tree.
+func hybridWebsearchBuild(fluidBG bool) func(seed int64) (scenario.Scenario, error) {
+	return func(seed int64) (scenario.Scenario, error) {
+		scheme, err := scenario.ResolveScheme(scenario.PowerTCP)
+		if err != nil {
+			return scenario.Scenario{}, err
+		}
+		bg := scenario.Traffic(scenario.PoissonLoad{Load: 0.5, Horizon: 4 * sim.Millisecond})
+		if fluidBG {
+			bg = scenario.WithFidelity(scenario.Fluid, bg)
+		}
+		return scenario.Scenario{
+			Name: "hybrid-websearch", Scheme: scheme, Seed: seed,
+			Topology: scenario.FatTreeTopology{ServersPerTor: 8},
+			Traffic: []scenario.Traffic{
+				bg,
+				scenario.Flows{List: []scenario.FlowSpec{
+					{Start: sim.Time(200 * sim.Microsecond), Src: scenario.RackStart(1), Dst: scenario.Host(0), Size: 1 << 20},
+					{Start: sim.Time(500 * sim.Microsecond), Src: scenario.RackStart(3), Dst: scenario.RackHost(2, 1), Size: 300_000},
+					{Start: sim.Time(sim.Millisecond), Src: scenario.RackStart(5), Dst: scenario.RackHost(4, 0), Size: 120_000},
+				}},
+			},
+			Probes: []scenario.Probe{scenario.FCTProbe{}},
+			Until:  5 * sim.Millisecond,
+		}, nil
+	}
+}
 
 // loadSnapshot reads a previous BENCH_<n>.json for -compare.
 func loadSnapshot(path string) (map[string]float64, error) {
@@ -388,7 +430,7 @@ func measureEngine() Measurement {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output snapshot path")
+	out := flag.String("o", "BENCH_8.json", "output snapshot path")
 	list := flag.Bool("list", false, "print the benchmark set and exit")
 	compare := flag.String("compare", "", "previous BENCH_<n>.json: fail if events/sec regresses >15% on the gate benchmarks")
 	gateOnly := flag.Bool("gate", false, "run only the regression-gate benchmarks (CI smoke)")
@@ -400,6 +442,8 @@ func main() {
 		for _, sb := range specBenches {
 			fmt.Println(sb.name)
 		}
+		fmt.Println("Scale_HybridWebsearch/packet")
+		fmt.Println("Scale_HybridWebsearch/fluid")
 		fmt.Println("Powersimd_RepeatedFigure")
 		for _, p := range scalePartCounts {
 			fmt.Printf("Scale_FatTree10k/parts%d\n", p)
@@ -417,21 +461,23 @@ func main() {
 	}
 
 	snap := Snapshot{
-		PR: 9,
-		Note: fmt.Sprintf("Run supervision + powersimd: every bench here "+
-			"executes with supervision structurally on — the engine loop "+
-			"now carries the livelock/step-cap admission check on every "+
-			"event (the only supervision cost that can touch the hot path; "+
-			"budget checkpoints run between sim-time slices, off the loop). "+
-			"Comparing against BENCH_6 (pre-supervision) is therefore the "+
-			"before/after for that check. Powersimd_RepeatedFigure is new: "+
-			"an in-process powersimd replays one figure spec %d times over "+
-			"HTTP; requests_per_sec and cache_hit_rate record the "+
-			"content-addressed cache answering repeats without recomputing. "+
-			"Snapshot machine: GOMAXPROCS=%d, %d CPU(s). Cross-snapshot "+
-			"ratios mix machine drift with code effects; PERF.md records "+
-			"same-machine before/afters.",
-			serveSmokeRequests, runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		PR: 10,
+		Note: fmt.Sprintf("Hybrid packet/fluid co-simulation: the "+
+			"Scale_HybridWebsearch pair runs one scenario twice — websearch "+
+			"Poisson background at packet fidelity, then the same background "+
+			"as a per-link fluid aggregate integrated by internal/hybrid "+
+			"(RK4 exchange ticks on the engine clock) under unchanged "+
+			"packet-fidelity foreground flows. speedup_vs_packet_x is the "+
+			"wall-clock multiplier the fidelity knob buys; the bench fails "+
+			"below %.0fx. The fluid leg joins the events/sec gate so the "+
+			"coupler's per-tick cost cannot creep. Packet-only benches are "+
+			"untouched by hybrid (the coupler is nil unless a component "+
+			"opts in) — Scenario_Mix still carries the %.2f allocs/event "+
+			"composition bound. Snapshot machine: GOMAXPROCS=%d, %d CPU(s). "+
+			"Cross-snapshot ratios mix machine drift with code effects; "+
+			"PERF.md records same-machine before/afters.",
+			minHybridSpeedupX, maxScenarioAllocsPerEvent,
+			runtime.GOMAXPROCS(0), runtime.NumCPU()),
 	}
 
 	regressed := false
@@ -513,6 +559,31 @@ func main() {
 		regressed = true
 		fmt.Fprintf(os.Stderr, "bench: Scenario_Mix allocates %.4f allocs/event (gate: %.2f) — the composition layer left the zero-allocation hot path\n",
 			mix.AllocsPerEvent, maxScenarioAllocsPerEvent)
+	}
+	// The hybrid pair: identical scenario, background at packet then
+	// fluid fidelity. The packet run is the denominator of the headline
+	// speedup contract; the fluid run is the gated benchmark.
+	hybPacket, err := measureScenario("Scale_HybridWebsearch/packet", hybridWebsearchBuild(false))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	hybFluid, err := measureScenario("Scale_HybridWebsearch/fluid", hybridWebsearchBuild(true))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if hybFluid.NsPerOp > 0 {
+		hybFluid.SpeedupVsPacketX = hybPacket.NsPerOp / hybFluid.NsPerOp
+	}
+	add(hybPacket)
+	add(hybFluid)
+	fmt.Printf("  hybrid: fluid background is %.1fx the all-packet wall-clock (contract: ≥%.0fx)\n",
+		hybFluid.SpeedupVsPacketX, minHybridSpeedupX)
+	if hybFluid.SpeedupVsPacketX < minHybridSpeedupX {
+		regressed = true
+		fmt.Fprintf(os.Stderr, "bench: Scale_HybridWebsearch speedup %.1fx below the %.0fx hybrid contract\n",
+			hybFluid.SpeedupVsPacketX, minHybridSpeedupX)
 	}
 	if !*gateOnly {
 		sm, err := measureServe()

@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	figures -fig 4            # one figure (2,3,4,5,6,7,8,9,theory)
+//	figures -fig 4            # one figure (2,3,4,5,6,7,8,9,mp,fluid,theory)
+//	figures -fig fluid        # the fluid-model artifacts (2a–c + 3)
 //	figures -fig all          # everything, runs across all cores
 //	figures -fig 6 -full      # paper-scale topology (much slower)
 //	figures -workers 4        # cap the worker pool
@@ -28,7 +29,7 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,mp,theory,all")
+	figFlag     = flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,7,8,9,mp,fluid,theory,all")
 	fullFlag    = flag.Bool("full", false, "paper-scale topology (256 servers / 25 ToRs); slow")
 	seedFlag    = flag.Int64("seed", 1, "base RNG seed")
 	workersFlag = flag.Int("workers", 0, "suite worker pool size (0 = GOMAXPROCS)")
@@ -55,6 +56,13 @@ func main() {
 		fig9()
 	case "mp":
 		figMultipath()
+	case "fluid":
+		// The fluid-model artifacts as one unit: the §2 response
+		// surfaces (2a–c) and the phase-plot trajectories (Fig 3) — the
+		// same internal/fluid laws the hybrid co-simulation integrates
+		// per link.
+		fig2()
+		fig3()
 	case "theory":
 		theory()
 	case "all":

@@ -45,6 +45,7 @@ import (
 var (
 	expFlag      = flag.String("exp", "incast", "experiment name from the registry; 'list' prints all")
 	scenarioFlag = flag.String("scenario", "", "run a composed scenario instead of a registry experiment; 'list' prints all")
+	fidelityFlag = flag.String("fidelity", "", "background fidelity for scenarios that take it: packet (default) or fluid (hybrid co-simulation)")
 	schemeFlag   = flag.String("scheme", "powertcp", "CC scheme (powertcp, theta-powertcp, hpcc, timely, dcqcn, swift, dctcp, reno, cubic, homa, homa-oc<N>, retcp-<µs>)")
 	fanInFlag    = flag.Int("fanin", 0, "incast fan-in")
 	loadFlag     = flag.Float64("load", 0, "websearch ToR-uplink load")
@@ -109,6 +110,9 @@ func main() {
 		// no-silently-ignored-knobs rule as spec validation applies to
 		// the experiment flags.
 		allowed := map[string]bool{"scenario": true, "scheme": true, "seed": true, "json": true, "tsv": true}
+		if scenarioTakesFidelity(*scenarioFlag) {
+			allowed["fidelity"] = true
+		}
 		var stray []string
 		flag.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -120,7 +124,7 @@ func main() {
 				*scenarioFlag, strings.Join(stray, ", "))
 			os.Exit(2)
 		}
-		r, err := runScenario(*scenarioFlag, *schemeFlag, *seedFlag)
+		r, err := runScenario(*scenarioFlag, *schemeFlag, *seedFlag, *fidelityFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "powersim: %v\n", err)
 			os.Exit(2)

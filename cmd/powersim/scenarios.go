@@ -15,11 +15,46 @@ import (
 // value — no runner files — selected with -scenario <name>.
 var composedScenarios = map[string]struct {
 	about string
-	build func(scheme scenario.Scheme, seed int64) scenario.Scenario
+	// takesFidelity marks scenarios whose background honors -fidelity;
+	// the flag is rejected on any other (no silently ignored knobs).
+	takesFidelity bool
+	build         func(scheme scenario.Scheme, seed int64, fidelity scenario.Fidelity) scenario.Scenario
 }{
+	"hybrid-websearch": {
+		about:         "websearch Poisson background at -fidelity packet|fluid under packet-fidelity foreground flows",
+		takesFidelity: true,
+		build: func(scheme scenario.Scheme, seed int64, fidelity scenario.Fidelity) scenario.Scenario {
+			// The hybrid showcase: the heavy websearch background can run
+			// as an analytically integrated fluid aggregate (-fidelity
+			// fluid) while the foreground transfers stay packet-accurate —
+			// same spec otherwise, so the two fidelities are directly
+			// comparable.
+			bg := scenario.Traffic(scenario.PoissonLoad{Load: 0.5, Horizon: 4 * sim.Millisecond})
+			if fidelity == scenario.Fluid {
+				bg = scenario.WithFidelity(scenario.Fluid, bg)
+			}
+			return scenario.Scenario{
+				Name: "hybrid-websearch", Scheme: scheme, Seed: seed,
+				Topology: scenario.FatTreeTopology{ServersPerTor: 8},
+				Traffic: []scenario.Traffic{
+					bg,
+					scenario.Flows{List: []scenario.FlowSpec{
+						{Start: sim.Time(200 * sim.Microsecond), Src: scenario.RackStart(1), Dst: scenario.Host(0), Size: 1 << 20},
+						{Start: sim.Time(500 * sim.Microsecond), Src: scenario.RackStart(3), Dst: scenario.RackHost(2, 1), Size: 300_000},
+						{Start: sim.Time(sim.Millisecond), Src: scenario.RackStart(5), Dst: scenario.RackHost(4, 0), Size: 120_000},
+					}},
+				},
+				Probes: []scenario.Probe{
+					scenario.FCTProbe{},
+					&scenario.GoodputProbe{Period: 50 * sim.Microsecond},
+				},
+				Until: 5 * sim.Millisecond,
+			}
+		},
+	},
 	"mixed-classes": {
 		about: "websearch Poisson load under the base scheme + a Reno bulk class on the same fabric",
-		build: func(scheme scenario.Scheme, seed int64) scenario.Scenario {
+		build: func(scheme scenario.Scheme, seed int64, _ scenario.Fidelity) scenario.Scenario {
 			return scenario.Scenario{
 				Name: "mixed-classes", Scheme: scheme, Seed: seed,
 				Topology: scenario.FatTreeTopology{ServersPerTor: 8},
@@ -40,7 +75,7 @@ var composedScenarios = map[string]struct {
 	},
 	"incast-failover": {
 		about: "incast pulse arriving while a spine link is down and routing reconverges",
-		build: func(scheme scenario.Scheme, seed int64) scenario.Scenario {
+		build: func(scheme scenario.Scheme, seed int64, _ scenario.Fidelity) scenario.Scenario {
 			return scenario.Scenario{
 				Name: "incast-failover", Scheme: scheme, Seed: seed,
 				Topology: scenario.LeafSpineTopology{Leaves: 3, Spines: 2, ServersPerLeaf: 8},
@@ -70,7 +105,7 @@ var composedScenarios = map[string]struct {
 	},
 	"load-step": {
 		about: "websearch load stepping from 0.2 to 0.6 mid-run via an injected Poisson class",
-		build: func(scheme scenario.Scheme, seed int64) scenario.Scenario {
+		build: func(scheme scenario.Scheme, seed int64, _ scenario.Fidelity) scenario.Scenario {
 			return scenario.Scenario{
 				Name: "load-step", Scheme: scheme, Seed: seed,
 				Topology: scenario.FatTreeTopology{ServersPerTor: 8},
@@ -101,15 +136,30 @@ func scenarioNames() []string {
 	return names
 }
 
+// scenarioTakesFidelity reports whether the named scenario consumes the
+// -fidelity flag.
+func scenarioTakesFidelity(name string) bool {
+	return composedScenarios[name].takesFidelity
+}
+
 // runScenario resolves and executes one composed scenario.
-func runScenario(name, schemeName string, seed int64) (*scenario.Result, error) {
+func runScenario(name, schemeName string, seed int64, fidelity string) (*scenario.Result, error) {
 	entry, ok := composedScenarios[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(scenarioNames(), ", "))
+	}
+	var fd scenario.Fidelity
+	switch fidelity {
+	case "", "packet":
+		fd = scenario.Packet
+	case "fluid":
+		fd = scenario.Fluid
+	default:
+		return nil, fmt.Errorf("unknown fidelity %q (packet or fluid)", fidelity)
 	}
 	scheme, err := scenario.ResolveScheme(schemeName)
 	if err != nil {
 		return nil, err
 	}
-	return scenario.Run(entry.build(scheme, seed))
+	return scenario.Run(entry.build(scheme, seed, fd))
 }

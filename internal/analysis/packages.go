@@ -21,6 +21,7 @@ var SimPathPackages = []string{
 	"fuzzlab",   // scenario generator/shrinker — seeded RNG, reproducible minimization
 	"guard",     // run supervision — budgets trip at sim-time checkpoints, so no wall clock allowed
 	"homa",      // HOMA transport — grants, resends
+	"hybrid",    // fluid/packet coupling — exchange ticks are engine events, RK4 order fixed
 	"link",      // ports, serialization, delivery ordering
 	"monitor",   // taps and captures embedded in golden outputs
 	"packet",    // packet struct + pool — recycling must not alter output

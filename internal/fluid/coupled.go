@@ -1,0 +1,93 @@
+package fluid
+
+import "math"
+
+// LinkSystem extends the single-bottleneck System to one per-link
+// instance of a hybrid run (internal/hybrid): the aggregate fluid
+// window over one egress port, coupled to the packet simulation through
+// the externally observed packet queue depth and capped by the offered
+// demand routed over the link.
+//
+// The coupling closes both ways. The packet side enters the ODE as
+// qPkt — the real queue bytes the port holds at the exchange instant —
+// so the law reacts to total congestion (fluid backlog + packet
+// backlog), exactly as the aggregate of real background flows would
+// have seen the queue their packets share with the foreground. The
+// fluid side leaves the ODE as the arrival rate Lambda, which
+// internal/hybrid folds back into the port as virtual backlog and a
+// serializer capacity share.
+//
+// Demand distinguishes open-loop components (a Poisson trace offers a
+// finite rate regardless of congestion) from closed-loop ones (an
+// endless permutation flow wants line rate and is throttled only by the
+// control law): the arrival rate is min(W/θ, Demand).
+type LinkSystem struct {
+	System
+	// Demand is the offered arrival-rate ceiling in bytes/second
+	// (math.Inf(1) for closed-loop greedy components).
+	Demand float64
+}
+
+// Lambda returns the instantaneous fluid arrival rate at the link in
+// bytes/second: the window-limited rate W/θ with θ = (q_fluid+q_pkt)/b
+// + τ, capped by the offered demand. qPkt is the packet-side queue
+// depth in bytes.
+func (s *LinkSystem) Lambda(st State, qPkt float64) float64 {
+	b := s.bBytes()
+	theta := (st.Q+qPkt)/b + s.Tau.Seconds()
+	lam := st.W / theta
+	if lam > s.Demand {
+		lam = s.Demand
+	}
+	if lam < 0 {
+		lam = 0
+	}
+	return lam
+}
+
+// derivCoupled is deriv with the packet queue folded into the law's
+// queue observation and the demand cap applied to the arrival rate.
+// The fluid queue still drains at the full line rate here — the exact
+// capacity split against packets is settled by the integer ledger in
+// internal/hybrid, which measures what the packet side actually
+// transmitted; the ODE only needs the trend.
+func (s *LinkSystem) derivCoupled(st State, qPkt float64) (dw, dq float64) {
+	b := s.bBytes()
+	tau := s.Tau.Seconds()
+	q := st.Q + qPkt
+	lambda := s.Lambda(st, qPkt)
+	dq = lambda - b
+	if st.Q <= 0 && dq < 0 {
+		dq = 0
+	}
+	gr := s.Gamma / s.Dt.Seconds()
+	var ef float64
+	switch s.Law {
+	case Voltage:
+		ef = (b * tau) / (q + b*tau)
+	case Current:
+		ef = 1 / (dq/b + 1)
+	case Power:
+		ef = (b * b * tau) / ((dq + b) * (q + b*tau))
+	}
+	dw = gr * (st.W*ef - st.W + s.Beta)
+	return dw, dq
+}
+
+// StepCoupled advances the per-link state by h seconds with classic
+// RK4, holding the packet queue depth qPkt quasi-static over the step
+// (the exchange interval is chosen well below τ, so the packet side
+// cannot move far within one step). The window is clamped at one byte
+// and the fluid queue at zero, mirroring Step.
+func (s *LinkSystem) StepCoupled(st State, qPkt, h float64) State {
+	k1w, k1q := s.derivCoupled(st, qPkt)
+	k2w, k2q := s.derivCoupled(State{st.W + h/2*k1w, math.Max(0, st.Q+h/2*k1q)}, qPkt)
+	k3w, k3q := s.derivCoupled(State{st.W + h/2*k2w, math.Max(0, st.Q+h/2*k2q)}, qPkt)
+	k4w, k4q := s.derivCoupled(State{st.W + h*k3w, math.Max(0, st.Q+h*k3q)}, qPkt)
+	st.W += h / 6 * (k1w + 2*k2w + 2*k3w + k4w)
+	st.Q = math.Max(0, st.Q+h/6*(k1q+2*k2q+2*k3q+k4q))
+	if st.W < 1 {
+		st.W = 1
+	}
+	return st
+}

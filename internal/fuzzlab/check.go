@@ -3,6 +3,7 @@ package fuzzlab
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/guard"
 	"repro/internal/scenario"
@@ -11,7 +12,9 @@ import (
 // Violation is one invariant breach on one run of a Spec.
 type Violation struct {
 	// Invariant names the breached property: "conservation",
-	// "black-hole", "capacity", "fairness", or "partition-divergence".
+	// "black-hole", "capacity", "fairness", "partition-divergence",
+	// "fluid-conservation", "hybrid-determinism", or
+	// "hybrid-divergence".
 	Invariant string
 	// Parts is the partition count of the breaching run (1 = serial).
 	Parts int
@@ -87,13 +90,22 @@ func Check(sp *Spec, opts Options) ([]Violation, error) {
 	if !opts.SkipJain {
 		vs = append(vs, checkFairness(sp, serial)...)
 	}
+	if sp.HasFluid() {
+		hvs, err := checkHybrid(sp, serial)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, hvs...)
+	}
 
 	var want bytes.Buffer
 	if err := serial.EncodeJSON(&want); err != nil {
 		return nil, fmt.Errorf("fuzzlab: encoding serial result: %w", err)
 	}
 	for _, parts := range axis {
-		if parts <= 1 || !sp.Partitionable() {
+		// Fluid specs are serial by validation (the coupler runs on the
+		// one engine), so the partition sweep does not apply to them.
+		if parts <= 1 || !sp.Partitionable() || sp.HasFluid() {
 			continue
 		}
 		res, err := runAt(sp, parts)
@@ -195,8 +207,11 @@ func checkCapacity(sp *Spec, res *scenario.Result) []Violation {
 // the only shape where every host is statistically interchangeable and
 // a fairness floor is sound.
 func checkFairness(sp *Spec, res *scenario.Result) []Violation {
+	// A fluid component delivers no per-host packet bytes, so the
+	// per-host series the index reads would be vacuously uniform.
 	if len(sp.Traffic) != 1 || sp.Traffic[0].Kind != "permutation" ||
-		sp.Traffic[0].Override != "" || len(sp.Events) != 0 || sp.HorizonUS < 200 {
+		sp.Traffic[0].Override != "" || sp.Traffic[0].Fidelity != "" ||
+		len(sp.Events) != 0 || sp.HorizonUS < 200 {
 		return nil
 	}
 	perHost := deliveredByHost(res)
@@ -243,6 +258,144 @@ func jain(xs []float64) float64 {
 		return 1 // nothing delivered anywhere is (vacuously) fair
 	}
 	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// hybridFCTFactor bounds how far a packet-fidelity foreground flow's
+// FCT (equivalently its goodput, size/FCT) may drift when the
+// background runs at fluid instead of packet fidelity, across the
+// whole generator space. The fluid model is an approximation — on
+// adversarial generated mixes (greedy permutations, heavy poisson)
+// the honest divergence reaches ~4× — so this is a catastrophe bound,
+// not an accuracy contract: it catches a coupler that stops coupling
+// (foreground FCTs collapse to unloaded values under a saturating
+// background) or runs away (virtual share starving the foreground).
+// The accuracy contract (±10% on calibration scenarios) lives in
+// internal/scenario's differential test.
+const hybridFCTFactor = 8.0
+
+// runRecorded runs the spec serially and returns both the Result and
+// the completed per-flow records (which scenario.Run discards on
+// release).
+func runRecorded(sp *Spec) (*scenario.Result, []scenario.FlowRecord, error) {
+	sc, err := sp.Build(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []scenario.FlowRecord
+	res, err := guard.Capture(func() (*scenario.Result, error) {
+		p, err := scenario.Prepare(sc)
+		if err != nil {
+			return nil, err
+		}
+		p.DriveTo(p.Horizon())
+		res, err := p.Finish()
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, p.Env().Lab.Records...)
+		p.Release()
+		return res, nil
+	})
+	return res, recs, err
+}
+
+// uniqueFCTs maps flow size → FCT for sizes that identify exactly one
+// completed record — the only pairing between two runs' records that
+// is unambiguous without flow identities.
+func uniqueFCTs(recs []scenario.FlowRecord) map[int64]float64 {
+	count := map[int64]int{}
+	fct := map[int64]float64{}
+	for _, r := range recs {
+		count[r.Size]++
+		fct[r.Size] = float64(r.FCT)
+	}
+	for sz, n := range count {
+		if n != 1 {
+			delete(fct, sz)
+		}
+	}
+	return fct
+}
+
+// checkHybrid runs the hybrid-specific invariant battery on a spec with
+// a fluid component:
+//
+//   - fluid-conservation: the coupler's integer ledger closes exactly —
+//     fluid emitted − delivered − backlog ≡ 0 (the packet-side identity,
+//     with fluid bytes folded in, is already covered by checkConservation).
+//   - hybrid-determinism: two serial runs encode byte-identically; the
+//     stand-in for the partition sweep fluid specs cannot take.
+//   - hybrid-divergence: rerun with fluid fidelity stripped (all-packet)
+//     and bound every unambiguously matched foreground flow's FCT ratio
+//     by hybridFCTFactor.
+func checkHybrid(sp *Spec, serial *scenario.Result) ([]Violation, error) {
+	var vs []Violation
+	em := serial.Scalar("fluid_bytes_emitted")
+	del := serial.Scalar("fluid_bytes_delivered")
+	back := serial.Scalar("fluid_bytes_backlog")
+	if r := em - del - back; r != 0 {
+		vs = append(vs, Violation{
+			Invariant: "fluid-conservation", Parts: 1,
+			Detail: fmt.Sprintf("fluid emitted %v − delivered %v − backlog %v = %v, want 0",
+				em, del, back, r),
+		})
+	}
+
+	resA, recsA, err := runRecorded(sp)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzlab: re-running hybrid spec: %w", err)
+	}
+	resB, _, err := runRecorded(sp)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzlab: re-running hybrid spec: %w", err)
+	}
+	var a, b bytes.Buffer
+	if err := resA.EncodeJSON(&a); err != nil {
+		return nil, fmt.Errorf("fuzzlab: encoding hybrid result: %w", err)
+	}
+	if err := resB.EncodeJSON(&b); err != nil {
+		return nil, fmt.Errorf("fuzzlab: encoding hybrid result: %w", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		vs = append(vs, Violation{
+			Invariant: "hybrid-determinism", Parts: 1,
+			Detail: diffJSON(a.Bytes(), b.Bytes()),
+		})
+	}
+
+	ref := *sp
+	ref.Traffic = append([]TrafficSpec(nil), sp.Traffic...)
+	for i := range ref.Traffic {
+		ref.Traffic[i].Fidelity = ""
+	}
+	_, refRecs, err := runRecorded(&ref)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzlab: running all-packet reference: %w", err)
+	}
+	refFCT := uniqueFCTs(refRecs)
+	hybFCT := uniqueFCTs(recsA)
+	sizes := make([]int64, 0, len(hybFCT))
+	for sz := range hybFCT {
+		sizes = append(sizes, sz)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	for _, sz := range sizes {
+		h := hybFCT[sz]
+		p, ok := refFCT[sz]
+		if !ok || p <= 0 {
+			// Completed in one fidelity only (horizon edge) or ambiguous
+			// in the reference — no sound pairing to compare.
+			continue
+		}
+		if ratio := h / p; ratio > hybridFCTFactor || ratio < 1/hybridFCTFactor {
+			vs = append(vs, Violation{
+				Invariant: "hybrid-divergence", Parts: 1,
+				Detail: fmt.Sprintf("flow of size %d: hybrid FCT %.0fns vs all-packet %.0fns (ratio %.2f exceeds factor %v)",
+					sz, h, p, ratio, hybridFCTFactor),
+			})
+		}
+	}
+	return vs, nil
 }
 
 // diffJSON summarizes where two encoded Results diverge, keeping the

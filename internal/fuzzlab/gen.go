@@ -67,10 +67,31 @@ func Generate(seed int64) Spec {
 		sp.Traffic = append(sp.Traffic, tr)
 	}
 
+	// Hybrid co-simulation: with modest probability, promote one eligible
+	// component to fluid fidelity. The roll happens before the event
+	// block because fluid fidelity excludes link-failure timelines (fluid
+	// demand is routed once, before the run) — the generator must respect
+	// the same domain rule Run validates, or every fluid spec would be a
+	// Build error instead of a checked scenario.
+	hasFluid := false
+	if rng.Float64() < 0.3 {
+		var elig []int
+		for i, tr := range sp.Traffic {
+			switch tr.Kind {
+			case "flows", "poisson", "permutation", "rackpairs":
+				elig = append(elig, i)
+			}
+		}
+		if len(elig) > 0 {
+			sp.Traffic[elig[rng.Intn(len(elig))]].Fidelity = "fluid"
+			hasFluid = true
+		}
+	}
+
 	// Mid-run events only make sense on fabrics with path redundancy:
 	// every generated leaf-spine has ≥2 spines and every fat-tree ToR has
 	// 2 aggs, so a single cut degrades without disconnecting.
-	if f.multiRack() && rng.Float64() < 0.5 {
+	if f.multiRack() && !hasFluid && rng.Float64() < 0.5 {
 		h := sp.HorizonUS
 		failAt := h/5 + rng.Int63n(h/2-h/5+1)
 		var a, b SwitchRefSpec

@@ -85,6 +85,17 @@ type Port struct {
 	remotePlDelivered uint64 // handed to Peer across a partition cut
 	remotePlLost      uint64 // lost at delivery across a partition cut
 
+	// Virtual fluid load (hybrid co-simulation, internal/hybrid). The
+	// coupler folds each fluid component's analytic backlog into the
+	// port as vBacklog — extra queue bytes visible to INT/ECN through
+	// VirtualBacklog — and as vShare, the fraction of the serializer the
+	// fluid traffic occupies; packet serialization slows by 1/(1−vShare)
+	// so packets experience the residual capacity, exactly as they would
+	// behind real background packets. Both are zero outside hybrid runs,
+	// keeping the packet-only drain loop branch-identical.
+	vBacklog int64
+	vShare   float64
+
 	busy   bool
 	paused bool
 	down   bool
@@ -140,6 +151,22 @@ func (pt *Port) PayloadQueued() uint64 { return pt.plAccepted - pt.plTx }
 func (pt *Port) PayloadOnWire() uint64 {
 	return pt.plTx - pt.plLostTx - pt.plDelivered - pt.plLostRx - pt.remotePlDelivered - pt.remotePlLost
 }
+
+// SetVirtualLoad installs the fluid load the hybrid coupler computed
+// for this port at the last exchange instant: backlog bytes of analytic
+// queue and the serializer capacity share in [0,1) the fluid traffic
+// occupies until the next exchange. Zero/zero restores pure packet
+// behavior.
+func (pt *Port) SetVirtualLoad(backlog int64, share float64) {
+	pt.vBacklog = backlog
+	pt.vShare = share
+}
+
+// VirtualBacklog returns the fluid backlog bytes currently folded into
+// this port (zero outside hybrid runs). Devices add it to QueueBytes
+// when stamping INT qlen and deciding ECN marks, so congestion signals
+// reflect the load of both fidelities.
+func (pt *Port) VirtualBacklog() int64 { return pt.vBacklog }
 
 // Send enqueues p for transmission, subject to admission control, and
 // starts the serializer if idle.
@@ -222,6 +249,12 @@ func (pt *Port) kick() {
 	pt.txPkts++
 	pt.plTx += uint64(p.PayloadLen)
 	tx := pt.Rate.TxTime(wire)
+	if pt.vShare > 0 {
+		// Fluid traffic holds vShare of the serializer: packets see the
+		// residual rate Rate·(1−vShare), i.e. serialization stretched by
+		// 1/(1−vShare). Integer nanoseconds keep this deterministic.
+		tx = sim.Duration(float64(tx) / (1 - pt.vShare))
+	}
 	pt.busy = true
 	if pt.txDone == nil {
 		pt.txDone = pt.Eng.NewTimer(pt.onTxDone)

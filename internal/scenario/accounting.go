@@ -66,6 +66,16 @@ func (env *Env) Accounting() (ByteAccounting, error) {
 			a.OnWire += int64(pt.PayloadOnWire())
 		}
 	}
+	if env.Hybrid != nil {
+		// Fluid bytes obey the same identity: everything the coupler's
+		// integer ledger emitted is either delivered or still backlogged
+		// (fluid traffic is never dropped or failure-lost — fluid excludes
+		// failure timelines by validation).
+		em, del, back := env.Hybrid.Totals()
+		a.Emitted += em
+		a.Delivered += del
+		a.Queued += back
+	}
 	return a, nil
 }
 
@@ -95,6 +105,16 @@ func (AccountingProbe) Finalize(env *Env, res *Result) error {
 	res.SetScalar("bytes_lost_fail", float64(a.Lost))
 	res.SetScalar("bytes_inflight", float64(a.InFlight()))
 	res.SetScalar("bytes_residual", float64(a.Residual()))
+	if env.Hybrid != nil {
+		// Hybrid runs additionally expose the fluid slice of the ledger,
+		// so the invariant checker can assert fluid conservation on its
+		// own (emitted − delivered − backlog ≡ 0) besides the combined
+		// residual. Packet-only envelopes are byte-identical to before.
+		em, del, back := env.Hybrid.Totals()
+		res.SetScalar("fluid_bytes_emitted", float64(em))
+		res.SetScalar("fluid_bytes_delivered", float64(del))
+		res.SetScalar("fluid_bytes_backlog", float64(back))
+	}
 	// The per-host receive line rate bounds aggregate goodput: no host
 	// can accept payload faster than its NIC drains it.
 	res.SetScalar("rx_cap_gbps_per_host", env.Lab.Net.HostRate.InGbps())

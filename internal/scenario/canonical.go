@@ -11,7 +11,7 @@ import (
 // This file defines the canonical Spec wire form — the documented
 // encoding behind corpus pins, repro bundles, and powersimd cache keys.
 //
-// Canonical form, version 1:
+// Canonical form:
 //
 //   - One compact JSON document (no insignificant whitespace), keys in
 //     lexicographic order at every object level, no trailing newline.
@@ -33,7 +33,17 @@ import (
 // that collides with the misreading).
 
 // SpecVersion is the current canonical Spec encoding version.
-const SpecVersion = 1
+//
+// Version history:
+//   - 1: initial canonical form.
+//   - 2: adds the per-component "fidelity" field (hybrid packet/fluid
+//     co-simulation). Version-1 documents are a strict subset of the
+//     v2 vocabulary, so DecodeSpec accepts them and normalizes.
+const SpecVersion = 2
+
+// legacySpecVersion is the oldest version DecodeSpec still accepts;
+// every field vocabulary since then is a subset of the current one.
+const legacySpecVersion = 1
 
 // MarshalCanonical renders the Spec in canonical form. A zero V is
 // normalized to SpecVersion; any other mismatched version is an error
@@ -64,8 +74,9 @@ func MarshalCanonical(sp *Spec) ([]byte, error) {
 
 // DecodeSpec parses canonical (or hand-written) Spec JSON strictly:
 // unknown fields are rejected, and the document's version must be
-// SpecVersion (or absent/zero, accepted for pre-versioning documents
-// and normalized). The returned Spec has V set to SpecVersion.
+// SpecVersion, a still-supported legacy version, or absent/zero
+// (accepted for pre-versioning documents). The returned Spec has V
+// normalized to SpecVersion.
 func DecodeSpec(data []byte) (*Spec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -79,7 +90,7 @@ func DecodeSpec(data []byte) (*Spec, error) {
 		return nil, fmt.Errorf("scenario: decoding spec: trailing data after JSON document")
 	}
 	switch sp.V {
-	case 0, SpecVersion:
+	case 0, legacySpecVersion, SpecVersion:
 		sp.V = SpecVersion
 	default:
 		return nil, fmt.Errorf("scenario: unsupported spec version %d (current %d)", sp.V, SpecVersion)

@@ -24,8 +24,8 @@ func TestPresetGoldens(t *testing.T) {
 		}
 	}
 	presets := SpecPresets()
-	if len(presets) != 8 {
-		t.Fatalf("got %d presets, want one per registered experiment (8)", len(presets))
+	if len(presets) != 9 {
+		t.Fatalf("got %d presets, want one per registered experiment plus the hybrid preset (9)", len(presets))
 	}
 	for _, sp := range presets {
 		sp := sp

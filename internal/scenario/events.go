@@ -75,6 +75,12 @@ func (e InjectTraffic) apply(env *Env, links *[]route.LinkEvent) error {
 	if e.At < 0 {
 		return fmt.Errorf("scenario: traffic injected at negative time %v", e.At)
 	}
+	if _, _, _, fd := unwrapTraffic(e.Traffic); fd == Fluid {
+		// Fluid demand profiles are compiled against the routing tables
+		// once, before the run starts; injection is a packet-fidelity
+		// concept.
+		return fmt.Errorf("scenario: injected traffic cannot run at fluid fidelity")
+	}
 	return env.launchComponent(e.Traffic, e.At)
 }
 

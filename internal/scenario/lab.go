@@ -30,9 +30,10 @@ type FlowRecord struct {
 // the partitioned engines, which is what makes setup-event canonical
 // keys — and therefore the whole firing order — mode-invariant.
 const (
-	originFlowKey  = uint64(1) << 56
-	originProbeKey = uint64(2) << 56
-	originRouteKey = uint64(3) << 56
+	originFlowKey   = uint64(1) << 56
+	originProbeKey  = uint64(2) << 56
+	originRouteKey  = uint64(3) << 56
+	originHybridKey = uint64(4) << 56
 )
 
 // keyedRecord is a FlowRecord tagged with the canonical key of the

@@ -2,8 +2,9 @@ package scenario
 
 // SpecPresets returns one small, fully specified Spec per registered
 // experiment family (internal/exp's registry: asymmetry, failover,
-// fairness, incast, load-sweep, permutation, rdcn, websearch), sorted
-// by name. They serve three masters:
+// fairness, incast, load-sweep, permutation, rdcn, websearch) plus the
+// hybrid co-simulation preset (fluid background under packet
+// foreground), sorted by name. They serve three masters:
 //
 //   - The canonical-encoding golden test pins each preset's canonical
 //     bytes and SpecKey, so the cache-key encoding cannot drift
@@ -59,6 +60,24 @@ func SpecPresets() []Spec {
 				{Kind: "staggered", Receiver: &RefSpec{Kind: "from_end", I: 1}, FirstSender: &RefSpec{Kind: "host", I: 0}, Count: 4, StaggerUS: 50, Sizes: []int64{-1, -1, -1, -1}},
 			},
 			HorizonUS: 500,
+		},
+		{
+			// Hybrid co-simulation: an analytically integrated fluid
+			// background (poisson websearch load) under packet-fidelity
+			// foreground flows — the internal/hybrid preset.
+			V:      SpecVersion,
+			Name:   "hybrid",
+			Seed:   9,
+			Scheme: "powertcp",
+			Topo:   TopoSpec{Kind: "leafspine", Leaves: 4, Spines: 2, ServersPerLeaf: 4},
+			Traffic: []TrafficSpec{
+				{Kind: "poisson", Load: 0.4, GenHorizonUS: 300, Fidelity: "fluid"},
+				{Kind: "flows", Flows: []FlowEntry{
+					{Src: &RefSpec{Kind: "host", I: 0}, Dst: &RefSpec{Kind: "host", I: 12}, Size: 120_000},
+					{StartUS: 50, Src: &RefSpec{Kind: "host", I: 5}, Dst: &RefSpec{Kind: "host", I: 9}, Size: 60_000},
+				}},
+			},
+			HorizonUS: 400,
 		},
 		{
 			V:      SpecVersion,

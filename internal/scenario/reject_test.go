@@ -115,6 +115,31 @@ func TestRunRejectsMalformedScenarios(t *testing.T) {
 		{"event switch out of range", func(sc *Scenario) {
 			sc.Events = Timeline{Events: []Event{LinkFail{At: sim.Microsecond, A: Leaf(0), B: Spine(9)}}}
 		}, "spine switch 9"},
+		{"fluid pulse", func(sc *Scenario) {
+			sc.Traffic = []Traffic{WithFidelity(Fluid, IncastPulse{Receiver: Host(0), FanIn: 2, FlowSize: 1000})}
+		}, "cannot run at fluid fidelity"},
+		{"fluid staggered", func(sc *Scenario) {
+			sc.Traffic = []Traffic{WithFidelity(Fluid, Staggered{Receiver: Host(0), FirstSender: Host(1), Count: 2, Sizes: []int64{1000, 1000}})}
+		}, "cannot run at fluid fidelity"},
+		{"fluid requests", func(sc *Scenario) {
+			sc.Traffic = []Traffic{WithFidelity(Fluid, IncastRequests{RequestRate: 1000, RequestSize: 1000, FanIn: 2, Horizon: 50 * sim.Microsecond})}
+		}, "cannot run at fluid fidelity"},
+		{"fluid with link failure", func(sc *Scenario) {
+			sc.Traffic = []Traffic{WithFidelity(Fluid, sc.Traffic[0])}
+			sc.Events = Timeline{Events: []Event{LinkFail{At: sim.Microsecond, A: Leaf(0), B: Spine(0)}}}
+		}, "link failures"},
+		{"fluid inject", func(sc *Scenario) {
+			sc.Events = Timeline{Events: []Event{InjectTraffic{At: sim.Microsecond,
+				Traffic: WithFidelity(Fluid, Flows{List: []FlowSpec{{Src: Host(0), Dst: Host(2), Size: 1000}}})}}}
+		}, "injected traffic cannot run at fluid fidelity"},
+		{"fluid partitioned", func(sc *Scenario) {
+			sc.Topology = FatTreeTopology{ServersPerTor: 2, Partitions: 2}
+			sc.Traffic = []Traffic{WithFidelity(Fluid, Flows{List: []FlowSpec{{Src: Host(0), Dst: Host(8), Size: 1000}}})}
+		}, "serial execution"},
+		{"fluid rotor", func(sc *Scenario) {
+			sc.Topology = RotorTopology{Tors: 4, ServersPerTor: 2, Weeks: 2}
+			sc.Traffic = []Traffic{WithFidelity(Fluid, Permutation{})}
+		}, "rotor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/hybrid"
 	"repro/internal/rdcn"
 	"repro/internal/route"
 	"repro/internal/sim"
@@ -28,6 +29,9 @@ type Env struct {
 	Horizon sim.Time
 	// Launched lists every launched flow in launch order.
 	Launched []LaunchedFlow
+	// Hybrid is the fluid/packet coupler, created lazily when the first
+	// fluid-fidelity component launches (nil on all-packet runs).
+	Hybrid *hybrid.Coupler
 
 	// wrapAlg, when set by a probe's BeforeTraffic hook, interposes on
 	// every per-flow algorithm (monitoring probes).
@@ -153,6 +157,13 @@ func (p *Prepared) setup() error {
 		if err := env.launchComponent(tr, 0); err != nil {
 			return err
 		}
+	}
+	if env.Hybrid != nil {
+		// The coupler's exchange ticks are their own causal root, so the
+		// tick chain's canonical keys do not depend on how many flows or
+		// probes the scenario also schedules.
+		env.Eng().SetOrigin(originHybridKey)
+		env.Hybrid.Start()
 	}
 
 	if sc.Events.Reconverge < 0 {
@@ -300,19 +311,26 @@ func (p *Prepared) Release() {
 
 // launchComponent generates one traffic component's trace and launches
 // it, applying the component's scheme override if present. shift moves
-// every start time (InjectTraffic events).
-func (env *Env) launchComponent(tr Traffic, shift sim.Duration) error {
+// every start time (InjectTraffic events). Components marked Fluid
+// divert to the hybrid coupler instead of launching flows.
+func (env *Env) launchComponent(wrapped Traffic, shift sim.Duration) error {
+	tr, schemeName, hasOverride, fd := unwrapTraffic(wrapped)
 	var override Scheme
-	hasOverride := false
-	if cl, ok := tr.(classed); ok {
+	if hasOverride {
 		var err error
-		if override, err = resolveOverride(cl.scheme, env.Scheme); err != nil {
+		if override, err = resolveOverride(schemeName, env.Scheme); err != nil {
 			return err
 		}
-		hasOverride = true
 		if env.Rotor != nil {
 			return fmt.Errorf("scenario: traffic-class schemes are not supported on the rotor topology")
 		}
+	}
+	if fd == Fluid {
+		law := override
+		if !hasOverride {
+			law = env.Scheme
+		}
+		return env.launchFluid(tr, law, shift)
 	}
 	flows, err := tr.generate(env.Fabric, env.Seed)
 	if err != nil {

@@ -118,6 +118,11 @@ type TrafficSpec struct {
 	// Override runs this component under its own per-flow scheme
 	// (WithScheme); empty keeps the base scheme.
 	Override string `json:"override,omitempty"`
+	// Fidelity selects the simulation mode: "" or "packet" runs the
+	// component packet-by-packet, "fluid" compiles it into the hybrid
+	// coupler's per-link background demand (WithFidelity). Added in
+	// spec version 2.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	Flows []FlowEntry `json:"flows,omitempty"`
 
@@ -166,13 +171,26 @@ func (s *Spec) Partitionable() bool {
 }
 
 // PartsAxis returns the partition counts the invariant checker compares
-// this spec across: [1] for unshardable fabrics, the full 1/2/4/8 axis
-// otherwise.
+// this spec across: [1] for unshardable fabrics and for hybrid specs
+// (the fluid coupler's exchange loop is serial-only), the full 1/2/4/8
+// axis otherwise.
 func (s *Spec) PartsAxis() []int {
-	if !s.Partitionable() {
+	if !s.Partitionable() || s.HasFluid() {
 		return []int{1}
 	}
 	return []int{1, 2, 4, 8}
+}
+
+// HasFluid reports whether any traffic component runs at fluid
+// fidelity — the gate for the hybrid-vs-packet agreement invariant and
+// for the serial-only execution restriction.
+func (s *Spec) HasFluid() bool {
+	for i := range s.Traffic {
+		if s.Traffic[i].Fidelity == "fluid" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Spec) buildTopology(parts int) (Topology, error) {
@@ -277,6 +295,13 @@ func (t *TrafficSpec) build() (Traffic, error) {
 	}
 	if t.Override != "" {
 		built = WithScheme(t.Override, built)
+	}
+	switch t.Fidelity {
+	case "", "packet":
+	case "fluid":
+		built = WithFidelity(Fluid, built)
+	default:
+		return nil, fmt.Errorf("scenario: unknown traffic fidelity %q (want \"packet\" or \"fluid\")", t.Fidelity)
 	}
 	return built, nil
 }

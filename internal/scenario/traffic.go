@@ -322,6 +322,63 @@ func (t classed) generate(f Fabric, seed int64) ([]workload.Flow, error) {
 	return t.inner.generate(f, seed)
 }
 
+// Fidelity selects how a traffic component is simulated: packet by
+// packet (the default), or as an analytic fluid aggregate coupled to
+// the packet fabric through internal/hybrid.
+type Fidelity int
+
+const (
+	// Packet simulates every flow packet-by-packet (full fidelity).
+	Packet Fidelity = iota
+	// Fluid compiles the component into per-link background
+	// arrival-rate processes integrated on the simulation clock — the
+	// scale knob for large background loads. Only open-shape components
+	// (Flows, PoissonLoad, Permutation, RackPairs) can carry it, and
+	// fluid components exclude link-failure timelines, injection, the
+	// rotor fabric, and partitioned execution.
+	Fluid
+)
+
+// WithFidelity runs a traffic component at the given fidelity, so one
+// scenario can mix an analytically simulated background with
+// packet-accurate foreground flows ("websearch load at 80% on a fabric
+// too big to packet-simulate"). WithFidelity(Packet, t) is t's default
+// behavior.
+func WithFidelity(fd Fidelity, t Traffic) Traffic {
+	return fidelitied{fd: fd, inner: t}
+}
+
+type fidelitied struct {
+	fd    Fidelity
+	inner Traffic
+}
+
+func (t fidelitied) generate(f Fabric, seed int64) ([]workload.Flow, error) {
+	return t.inner.generate(f, seed)
+}
+
+// unwrapTraffic strips the wrapper chain off a component, collecting
+// the outermost scheme override and fidelity regardless of nesting
+// order (WithScheme over WithFidelity or the reverse).
+func unwrapTraffic(tr Traffic) (inner Traffic, scheme string, hasScheme bool, fd Fidelity) {
+	for {
+		switch t := tr.(type) {
+		case classed:
+			if !hasScheme {
+				scheme, hasScheme = t.scheme, true
+			}
+			tr = t.inner
+		case fidelitied:
+			if fd == Packet {
+				fd = t.fd
+			}
+			tr = t.inner
+		default:
+			return tr, scheme, hasScheme, fd
+		}
+	}
+}
+
 // resolveOverride resolves and checks a per-component scheme override
 // against the base scheme's fabric features.
 func resolveOverride(name string, base Scheme) (Scheme, error) {

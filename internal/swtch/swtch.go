@@ -122,7 +122,10 @@ func (s *Switch) onDequeue(pt *link.Port, p *packet.Packet) {
 	// packet's wire size.
 	s.share.Release(p.WireLen())
 
-	qlen := pt.QueueBytes()
+	// Congestion signals see both fidelities: the real queue plus any
+	// fluid backlog the hybrid coupler folded into the port, so INT qlen
+	// and ECN marks reflect background load that is never packetized.
+	qlen := pt.QueueBytes() + pt.VirtualBacklog()
 	if p.ECT && s.cfg.ECN.Enabled() && s.shouldMark(qlen) {
 		if !p.CE {
 			s.marked++

@@ -105,6 +105,7 @@ type Network struct {
 
 	nextFlow uint64
 	swPeers  [][]peerRef // per switch, per port: what the port points at
+	hostTor  []int       // per host: index of the switch its NIC points at
 }
 
 type peerRef struct {
@@ -268,6 +269,56 @@ func (n *Network) wireHost(hi, si int, rate units.BitRate, delay sim.Duration, o
 	h.SetUplink(up)
 	s.AddPort(rate, delay, h, n.qFor(opts))
 	n.swPeers[si] = append(n.swPeers[si], peerRef{isHost: true, idx: hi})
+	for len(n.hostTor) <= hi {
+		n.hostTor = append(n.hostTor, -1)
+	}
+	n.hostTor[hi] = si
+}
+
+// HostTor returns the index of the switch host hi's NIC points at, or
+// -1 for a host wired directly to another host (no topology builder
+// does that today).
+func (n *Network) HostTor(hi int) int {
+	if hi >= len(n.hostTor) {
+		return -1
+	}
+	return n.hostTor[hi]
+}
+
+// WalkRoutes traverses every port a flow from host src to host dst can
+// cross under the installed routing tables, calling visit with the
+// fraction of the flow's load each port carries when per-flow ECMP
+// hashing is averaged over many flows: the NIC carries 1.0, and at each
+// switch the incoming fraction splits equally over the candidate ports
+// (WCMP weighting arrives for free, since weighted tables repeat
+// entries). This is the fluid limit of the packet forwarding path —
+// internal/hybrid uses it to compile per-component demand matrices
+// into per-link arrival rates. It must be called after the control
+// plane has installed tables (any time after the builder returns) and
+// reflects the tables as currently installed.
+func (n *Network) WalkRoutes(src, dst int, visit func(pt *link.Port, fraction float64)) {
+	if src == dst {
+		return
+	}
+	visit(n.Hosts[src].NIC(), 1.0)
+	dstID := n.Hosts[dst].ID()
+	var walk func(si int, frac float64)
+	walk = func(si int, frac float64) {
+		s := n.Switches[si]
+		cand := s.Route(dstID)
+		if len(cand) == 0 {
+			return
+		}
+		f := frac / float64(len(cand))
+		ports := s.Ports()
+		for _, pi := range cand {
+			visit(ports[pi], f)
+			if peer := n.swPeers[si][pi]; !peer.isHost {
+				walk(peer.idx, f)
+			}
+		}
+	}
+	walk(n.hostTor[src], 1.0)
 }
 
 // wireSwitches connects switches ai and bi bidirectionally. When the
